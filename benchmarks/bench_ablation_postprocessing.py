@@ -1,0 +1,171 @@
+"""Ablation: the Section-6 repair strategies.
+
+Questions answered (DESIGN.md ablation index):
+
+* How often is the raw noisy objective unbounded at small budgets — i.e.,
+  how necessary is Section 6 at all?
+* Regularization vs spectral trimming vs the Lemma-5 rerun (which pays 2x
+  the privacy budget): who wins on accuracy at equal nominal epsilon?
+* How sensitive is the result to the paper's ``lambda = 4 x noise std``
+  heuristic (multiplier sweep)?
+"""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.core.mechanism import FunctionalMechanism
+from repro.core.models import FMLinearRegression
+from repro.core.objectives import LinearRegressionObjective
+from repro.core.postprocess import SpectralTrimming
+from repro.exceptions import UnboundedObjectiveError
+
+EPSILON = 0.2  # small budget: repairs matter here
+SEEDS = range(12)
+
+
+def _task(us_census):
+    prepared = us_census.take(np.arange(60_000)).regression_task("linear", dims=14)
+    return prepared.X, prepared.y
+
+
+def test_unbounded_frequency(benchmark, results_dir, us_census):
+    """Fraction of raw noisy objectives with no finite minimizer."""
+    X, y = _task(us_census)
+    objective = LinearRegressionObjective(X.shape[1])
+    form = objective.aggregate_quadratic(X, y)
+    delta = objective.sensitivity()
+
+    def measure():
+        rows = []
+        for epsilon in (3.2, 0.8, 0.2, 0.05):
+            unbounded = 0
+            for seed in range(40):
+                mech = FunctionalMechanism(epsilon, rng=seed)
+                noisy, _ = mech.perturb_quadratic(form, delta)
+                if not noisy.is_positive_definite():
+                    unbounded += 1
+            rows.append((epsilon, unbounded / 40))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    text = "ablation: fraction of unbounded noisy objectives (d=13, n=60k)\n" + "\n".join(
+        f"  eps={eps:<6g} unbounded={frac:.2f}" for eps, frac in rows
+    )
+    save_and_print(results_dir, "ablation_unbounded_frequency", text)
+    frac_by_eps = dict(rows)
+    # Unboundedness grows as the budget shrinks.
+    assert frac_by_eps[0.05] >= frac_by_eps[3.2]
+
+
+def test_strategy_comparison(benchmark, results_dir, us_census):
+    X, y = _task(us_census)
+
+    def run():
+        scores: dict[str, list[float]] = {}
+        for strategy in ("none", "regularize", "spectral", "rerun"):
+            scores[strategy] = []
+            for seed in SEEDS:
+                model = FMLinearRegression(
+                    epsilon=EPSILON, rng=seed, post_processing=strategy
+                )
+                try:
+                    model.fit(X, y)
+                except UnboundedObjectiveError:
+                    scores[strategy].append(float("nan"))
+                    continue
+                scores[strategy].append(model.score_mse(X, y))
+        return scores
+
+    scores = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = [f"ablation: post-processing strategies at eps={EPSILON} (train MSE)"]
+    failures = {}
+    for name, vals in scores.items():
+        arr = np.asarray(vals)
+        failures[name] = int(np.isnan(arr).sum())
+        mean = float(np.nanmean(arr)) if failures[name] < len(vals) else float("nan")
+        lines.append(f"  {name:<12} mean={mean:.4f}  failures={failures[name]}/{len(vals)}")
+    save_and_print(results_dir, "ablation_postprocessing", "\n".join(lines))
+
+    # The free repairs always produce an answer.  The Lemma-5 rerun can
+    # exhaust its redraw budget in this noise-dominated regime (every draw
+    # is indefinite) — exactly why the paper prefers the Section-6 repairs.
+    assert failures["spectral"] == 0
+    assert failures["regularize"] == 0
+    assert failures["none"] >= failures["spectral"]
+
+
+def test_lambda_multiplier_sweep(benchmark, results_dir, us_census):
+    """The 4x heuristic under the paper's literal trimming vs our hardening.
+
+    In the paper's setting (trim only non-positive eigenvalues) the large
+    ridge is load-bearing: it both repairs the spectrum and keeps barely
+    positive noise eigenvalues from exploding the solve, so 4x is a good
+    choice.  With the near-noise eigenvalues trimmed (this library's
+    default), the explosion-control job disappears and lighter ridges give
+    less bias — a finding the original heuristic folds together.
+    """
+    X, y = _task(us_census)
+    multipliers = (0.5, 1.0, 2.0, 4.0, 8.0, 16.0)
+
+    def run():
+        table: dict[str, dict[float, float]] = {}
+        for label, tol in (("literal-6.2", 0.0), ("hardened", 0.5)):
+            table[label] = {}
+            for multiplier in multipliers:
+                vals = []
+                for seed in SEEDS:
+                    model = FMLinearRegression(
+                        epsilon=EPSILON,
+                        rng=seed,
+                        post_processing=SpectralTrimming(
+                            multiplier=multiplier, noise_relative_tol=tol
+                        ),
+                    )
+                    model.fit(X, y)
+                    vals.append(model.score_mse(X, y))
+                table[label][multiplier] = float(np.mean(vals))
+        return table
+
+    table = benchmark.pedantic(run, rounds=1, iterations=1)
+    lines = ["ablation: lambda multiplier around the paper's 4x-noise-std heuristic"]
+    for label, values in table.items():
+        lines.append(f"  [{label}]")
+        lines.extend(
+            f"    multiplier={m:<5g} mean MSE={values[m]:.4f}" for m in multipliers
+        )
+    save_and_print(results_dir, "ablation_lambda_multiplier", "\n".join(lines))
+
+    literal = table["literal-6.2"]
+    hardened = table["hardened"]
+    # In the paper's context the 4x heuristic is competitive: within 2x of
+    # that variant's best (small multipliers there risk exploding solves).
+    assert literal[4.0] <= 2.0 * min(literal.values())
+    # Under hardened trimming, a lighter ridge is never worse than a much
+    # heavier one — the explosion-control role has moved to the trimming.
+    assert hardened[1.0] <= hardened[16.0]
+
+
+def test_tight_sensitivity_variant(benchmark, results_dir, us_census):
+    """Extension: the (1+sqrt(d))^2 bound injects less noise than (1+d)^2."""
+    X, y = _task(us_census)
+
+    def run():
+        out = {}
+        for tight in (False, True):
+            vals = [
+                FMLinearRegression(epsilon=EPSILON, rng=seed, tight_sensitivity=tight)
+                .fit(X, y)
+                .score_mse(X, y)
+                for seed in SEEDS
+            ]
+            out[tight] = float(np.mean(vals))
+        return out
+
+    out = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "ablation: Lemma-1 bound variant (d=13)\n"
+        f"  paper bound 2(1+d)^2      mean MSE={out[False]:.4f}\n"
+        f"  tight bound 2(1+sqrt d)^2 mean MSE={out[True]:.4f}"
+    )
+    save_and_print(results_dir, "ablation_tight_sensitivity", text)
+    assert out[True] <= out[False] + 1e-9

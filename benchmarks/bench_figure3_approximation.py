@@ -1,0 +1,43 @@
+"""Figure 3: the logistic objective vs its degree-2 polynomial approximation.
+
+Regenerates the Section-5.2 example — three 1-d tuples — and reports the
+exact objective ``f~_D``, the truncated ``f^_D``, their minimizers, and the
+realized average approximation error against the paper's constant
+``(e^2 - e)/(6 (1 + e)^3) ~= 0.015``.
+"""
+
+import numpy as np
+from conftest import save_and_print
+
+from repro.analysis.approximation import measure_truncation_error
+from repro.core.taylor import logistic_truncation_error_bound
+from repro.experiments.figures import FIGURE3_DATABASE, figure3_approximation_example
+from repro.experiments.reporting import format_objective_curve
+
+
+def test_figure3_approximation_curves(benchmark, results_dir):
+    curve = benchmark.pedantic(figure3_approximation_example, rounds=1, iterations=1)
+    text = format_objective_curve(curve, ("f~_D(w)", "f^_D(w)"))
+    save_and_print(results_dir, "figure3_approximation", text)
+    # The two curves nearly coincide over the plotted range (paper's visual).
+    assert np.max(np.abs(curve.exact - curve.perturbed)) < 0.15
+    assert abs(curve.minimizers[0] - curve.minimizers[1]) < 0.2
+
+
+def test_figure3_error_vs_lemma_bound(benchmark, results_dir):
+    X, y = FIGURE3_DATABASE
+
+    def run():
+        return measure_truncation_error(X, y)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = (
+        "figure3: truncation error on the example database\n"
+        f"measured per-tuple gap: {report.measured_gap:.6f}\n"
+        f"paper constant:         {logistic_truncation_error_bound():.6f}\n"
+        f"strict (two-sided):     {report.strict_bound:.6f}\n"
+        f"max |x^T w| reached:    {report.max_score:.3f}"
+    )
+    save_and_print(results_dir, "figure3_error_bound", text)
+    assert report.measured_gap >= 0.0
+    assert report.measured_gap < 0.05

@@ -1,0 +1,100 @@
+"""Managing a privacy budget across multiple releases.
+
+Real deployments rarely make a single release.  This example walks a data
+custodian through spending one global budget on a sequence of analyses over
+the same census table:
+
+1. a differentially private histogram (the DPME building block),
+2. an FM linear regression,
+3. an FM logistic regression with the Lemma-5 rerun strategy (which costs
+   double and is charged as such),
+
+with the :class:`repro.privacy.PrivacyBudget` accountant enforcing that the
+total never exceeds the agreed epsilon — including refusing the release
+that would overdraw.
+
+Run:  python examples/budget_accounting.py
+"""
+
+import numpy as np
+
+from repro import FMLinearRegression, FMLogisticRegression, PrivacyBudget
+from repro.baselines.histogram import COUNT_SENSITIVITY, Grid, histogram_counts
+from repro.data import load_us
+from repro.exceptions import BudgetExhaustedError
+from repro.privacy import LaplaceMechanism
+
+
+def main() -> None:
+    dataset = load_us(40_000)
+    linear_task = dataset.regression_task("linear", dims=8)
+    logistic_task = dataset.regression_task("logistic", dims=8)
+
+    total_epsilon = 2.0
+    budget = PrivacyBudget(total_epsilon)
+    print(f"=== One table, one budget: epsilon = {total_epsilon} ===\n")
+
+    # ------------------------------------------------------------------
+    # Release 1: a noisy age-by-income histogram (epsilon = 0.4).
+    # ------------------------------------------------------------------
+    grid = Grid(
+        lower=np.array([16.0, 0.0]),
+        upper=np.array([95.0, 300_000.0]),
+        bins_per_dim=np.array([8, 6]),
+    )
+    counts = histogram_counts(
+        grid, np.column_stack([dataset.column("Age"), dataset.income])
+    )
+    mechanism = LaplaceMechanism(
+        epsilon=0.4, sensitivity=COUNT_SENSITIVITY, budget=budget, rng=0
+    )
+    noisy_counts = np.maximum(mechanism.randomize(counts.astype(float)), 0.0)
+    print("release 1: 8x6 age-by-income histogram  (spent 0.4)")
+    print(f"  first row of noisy counts: {np.round(noisy_counts[:6]).astype(int)}")
+    print(f"  budget remaining: {budget.remaining:.2f}\n")
+
+    # ------------------------------------------------------------------
+    # Release 2: FM linear regression (epsilon = 0.8).
+    # ------------------------------------------------------------------
+    linear = FMLinearRegression(epsilon=0.8, rng=1, budget=budget)
+    linear.fit(linear_task.X, linear_task.y)
+    print("release 2: FM linear regression          (spent 0.8)")
+    print(f"  train MSE: {linear.score_mse(linear_task.X, linear_task.y):.4f}")
+    print(f"  budget remaining: {budget.remaining:.2f}\n")
+
+    # ------------------------------------------------------------------
+    # Release 3: FM logistic with the Lemma-5 rerun strategy.  Nominal
+    # epsilon 0.4, but rerun-until-bounded costs DOUBLE (Lemma 5) — the
+    # estimator charges 0.8 against the accountant automatically.
+    # ------------------------------------------------------------------
+    logistic = FMLogisticRegression(
+        epsilon=0.4, rng=2, budget=budget, post_processing="rerun"
+    )
+    logistic.fit(logistic_task.X, logistic_task.y)
+    print("release 3: FM logistic, rerun strategy   (spent 2 x 0.4 = 0.8)")
+    print(
+        "  misclassification:"
+        f" {logistic.score_misclassification(logistic_task.X, logistic_task.y):.4f}"
+    )
+    print(f"  effective epsilon of this release: {logistic.effective_epsilon:g}")
+    print(f"  budget remaining: {budget.remaining:.2f}\n")
+
+    # ------------------------------------------------------------------
+    # Release 4 would overdraw -> the accountant refuses.
+    # ------------------------------------------------------------------
+    print("release 4: attempting one more FM fit at epsilon = 0.5 ...")
+    try:
+        FMLinearRegression(epsilon=0.5, rng=3, budget=budget).fit(
+            linear_task.X, linear_task.y
+        )
+    except BudgetExhaustedError as err:
+        print(f"  refused: {err}")
+
+    print("\n--- final ledger ---")
+    for entry in budget.ledger:
+        print(f"  {entry.epsilon:>5.2f}  {entry.note}")
+    print(f"  total spent: {budget.spent:.2f} / {budget.total:.2f}")
+
+
+if __name__ == "__main__":
+    main()

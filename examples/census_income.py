@@ -1,0 +1,71 @@
+"""The paper's Section-7 census workload, condensed to one script.
+
+Loads the synthetic IPUMS-like US dataset, prepares the 14-dimensional
+linear and logistic tasks exactly as the paper does (attribute subsets,
+footnote-1 scaling, income binarization), and compares all five Section-7
+algorithms — FM, DPME, FP, NoPrivacy, Truncated — on held-out folds at the
+default budget.
+
+Run:  python examples/census_income.py          (about a minute)
+      python examples/census_income.py --quick  (seconds, smaller data)
+"""
+
+import sys
+
+import numpy as np
+
+from repro.baselines import make_algorithm
+from repro.data import load_us
+from repro.regression.preprocessing import KFold
+
+
+def evaluate(dataset, task, algorithms, epsilon=0.8, folds=3, seed=0):
+    prepared = dataset.regression_task(task, dims=14)
+    results = {name: [] for name in algorithms}
+    splitter = KFold(n_splits=folds, rng=seed)
+    for fold, (train, test) in enumerate(splitter.split(prepared.n)):
+        for name in algorithms:
+            model = make_algorithm(name, task, epsilon=epsilon, rng=seed * 100 + fold)
+            model.fit(prepared.X[train], prepared.y[train])
+            results[name].append(model.score(prepared.X[test], prepared.y[test]))
+    return {name: float(np.mean(scores)) for name, scores in results.items()}
+
+
+def main() -> None:
+    quick = "--quick" in sys.argv
+    n = 20_000 if quick else 150_000
+    print(f"=== IPUMS-like US census, n={n}, epsilon=0.8 ===")
+    if quick:
+        print(
+            "note: --quick runs far below the paper's cardinality; FM's noise\n"
+            "is constant in n, so at this scale it is noise-dominated and the\n"
+            "orderings below will NOT match Figure 4 — drop --quick for the\n"
+            "paper's regime."
+        )
+    dataset = load_us(n)
+    print(f"loaded {dataset.n} records, 13 attributes + Annual Income\n")
+
+    linear = evaluate(dataset, "linear", ["NoPrivacy", "FM", "DPME", "FP"])
+    print("Linear regression (income), held-out mean square error:")
+    for name, score in sorted(linear.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<12} {score:.4f}")
+
+    logistic = evaluate(
+        dataset, "logistic", ["NoPrivacy", "Truncated", "FM", "DPME", "FP"]
+    )
+    print("\nLogistic regression (income > threshold), misclassification rate:")
+    for name, score in sorted(logistic.items(), key=lambda kv: kv[1]):
+        print(f"  {name:<12} {score:.4f}")
+
+    print(
+        "\nReading the numbers against the paper's Figure 4 (at dims=14):\n"
+        "  - NoPrivacy sets the floor; Truncated sits on top of it\n"
+        "    (the Section-5 truncation is nearly free);\n"
+        "  - FM lands close to the floor on the linear task;\n"
+        "  - DPME and FP pay for their coarse noisy histograms, most\n"
+        "    visibly on the linear task at full dimensionality."
+    )
+
+
+if __name__ == "__main__":
+    main()

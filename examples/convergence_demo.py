@@ -1,0 +1,63 @@
+"""Theorem 2 in action: the Functional Mechanism is consistent.
+
+The coefficient noise Algorithm 1 injects has a scale that depends only on
+``(d, epsilon)``, while the data term of the objective grows linearly with
+the cardinality ``n`` — so the *averaged* noisy objective converges to the
+population objective and the FM estimate converges to the true minimizer.
+
+This script draws growing databases from a fixed distribution, runs FM at a
+fixed budget, and prints (with an ASCII decay plot) the distance to the
+population solution together with the noise-to-signal ratio that Theorem 2
+drives to zero.
+
+Run:  python examples/convergence_demo.py
+"""
+
+import numpy as np
+
+from repro.analysis.convergence import convergence_study
+
+
+def ascii_plot(values, width: int = 50) -> list[str]:
+    top = max(values)
+    return ["#" * max(1, int(round(width * v / top))) for v in values]
+
+
+def main() -> None:
+    cardinalities = [250, 500, 1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000]
+    print("=== Theorem 2: consistency of the Functional Mechanism ===")
+    print("task: linear regression, d = 4, epsilon = 1.0, 5 repetitions per n\n")
+
+    points = convergence_study(
+        cardinalities, dim=4, task="linear", epsilon=1.0, repetitions=5, seed=0
+    )
+
+    distances = [p.parameter_distance for p in points]
+    bars = ascii_plot(distances)
+    print(f"{'n':>8} {'|w_fm - w_pop|':>15} {'noise/signal':>13}   decay")
+    for p, bar in zip(points, bars):
+        print(f"{p.n:>8} {p.parameter_distance:>15.4f} {p.relative_noise:>13.5f}   {bar}")
+
+    shrink = distances[0] / distances[-1]
+    print(
+        f"\nParameter error shrank {shrink:.1f}x as n grew "
+        f"{cardinalities[-1] // cardinalities[0]}x — the Laplace noise is "
+        "constant in n, so its relative weight (last column) vanishes."
+    )
+
+    print("\nSame experiment for logistic regression (order-2 objective):")
+    log_points = convergence_study(
+        [1_000, 8_000, 64_000], dim=4, task="logistic",
+        epsilon=1.0, repetitions=5, seed=1,
+    )
+    for p in log_points:
+        print(f"{p.n:>8} {p.parameter_distance:>15.4f}")
+    print(
+        "\nNote: logistic distances plateau at the Section-5 truncation bias "
+        "(Lemma 3) — the paper's reason there is no Theorem-2 analogue for "
+        "the approximated objective."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,96 @@
+"""Private logistic regression on medical data — the paper's Figure-1b story.
+
+The introduction motivates the Functional Mechanism with a clinical
+scenario: predict whether a patient develops diabetes from age and
+cholesterol-like covariates, without the published model leaking any single
+patient's record.  This example builds that scenario end to end:
+
+* a synthetic clinical cohort with realistic risk structure,
+* Definition-2 logistic regression via ``FMLogisticRegression``,
+* the Truncated and NoPrivacy reference points the paper's Section-7
+  logistic panels use,
+* a per-patient risk readout from the private model.
+
+Run:  python examples/medical_diabetes.py
+"""
+
+import numpy as np
+
+from repro import FMLogisticRegression, FeatureScaler, LogisticRegressionModel
+from repro.baselines import Truncated
+from repro.regression.metrics import misclassification_rate
+
+
+def generate_cohort(n: int, rng: np.random.Generator):
+    """A synthetic diabetes cohort: age, BMI, cholesterol, activity."""
+    age = rng.uniform(20, 90, n)
+    bmi = np.clip(rng.normal(27, 5, n), 15, 50)
+    cholesterol = np.clip(rng.normal(200, 35, n), 100, 320)
+    activity_hours = np.clip(rng.exponential(3, n), 0, 20)
+    risk_score = (
+        0.05 * (age - 50)
+        + 0.22 * (bmi - 27)
+        + 0.015 * (cholesterol - 200)
+        - 0.35 * activity_hours
+        + rng.logistic(0, 1.8, n)
+    )
+    has_diabetes = (risk_score > 0).astype(float)
+    features = np.column_stack([age, bmi, cholesterol, activity_hours])
+    return features, has_diabetes
+
+
+def main() -> None:
+    rng = np.random.default_rng(11)
+    raw_X, y = generate_cohort(30_000, rng)
+
+    # Declared clinical domains (not data-derived!).
+    scaler = FeatureScaler(
+        lower=np.array([20.0, 15.0, 100.0, 0.0]),
+        upper=np.array([90.0, 50.0, 320.0, 20.0]),
+    )
+    X = scaler.transform(raw_X)
+
+    print("=== Private diabetes-risk model (Definition 2) ===")
+    print(f"cohort size: {len(y)}, prevalence: {y.mean():.1%}\n")
+
+    exact = LogisticRegressionModel().fit(X, y)
+    truncated = Truncated(task="logistic").fit(X, y)
+    print(f"{'model':<28} {'misclassification':>18}")
+    print(f"{'exact MLE (no privacy)':<28} {exact.score_misclassification(X, y):>18.4f}")
+    print(f"{'truncated (no privacy)':<28} {misclassification_rate(y, truncated.predict(X)):>18.4f}")
+
+    for epsilon in (3.2, 0.8, 0.2):
+        scores = [
+            FMLogisticRegression(epsilon=epsilon, rng=seed)
+            .fit(X, y)
+            .score_misclassification(X, y)
+            for seed in range(5)
+        ]
+        label = f"FM, epsilon = {epsilon}"
+        print(f"{label:<28} {np.mean(scores):>18.4f}")
+
+    # ------------------------------------------------------------------
+    # Using the released model on new patients.
+    # ------------------------------------------------------------------
+    model = FMLogisticRegression(epsilon=0.8, rng=0).fit(X, y)
+    patients = np.array([
+        [35.0, 22.0, 170.0, 8.0],   # young, fit
+        [67.0, 33.0, 255.0, 0.5],   # older, high risk factors
+        [50.0, 27.0, 200.0, 3.0],   # average
+    ])
+    risks = model.predict_proba(scaler.transform(patients))
+    print("\n--- private model risk readout ---")
+    for row, risk in zip(patients, risks):
+        print(
+            f"age {row[0]:4.0f}, BMI {row[1]:4.1f}, chol {row[2]:5.0f}, "
+            f"activity {row[3]:4.1f} h/wk  ->  Pr[diabetes] = {risk:.2f}"
+        )
+    print(
+        "\nThe released coefficients satisfy"
+        f" {model.effective_epsilon:g}-differential privacy:"
+        " no single patient's record moved them by more than the noise hides."
+    )
+
+
+if __name__ == "__main__":
+    main()

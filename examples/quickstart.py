@@ -1,0 +1,97 @@
+"""Quickstart: differentially private linear regression in five steps.
+
+Demonstrates the full Functional Mechanism pipeline on a small synthetic
+table with *declared* attribute domains:
+
+1. declare domains and normalize (footnote 1 of the paper),
+2. fit ``FMLinearRegression`` under a chosen privacy budget,
+3. compare against the non-private OLS solution,
+4. inspect the mechanism diagnostics (sensitivity, noise scale, repair),
+5. sweep epsilon to see the privacy/utility trade-off.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (
+    FMLinearRegression,
+    FeatureScaler,
+    LinearRegression,
+    TargetScaler,
+    mean_squared_error,
+)
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+
+    # ------------------------------------------------------------------
+    # A toy "wage survey": hours worked, years of schooling, age.
+    # Domains are DECLARED up front — deriving them from the data would
+    # itself leak information about the records.
+    # ------------------------------------------------------------------
+    n = 20_000
+    hours = rng.uniform(0, 60, n)
+    schooling = rng.uniform(0, 20, n)
+    age = rng.uniform(18, 70, n)
+    wage = 4.0 * hours + 90.0 * schooling + 6.0 * (age - 18) + rng.normal(0, 150, n)
+    wage = np.clip(wage, 0, 3000)
+
+    raw_X = np.column_stack([hours, schooling, age])
+    feature_domains = FeatureScaler(
+        lower=np.array([0.0, 0.0, 18.0]),
+        upper=np.array([60.0, 20.0, 70.0]),
+    )
+    target_domain = TargetScaler(lower=0.0, upper=3000.0)
+
+    X = feature_domains.transform(raw_X)     # rows now satisfy ||x||_2 <= 1
+    y = target_domain.transform(wage)        # targets now in [-1, 1]
+
+    # ------------------------------------------------------------------
+    # Private vs non-private fit.
+    # ------------------------------------------------------------------
+    epsilon = 1.0
+    private = FMLinearRegression(epsilon=epsilon, rng=0).fit(X, y)
+    public = LinearRegression().fit(X, y)
+
+    print("=== Functional Mechanism quickstart ===")
+    print(f"records: {n}, features: {X.shape[1]}, epsilon: {epsilon}")
+    print(f"private  coefficients: {np.round(private.coef_, 4)}")
+    print(f"public   coefficients: {np.round(public.coef_, 4)}")
+    print(f"private  MSE: {private.score_mse(X, y):.5f}")
+    print(f"public   MSE: {public.score_mse(X, y):.5f}")
+
+    # ------------------------------------------------------------------
+    # What the mechanism actually did.
+    # ------------------------------------------------------------------
+    record = private.record_
+    repair = private.postprocess_
+    print("\n--- mechanism diagnostics ---")
+    print(f"Lemma-1 sensitivity Delta = 2(d+1)^2 = {record.sensitivity:g}")
+    print(f"Laplace scale per coefficient    = {record.noise_scale:g}")
+    print(f"coefficients perturbed           = {record.coefficients_perturbed}")
+    print(f"post-processing strategy         = {repair.strategy}")
+    print(f"objective needed repair          = {repair.repaired}")
+
+    # ------------------------------------------------------------------
+    # The privacy/utility trade-off.
+    # ------------------------------------------------------------------
+    print("\n--- epsilon sweep (mean over 5 seeds) ---")
+    print(f"{'epsilon':>8} {'MSE':>10}")
+    for epsilon in (0.1, 0.4, 0.8, 1.6, 3.2):
+        scores = [
+            FMLinearRegression(epsilon=epsilon, rng=seed).fit(X, y).score_mse(X, y)
+            for seed in range(5)
+        ]
+        print(f"{epsilon:>8g} {np.mean(scores):>10.5f}")
+    print(f"{'(no privacy)':>8} {public.score_mse(X, y):>10.5f}")
+
+    # Predictions can be mapped back to original units at any time.
+    predicted_wage = target_domain.inverse_transform(private.predict(X[:3]))
+    print(f"\nfirst three predicted wages: {np.round(predicted_wage, 1)}")
+    print(f"first three actual    wages: {np.round(wage[:3], 1)}")
+
+
+if __name__ == "__main__":
+    main()

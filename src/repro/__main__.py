@@ -1,0 +1,11 @@
+"""``python -m repro`` — regenerate the paper's experiments from the shell.
+
+See :mod:`repro.experiments.cli` for the command reference.
+"""
+
+import sys
+
+from .experiments.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

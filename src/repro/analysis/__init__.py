@@ -1,0 +1,25 @@
+"""Theory-validation studies: Theorem-2 convergence, Lemma-3/4 error bounds,
+and pre-release noise calibration."""
+
+from .approximation import TruncationErrorReport, measure_truncation_error
+from .calibration import (
+    CalibrationReport,
+    calibration_report,
+    cardinality_for_snr,
+    coefficient_snr,
+    epsilon_for_snr,
+)
+from .convergence import ConvergencePoint, convergence_study, sample_population
+
+__all__ = [
+    "TruncationErrorReport",
+    "measure_truncation_error",
+    "CalibrationReport",
+    "calibration_report",
+    "cardinality_for_snr",
+    "coefficient_snr",
+    "epsilon_for_snr",
+    "ConvergencePoint",
+    "convergence_study",
+    "sample_population",
+]

@@ -1,0 +1,185 @@
+"""Noise-calibration analysis: when is FM signal-dominated?
+
+The Functional Mechanism's quadratic coefficients scale like
+``n * E[x_j x_l]`` while its noise scale is the constant ``Delta / epsilon``
+— their ratio (the *coefficient SNR*) governs everything the evaluation
+observes: Theorem-2 convergence, the cardinality crossover against the
+histogram baselines (Figure 5), and the small-budget degradation
+(Figure 6).  This module turns that reasoning into numbers a practitioner
+can use before spending any budget:
+
+* :func:`coefficient_snr` — the predicted signal-to-noise ratio of the
+  aggregated quadratic coefficients for a planned ``(n, d, epsilon)``;
+* :func:`epsilon_for_snr` / :func:`cardinality_for_snr` — invert it for
+  budget or sample-size planning;
+* :func:`calibration_report` — a one-call summary including the noise
+  scale, the Section-6.1 regularizer, and a rough "regime" verdict.
+
+All inputs are *declared* quantities (domain geometry, planned sizes), so
+using this module consumes no privacy budget.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Literal
+
+from ..core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+)
+from ..exceptions import DataError
+
+__all__ = [
+    "coefficient_snr",
+    "epsilon_for_snr",
+    "cardinality_for_snr",
+    "CalibrationReport",
+    "calibration_report",
+]
+
+#: Default second moment E[x_j^2] for features uniform on [0, 1/sqrt(d)]:
+#: (1/3) * (1/d).  Callers with different feature geometry pass their own.
+def _default_mean_square(d: int) -> float:
+    return 1.0 / (3.0 * d)
+
+
+def _sensitivity(task: Literal["linear", "logistic"], d: int, tight: bool) -> float:
+    if task == "linear":
+        return LinearRegressionObjective(d).sensitivity(tight=tight)
+    if task == "logistic":
+        return LogisticRegressionObjective(d).sensitivity(tight=tight)
+    raise DataError(f"task must be 'linear' or 'logistic', got {task!r}")
+
+
+def _quadratic_coefficient_scale(
+    task: str, n: int, d: int, mean_square_feature: float | None
+) -> float:
+    msf = _default_mean_square(d) if mean_square_feature is None else float(mean_square_feature)
+    if msf <= 0:
+        raise DataError(f"mean_square_feature must be positive, got {msf!r}")
+    scale = n * msf
+    if task == "logistic":
+        scale *= 0.125  # the Taylor a_2 = 1/8 multiplies M
+    return scale
+
+
+def coefficient_snr(
+    n: int,
+    d: int,
+    epsilon: float,
+    task: Literal["linear", "logistic"] = "linear",
+    mean_square_feature: float | None = None,
+    tight: bool = False,
+) -> float:
+    """Predicted ratio of diagonal quadratic coefficients to the noise scale.
+
+    A value well above 1 means the data term dominates the injected noise
+    (FM tracks the non-private solution); below ~1 the released objective is
+    mostly noise and Section-6 repairs carry the release.
+
+    >>> round(coefficient_snr(100_000, 13, 0.8), 2)   # census-like default
+    5.23
+    """
+    n = int(n)
+    d = int(d)
+    if n < 1 or d < 1:
+        raise DataError(f"need n >= 1 and d >= 1, got n={n}, d={d}")
+    if epsilon <= 0 or not math.isfinite(epsilon):
+        raise DataError(f"epsilon must be positive and finite, got {epsilon!r}")
+    delta = _sensitivity(task, d, tight)
+    signal = _quadratic_coefficient_scale(task, n, d, mean_square_feature)
+    return signal / (delta / epsilon)
+
+
+def epsilon_for_snr(
+    target_snr: float,
+    n: int,
+    d: int,
+    task: Literal["linear", "logistic"] = "linear",
+    mean_square_feature: float | None = None,
+    tight: bool = False,
+) -> float:
+    """Smallest budget achieving ``target_snr`` at the planned ``(n, d)``.
+
+    SNR is linear in epsilon, so the inversion is exact.
+    """
+    if target_snr <= 0:
+        raise DataError(f"target_snr must be positive, got {target_snr!r}")
+    unit = coefficient_snr(
+        n, d, 1.0, task=task, mean_square_feature=mean_square_feature, tight=tight
+    )
+    return target_snr / unit
+
+
+def cardinality_for_snr(
+    target_snr: float,
+    epsilon: float,
+    d: int,
+    task: Literal["linear", "logistic"] = "linear",
+    mean_square_feature: float | None = None,
+    tight: bool = False,
+) -> int:
+    """Smallest cardinality achieving ``target_snr`` at the planned budget."""
+    if target_snr <= 0:
+        raise DataError(f"target_snr must be positive, got {target_snr!r}")
+    unit = coefficient_snr(
+        1, d, epsilon, task=task, mean_square_feature=mean_square_feature, tight=tight
+    )
+    return max(1, math.ceil(target_snr / unit))
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Pre-release noise profile for a planned FM fit.
+
+    Attributes
+    ----------
+    sensitivity:
+        Lemma-1 ``Delta`` for the task and bound variant.
+    noise_scale:
+        Laplace scale ``Delta / epsilon`` per coefficient.
+    regularizer:
+        The Section-6.1 ridge ``lambda = 4 sqrt(2) Delta / epsilon``.
+    snr:
+        Predicted coefficient signal-to-noise ratio.
+    regime:
+        ``"signal-dominated"`` (snr >= 3), ``"marginal"`` (1-3) or
+        ``"noise-dominated"`` (< 1) — thresholds matched to where the
+        Figure-5/6 benches show FM tracking vs. losing the floor.
+    """
+
+    sensitivity: float
+    noise_scale: float
+    regularizer: float
+    snr: float
+    regime: str
+
+
+def calibration_report(
+    n: int,
+    d: int,
+    epsilon: float,
+    task: Literal["linear", "logistic"] = "linear",
+    mean_square_feature: float | None = None,
+    tight: bool = False,
+) -> CalibrationReport:
+    """One-call noise profile for a planned private regression."""
+    delta = _sensitivity(task, int(d), tight)
+    snr = coefficient_snr(
+        n, d, epsilon, task=task, mean_square_feature=mean_square_feature, tight=tight
+    )
+    if snr >= 3.0:
+        regime = "signal-dominated"
+    elif snr >= 1.0:
+        regime = "marginal"
+    else:
+        regime = "noise-dominated"
+    return CalibrationReport(
+        sensitivity=delta,
+        noise_scale=delta / epsilon,
+        regularizer=4.0 * math.sqrt(2.0) * delta / epsilon,
+        snr=snr,
+        regime=regime,
+    )

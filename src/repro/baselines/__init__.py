@@ -1,0 +1,61 @@
+"""Baseline algorithms from the paper's evaluation (Section 7) and beyond.
+
+Importing this package registers every algorithm in the string registry:
+
+============ ================ =========================================
+Name         Private?         Source
+============ ================ =========================================
+FM           yes (epsilon)    this paper (Algorithms 1-2 + Section 6)
+DPME         yes (epsilon)    Lei, NIPS 2011
+FP           yes (epsilon)    Cormode et al., ICDT 2012
+NoPrivacy    no               plain OLS / logistic MLE
+Truncated    no               noise-free Section-5 truncated objective
+OutputPerturbation      yes   Chaudhuri et al., JMLR 2011 (comparator)
+ObjectivePerturbation   yes   Chaudhuri et al., JMLR 2011 (comparator)
+============ ================ =========================================
+"""
+
+from .base import (
+    BaselineRegressor,
+    Task,
+    algorithm_names,
+    make_algorithm,
+    register_algorithm,
+)
+from .dpme import DPME, build_joint_grid, fit_on_synthetic
+from .filter_priority import FilterPriority
+from .histogram import (
+    COUNT_SENSITIVITY,
+    Grid,
+    choose_bins_per_dim,
+    histogram_counts,
+)
+from .noprivacy import FMBaseline, NoPrivacy
+from .objective_perturbation import ObjectivePerturbation
+from .output_perturbation import OutputPerturbation, gamma_sphere_noise
+from .synthesize import SyntheticData, synthesize_from_counts
+from .truncated import Truncated
+
+__all__ = [
+    "BaselineRegressor",
+    "Task",
+    "algorithm_names",
+    "make_algorithm",
+    "register_algorithm",
+    "DPME",
+    "build_joint_grid",
+    "fit_on_synthetic",
+    "FilterPriority",
+    "COUNT_SENSITIVITY",
+    "Grid",
+    "choose_bins_per_dim",
+    "histogram_counts",
+    "FMBaseline",
+    "NoPrivacy",
+    "ObjectivePerturbation",
+    "OutputPerturbation",
+    "gamma_sphere_noise",
+    "SyntheticData",
+    "synthesize_from_counts",
+    "Truncated",
+]

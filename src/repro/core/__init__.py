@@ -1,0 +1,100 @@
+"""The Functional Mechanism: the paper's primary contribution.
+
+Layering (bottom to top):
+
+* :mod:`~repro.core.basis` / :mod:`~repro.core.polynomial` — the monomial
+  basis ``Phi_j`` and polynomial algebra the mechanism perturbs.
+* :mod:`~repro.core.taylor` / :mod:`~repro.core.chebyshev` — Section-5
+  approximation of non-polynomial objectives (+ the Section-8 alternative).
+* :mod:`~repro.core.objectives` / :mod:`~repro.core.sensitivity` — the two
+  case-study objectives with their Lemma-1 sensitivity bounds.
+* :mod:`~repro.core.mechanism` — Algorithm 1 (coefficient perturbation).
+* :mod:`~repro.core.postprocess` — Section-6 repair of unbounded noisy
+  objectives.
+* :mod:`~repro.core.models` — ``fit``/``predict`` estimators tying it all
+  together.
+"""
+
+from .basis import (
+    MonomialIndex,
+    basis_size,
+    monomial_degree,
+    monomial_string,
+    monomials_of_degree,
+    monomials_up_to_degree,
+    multinomial_coefficient,
+    total_basis_size,
+)
+from .chebyshev import QuadraticScalarApproximation, chebyshev_quadratic, chebyshev_softplus
+from .mechanism import FunctionalMechanism, PerturbationRecord
+from .models import FMLinearRegression, FMLogisticRegression
+from .objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+    RegressionObjective,
+)
+from .polynomial import Polynomial, QuadraticForm, linear_form_power
+from .postprocess import (
+    NoRepair,
+    PostProcessResult,
+    PostProcessingStrategy,
+    Regularization,
+    RerunUntilBounded,
+    SpectralTrimming,
+    get_strategy,
+)
+from .sensitivity import (
+    SensitivityReport,
+    coefficient_l1_distance,
+    empirical_per_tuple_l1,
+    verify_lemma1,
+)
+from .taylor import (
+    ScalarTerm,
+    logistic_truncation_error_bound,
+    logistic_truncation_error_bound_two_sided,
+    softplus,
+    softplus_derivatives,
+    taylor_polynomial,
+)
+
+__all__ = [
+    "MonomialIndex",
+    "basis_size",
+    "monomial_degree",
+    "monomial_string",
+    "monomials_of_degree",
+    "monomials_up_to_degree",
+    "multinomial_coefficient",
+    "total_basis_size",
+    "QuadraticScalarApproximation",
+    "chebyshev_quadratic",
+    "chebyshev_softplus",
+    "FunctionalMechanism",
+    "PerturbationRecord",
+    "FMLinearRegression",
+    "FMLogisticRegression",
+    "LinearRegressionObjective",
+    "LogisticRegressionObjective",
+    "RegressionObjective",
+    "Polynomial",
+    "QuadraticForm",
+    "linear_form_power",
+    "NoRepair",
+    "PostProcessResult",
+    "PostProcessingStrategy",
+    "Regularization",
+    "RerunUntilBounded",
+    "SpectralTrimming",
+    "get_strategy",
+    "SensitivityReport",
+    "coefficient_l1_distance",
+    "empirical_per_tuple_l1",
+    "verify_lemma1",
+    "ScalarTerm",
+    "logistic_truncation_error_bound",
+    "logistic_truncation_error_bound_two_sided",
+    "softplus",
+    "softplus_derivatives",
+    "taylor_polynomial",
+]

@@ -1,0 +1,214 @@
+"""Monomial basis enumeration: the sets ``Phi_j`` of Equation 2.
+
+The paper represents an objective function over the model parameter
+``omega = (omega_1, ..., omega_d)`` in the monomial basis
+
+    Phi_j = { omega_1^c_1 * ... * omega_d^c_d  |  sum_l c_l = j },
+
+i.e. all products of the parameter components with total degree ``j``
+(``Phi_0 = {1}``, ``Phi_1 = {omega_1..omega_d}``, ``Phi_2`` the d(d+1)/2
+distinct pairwise products, ...).  A monomial is identified with its exponent
+tuple ``c`` throughout the library.
+
+This module enumerates, counts, and indexes those bases.  Enumeration order
+is deterministic (lexicographic in the underlying variable multiset), which
+gives every coefficient vector a canonical layout — important because
+Algorithm 1 draws one Laplace variate per basis element and tests need to
+address individual coefficients.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations_with_replacement
+from math import comb
+from typing import Iterator, Sequence
+
+from ..exceptions import DegreeError
+
+__all__ = [
+    "Exponents",
+    "basis_size",
+    "total_basis_size",
+    "monomials_of_degree",
+    "monomials_up_to_degree",
+    "monomial_degree",
+    "monomial_string",
+    "multinomial_coefficient",
+    "MonomialIndex",
+]
+
+#: A monomial's exponent tuple, one entry per parameter component.
+Exponents = tuple[int, ...]
+
+
+def _validate_dim(dim: int) -> int:
+    dim = int(dim)
+    if dim < 1:
+        raise ValueError(f"dimension must be >= 1, got {dim}")
+    return dim
+
+
+def _validate_degree(degree: int) -> int:
+    degree = int(degree)
+    if degree < 0:
+        raise DegreeError(f"degree must be >= 0, got {degree}")
+    return degree
+
+
+def basis_size(dim: int, degree: int) -> int:
+    """Number of monomials in ``Phi_degree`` over ``dim`` variables.
+
+    Equals the number of multisets of size ``degree`` over ``dim`` symbols:
+    ``C(dim + degree - 1, degree)``.
+
+    >>> basis_size(3, 2)   # {w1w1, w1w2, w1w3, w2w2, w2w3, w3w3}
+    6
+    """
+    dim = _validate_dim(dim)
+    degree = _validate_degree(degree)
+    return comb(dim + degree - 1, degree)
+
+
+def total_basis_size(dim: int, max_degree: int) -> int:
+    """Number of monomials of degree 0..max_degree, ``C(dim + J, J)``."""
+    dim = _validate_dim(dim)
+    max_degree = _validate_degree(max_degree)
+    return comb(dim + max_degree, max_degree)
+
+
+def monomials_of_degree(dim: int, degree: int) -> Iterator[Exponents]:
+    """Yield the exponent tuples of ``Phi_degree`` in canonical order.
+
+    The canonical order lists monomials by the sorted multiset of their
+    variable indices (e.g. for ``dim=2, degree=2``: ``w1^2, w1w2, w2^2``).
+
+    >>> list(monomials_of_degree(2, 2))
+    [(2, 0), (1, 1), (0, 2)]
+    """
+    dim = _validate_dim(dim)
+    degree = _validate_degree(degree)
+    if degree == 0:
+        yield (0,) * dim
+        return
+    for variables in combinations_with_replacement(range(dim), degree):
+        exponents = [0] * dim
+        for v in variables:
+            exponents[v] += 1
+        yield tuple(exponents)
+
+
+def monomials_up_to_degree(dim: int, max_degree: int) -> Iterator[Exponents]:
+    """Yield all exponent tuples of degree 0..max_degree, degree-major order."""
+    for degree in range(_validate_degree(max_degree) + 1):
+        yield from monomials_of_degree(dim, degree)
+
+
+def monomial_degree(exponents: Sequence[int]) -> int:
+    """Total degree ``sum_l c_l`` of an exponent tuple."""
+    return int(sum(exponents))
+
+
+def monomial_string(exponents: Sequence[int], symbol: str = "w") -> str:
+    """Human-readable rendering of a monomial, e.g. ``w1^2*w3``.
+
+    >>> monomial_string((2, 0, 1))
+    'w1^2*w3'
+    >>> monomial_string((0, 0))
+    '1'
+    """
+    parts = []
+    for index, power in enumerate(exponents, start=1):
+        if power == 0:
+            continue
+        if power == 1:
+            parts.append(f"{symbol}{index}")
+        else:
+            parts.append(f"{symbol}{index}^{power}")
+    return "*".join(parts) if parts else "1"
+
+
+def multinomial_coefficient(exponents: Sequence[int]) -> int:
+    """Multinomial coefficient ``(sum c)! / prod(c_l!)``.
+
+    This is the coefficient of ``prod_l (x_l w_l)^{c_l}`` in the expansion of
+    ``(x^T w)^{sum c}`` — the workhorse of the Taylor-expansion module, which
+    must expand powers of the linear form ``g(t, w) = x^T w`` into the
+    monomial basis.
+    """
+    total = monomial_degree(exponents)
+    value = 1
+    remaining = total
+    for c in exponents:
+        if c < 0:
+            raise DegreeError(f"exponents must be non-negative, got {tuple(exponents)}")
+        value *= comb(remaining, c)
+        remaining -= c
+    return value
+
+
+class MonomialIndex:
+    """Bidirectional map between exponent tuples and flat coefficient indices.
+
+    Algorithm 1's coefficient vector ``(lambda_phi)_{phi in Phi_0..Phi_J}``
+    needs a fixed layout; this class freezes the canonical enumeration of
+    :func:`monomials_up_to_degree` into index lookups both ways.
+
+    >>> idx = MonomialIndex(dim=2, max_degree=2)
+    >>> len(idx)
+    6
+    >>> idx.position((1, 1))
+    4
+    >>> idx.exponents(4)
+    (1, 1)
+    """
+
+    def __init__(self, dim: int, max_degree: int) -> None:
+        self._dim = _validate_dim(dim)
+        self._max_degree = _validate_degree(max_degree)
+        self._forward: list[Exponents] = list(monomials_up_to_degree(dim, max_degree))
+        self._backward: dict[Exponents, int] = {
+            exps: i for i, exps in enumerate(self._forward)
+        }
+
+    @property
+    def dim(self) -> int:
+        return self._dim
+
+    @property
+    def max_degree(self) -> int:
+        return self._max_degree
+
+    def __len__(self) -> int:
+        return len(self._forward)
+
+    def __iter__(self) -> Iterator[Exponents]:
+        return iter(self._forward)
+
+    def __contains__(self, exponents: Sequence[int]) -> bool:
+        return tuple(exponents) in self._backward
+
+    def position(self, exponents: Sequence[int]) -> int:
+        """Flat index of an exponent tuple."""
+        key = tuple(int(c) for c in exponents)
+        try:
+            return self._backward[key]
+        except KeyError:
+            raise DegreeError(
+                f"monomial {key} is not in the basis of dim={self._dim}, "
+                f"max_degree={self._max_degree}"
+            ) from None
+
+    def exponents(self, position: int) -> Exponents:
+        """Exponent tuple at a flat index."""
+        return self._forward[position]
+
+    def degree_slice(self, degree: int) -> slice:
+        """Slice of flat indices covering exactly ``Phi_degree``."""
+        degree = _validate_degree(degree)
+        if degree > self._max_degree:
+            raise DegreeError(
+                f"degree {degree} exceeds basis max_degree {self._max_degree}"
+            )
+        start = total_basis_size(self._dim, degree - 1) if degree > 0 else 0
+        stop = total_basis_size(self._dim, degree)
+        return slice(start, stop)

@@ -1,0 +1,116 @@
+"""Chebyshev alternative to the Taylor approximation (paper Section 8).
+
+The paper's future-work section asks whether "alternative analytical tools
+can lead to more accurate regression results" than the Taylor expansion.
+This module implements the natural candidate: a degree-2 **Chebyshev series**
+approximation of the softplus ``f_1(z) = log(1 + exp(z))`` over a working
+interval ``[-r, r]``.
+
+Taylor at 0 is optimal *locally*; the Chebyshev projection minimizes the
+L2(Chebyshev-weight) error *uniformly over the interval*, so for tuples with
+``|x^T w|`` near the interval edge it is a better fit.  The ablation bench
+``bench_ablation_approximation`` compares the two end to end.
+
+Coefficients are computed by Gauss–Chebyshev quadrature:
+
+    c_k = (2 / N) * sum_{i=1..N} f(r cos(theta_i)) cos(k theta_i),
+    theta_i = pi (i - 1/2) / N,
+
+and the truncated series ``c_0/2 + c_1 T_1(z/r) + c_2 T_2(z/r)`` is expanded
+into monomial coefficients ``a_0 + a_1 z + a_2 z^2`` so that the downstream
+machinery (sensitivity analysis, Algorithm 1) is identical to the Taylor
+path — only the three scalars change.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from ..exceptions import ApproximationError
+
+__all__ = ["QuadraticScalarApproximation", "chebyshev_quadratic", "chebyshev_softplus"]
+
+
+@dataclass(frozen=True)
+class QuadraticScalarApproximation:
+    """A quadratic approximation ``a0 + a1 z + a2 z^2`` of a scalar function.
+
+    ``interval`` records where the approximation is intended to be used;
+    ``max_error`` is a numerically estimated uniform error bound over that
+    interval (evaluated on a dense grid — adequate for reporting, not a
+    certified bound).
+    """
+
+    a0: float
+    a1: float
+    a2: float
+    interval: tuple[float, float]
+    max_error: float
+
+    def evaluate(self, z: float | np.ndarray) -> float | np.ndarray:
+        """Evaluate the quadratic at ``z``."""
+        return self.a0 + self.a1 * z + self.a2 * np.asarray(z, dtype=float) ** 2
+
+    def coefficients(self) -> tuple[float, float, float]:
+        """``(a0, a1, a2)`` in monomial order."""
+        return (self.a0, self.a1, self.a2)
+
+
+def chebyshev_quadratic(
+    fn: Callable[[np.ndarray], np.ndarray],
+    radius: float = 1.0,
+    nodes: int = 64,
+) -> QuadraticScalarApproximation:
+    """Degree-2 Chebyshev projection of ``fn`` on ``[-radius, radius]``.
+
+    Parameters
+    ----------
+    fn:
+        Vectorized scalar function.
+    radius:
+        Half-width of the approximation interval.  For the Functional
+        Mechanism's logistic use the natural choice is an a-priori bound on
+        ``|x^T w|``; with footnote-1 normalization ``||x||_2 <= 1`` and
+        well-scaled parameters, ``radius = 1`` covers the bulk of scores.
+    nodes:
+        Gauss–Chebyshev quadrature nodes (>= 8 for stable coefficients).
+    """
+    radius = float(radius)
+    if not (math.isfinite(radius) and radius > 0.0):
+        raise ApproximationError(f"radius must be positive and finite, got {radius!r}")
+    nodes = int(nodes)
+    if nodes < 8:
+        raise ApproximationError(f"need at least 8 quadrature nodes, got {nodes}")
+    theta = math.pi * (np.arange(1, nodes + 1) - 0.5) / nodes
+    u = np.cos(theta)  # Chebyshev points on [-1, 1]
+    values = np.asarray(fn(radius * u), dtype=float)
+    if values.shape != u.shape or not np.all(np.isfinite(values)):
+        raise ApproximationError("fn must be vectorized and finite on the interval")
+    c = np.array([
+        2.0 / nodes * float(np.sum(values * np.cos(k * theta))) for k in range(3)
+    ])
+    # c0/2 + c1*T1(u) + c2*T2(u), with T1(u) = u, T2(u) = 2u^2 - 1, u = z/r.
+    a0 = c[0] / 2.0 - c[2]
+    a1 = c[1] / radius
+    a2 = 2.0 * c[2] / radius**2
+    grid = np.linspace(-radius, radius, 2001)
+    approx = a0 + a1 * grid + a2 * grid**2
+    max_error = float(np.max(np.abs(np.asarray(fn(grid), dtype=float) - approx)))
+    return QuadraticScalarApproximation(
+        a0=float(a0), a1=float(a1), a2=float(a2),
+        interval=(-radius, radius), max_error=max_error,
+    )
+
+
+def chebyshev_softplus(radius: float = 1.0, nodes: int = 64) -> QuadraticScalarApproximation:
+    """Degree-2 Chebyshev approximation of softplus on ``[-radius, radius]``.
+
+    Example: at ``radius = 1`` the coefficients are close to (but not equal
+    to) Taylor's ``(log 2, 1/2, 1/8)``, with a smaller worst-case error over
+    the interval.
+    """
+    return chebyshev_quadratic(lambda z: np.logaddexp(0.0, z), radius=radius, nodes=nodes)

@@ -1,0 +1,112 @@
+"""Lemma-1 sensitivity machinery and empirical verification helpers.
+
+Algorithm 1 needs ``Delta = 2 max_t sum_{j} sum_{phi in Phi_j} |lambda_phi(t)|``
+— an upper bound over the *tuple domain*, independent of the realized data.
+Each :class:`~repro.core.objectives.RegressionObjective` carries its analytic
+bound; this module adds the cross-checks the test-suite (and a cautious user)
+can run:
+
+* :func:`empirical_per_tuple_l1` — realized ``max_t sum |lambda_phi(t)|`` on
+  a concrete dataset.  **Not differentially private** (it reads the data);
+  its only legitimate uses are testing that the analytic bound dominates and
+  quantifying the bound's looseness.
+* :func:`coefficient_l1_distance` — the exact Lemma-1 left-hand side for a
+  concrete pair of tuples.
+* :func:`verify_lemma1` — property-style check used by the hypothesis tests:
+  for random tuple pairs, coefficient distance never exceeds ``Delta``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .objectives import RegressionObjective
+
+__all__ = [
+    "SensitivityReport",
+    "empirical_per_tuple_l1",
+    "coefficient_l1_distance",
+    "verify_lemma1",
+]
+
+
+def empirical_per_tuple_l1(
+    objective: RegressionObjective, X: np.ndarray, y: np.ndarray
+) -> float:
+    """Realized ``max_i sum_phi |lambda_phi(t_i)|`` on a dataset.
+
+    .. warning::
+       Reads the data — not private.  For testing only.
+    """
+    X = np.asarray(X, dtype=float)
+    y = np.asarray(y, dtype=float).ravel()
+    best = 0.0
+    for x_i, y_i in zip(X, y):
+        best = max(best, objective.tuple_polynomial(x_i, y_i).l1_norm())
+    return best
+
+
+def coefficient_l1_distance(
+    objective: RegressionObjective,
+    tuple_a: tuple[np.ndarray, float],
+    tuple_b: tuple[np.ndarray, float],
+) -> float:
+    """Exact ``sum_phi |lambda_phi(t_a) - lambda_phi(t_b)|`` for two tuples.
+
+    This is the quantity Lemma 1 bounds by ``Delta``: replacing one tuple
+    changes the database-level coefficient vector by exactly this much.
+    """
+    poly_a = objective.tuple_polynomial(*tuple_a)
+    poly_b = objective.tuple_polynomial(*tuple_b)
+    return (poly_a - poly_b).l1_norm()
+
+
+@dataclass(frozen=True)
+class SensitivityReport:
+    """Comparison of the analytic bound against realized coefficient mass.
+
+    Attributes
+    ----------
+    analytic_delta:
+        The Lemma-1 bound used by Algorithm 1 (paper-style or tight).
+    empirical_max_l1:
+        Largest realized per-tuple coefficient L1 norm on the dataset.
+    slack:
+        ``analytic_delta / (2 * empirical_max_l1)`` — how loose the bound is
+        on this data (>= 1 when the bound holds; the paper's ``B = d``
+        bounds are typically several-fold loose).
+    holds:
+        Whether ``2 * empirical_max_l1 <= analytic_delta`` (the property the
+        DP proof needs).
+    """
+
+    analytic_delta: float
+    empirical_max_l1: float
+    slack: float
+    holds: bool
+
+
+def verify_lemma1(
+    objective: RegressionObjective,
+    X: np.ndarray,
+    y: np.ndarray,
+    tight: bool = False,
+) -> SensitivityReport:
+    """Check the Lemma-1 bound against a concrete dataset.
+
+    Returns a :class:`SensitivityReport`; ``report.holds`` must be True for
+    any dataset satisfying the objective's domain assumptions — the test
+    suite asserts this under hypothesis-generated data.
+    """
+    objective.validate(X, y)
+    delta = objective.sensitivity(tight=tight)
+    realized = empirical_per_tuple_l1(objective, X, y)
+    slack = float("inf") if realized == 0.0 else delta / (2.0 * realized)
+    return SensitivityReport(
+        analytic_delta=delta,
+        empirical_max_l1=realized,
+        slack=slack,
+        holds=bool(2.0 * realized <= delta * (1.0 + 1e-9)),
+    )

@@ -1,0 +1,55 @@
+"""Census data substrate: schema, synthetic IPUMS-like generators, transforms.
+
+The paper's IPUMS US/Brazil extracts are substituted by seeded generative
+models with matched schema, domains, marginals and cross-correlations (see
+DESIGN.md for the substitution argument).
+"""
+
+from .census import (
+    BRAZIL_DEFAULT_SIZE,
+    US_DEFAULT_SIZE,
+    generate_census,
+    load_brazil,
+    load_us,
+)
+from .datasets import CensusDataset, RegressionTask
+from .schema import (
+    CENSUS_ATTRIBUTES,
+    INCOME_CAP,
+    INCOME_THRESHOLD,
+    SUBSET_BY_DIMENSIONALITY,
+    AttributeSpec,
+    feature_names,
+    subset_for_dims,
+)
+from .transforms import (
+    census_feature_scaler,
+    expand_marital_status,
+    prepare_linear_target,
+    prepare_logistic_target,
+)
+from .uci_like import ADULT_ATTRIBUTES, AdultLikeDataset, load_adult_like
+
+__all__ = [
+    "BRAZIL_DEFAULT_SIZE",
+    "US_DEFAULT_SIZE",
+    "generate_census",
+    "load_brazil",
+    "load_us",
+    "CensusDataset",
+    "RegressionTask",
+    "CENSUS_ATTRIBUTES",
+    "INCOME_CAP",
+    "INCOME_THRESHOLD",
+    "SUBSET_BY_DIMENSIONALITY",
+    "AttributeSpec",
+    "feature_names",
+    "subset_for_dims",
+    "census_feature_scaler",
+    "expand_marital_status",
+    "prepare_linear_target",
+    "prepare_logistic_target",
+    "ADULT_ATTRIBUTES",
+    "AdultLikeDataset",
+    "load_adult_like",
+]

@@ -1,0 +1,155 @@
+"""Dataset container and task preparation.
+
+:class:`CensusDataset` carries the raw census table (feature columns in
+schema order plus Annual Income) and turns it into normalized regression
+tasks:
+
+* :meth:`CensusDataset.regression_task` applies the paper's full pipeline —
+  attribute subset for the requested Table-2 dimensionality, footnote-1
+  feature scaling from *declared* domains, and target preparation
+  (``[-1, 1]`` scaling for linear, threshold binarization for logistic);
+* :meth:`CensusDataset.sample` implements the Table-2 sampling-rate sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..privacy.rng import RngLike, ensure_rng
+from ..regression.preprocessing import FeatureScaler, TargetScaler, binarize_labels
+from .schema import (
+    CENSUS_ATTRIBUTES,
+    INCOME_CAP,
+    INCOME_THRESHOLD,
+    subset_for_dims,
+)
+
+__all__ = ["RegressionTask", "CensusDataset"]
+
+
+@dataclass(frozen=True)
+class RegressionTask:
+    """A ready-to-fit task: normalized features, prepared target, metadata.
+
+    ``X`` rows satisfy ``||x||_2 <= 1``; ``y`` lies in ``[-1, 1]`` (linear)
+    or ``{0, 1}`` (logistic).  ``feature_names`` records which attributes
+    (in order) the columns correspond to.
+    """
+
+    X: np.ndarray
+    y: np.ndarray
+    task: Literal["linear", "logistic"]
+    country: str
+    feature_names: tuple[str, ...]
+
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return self.X.shape[0]
+
+    @property
+    def dim(self) -> int:
+        """Number of features ``d`` (= paper dimensionality - 1)."""
+        return self.X.shape[1]
+
+
+class CensusDataset:
+    """A census table: 13 feature columns (schema order) + Annual Income.
+
+    Instances are produced by :mod:`repro.data.census`; tests may construct
+    them directly from arrays.
+    """
+
+    def __init__(self, country: str, features: np.ndarray, income: np.ndarray) -> None:
+        features = np.asarray(features, dtype=float)
+        income = np.asarray(income, dtype=float).ravel()
+        if features.ndim != 2 or features.shape[1] != len(CENSUS_ATTRIBUTES):
+            raise DataError(
+                f"features must have {len(CENSUS_ATTRIBUTES)} columns, "
+                f"got shape {features.shape}"
+            )
+        if features.shape[0] != income.shape[0]:
+            raise DataError("features and income must have the same length")
+        country = country.lower()
+        if country not in INCOME_CAP:
+            raise DataError(f"country must be one of {sorted(INCOME_CAP)}, got {country!r}")
+        self.country = country
+        self.features = features
+        self.income = income
+        self._column_of = {spec.name: i for i, spec in enumerate(CENSUS_ATTRIBUTES)}
+
+    # ------------------------------------------------------------------
+    @property
+    def n(self) -> int:
+        """Number of records."""
+        return self.features.shape[0]
+
+    def __repr__(self) -> str:
+        return f"CensusDataset(country={self.country!r}, n={self.n})"
+
+    def column(self, name: str) -> np.ndarray:
+        """One raw feature column by attribute name."""
+        try:
+            return self.features[:, self._column_of[name]]
+        except KeyError:
+            raise DataError(f"unknown attribute {name!r}") from None
+
+    # ------------------------------------------------------------------
+    def sample(self, rate: float, rng: RngLike = None) -> "CensusDataset":
+        """Random subset at the Table-2 sampling rate (without replacement)."""
+        rate = float(rate)
+        if not 0.0 < rate <= 1.0:
+            raise DataError(f"sampling rate must be in (0, 1], got {rate!r}")
+        if rate == 1.0:
+            return self
+        gen = ensure_rng(rng)
+        size = max(1, int(round(self.n * rate)))
+        index = gen.choice(self.n, size=size, replace=False)
+        return CensusDataset(
+            country=self.country,
+            features=self.features[index],
+            income=self.income[index],
+        )
+
+    def take(self, index: np.ndarray) -> "CensusDataset":
+        """Subset by explicit row indices (used by cross-validation)."""
+        index = np.asarray(index, dtype=int)
+        return CensusDataset(
+            country=self.country,
+            features=self.features[index],
+            income=self.income[index],
+        )
+
+    # ------------------------------------------------------------------
+    def regression_task(
+        self,
+        task: Literal["linear", "logistic"],
+        dims: int = 14,
+    ) -> RegressionTask:
+        """Prepare a normalized task at a Table-2 dimensionality.
+
+        Scaling uses the schema's declared attribute domains and the
+        country's declared income cap/threshold — never the realized data —
+        so preparing a task consumes no privacy budget.
+        """
+        names = subset_for_dims(dims)
+        indices = [self._column_of[name] for name in names]
+        specs = [CENSUS_ATTRIBUTES[i] for i in indices]
+        scaler = FeatureScaler(
+            lower=np.array([s.lower for s in specs]),
+            upper=np.array([s.upper for s in specs]),
+        )
+        X = scaler.transform(self.features[:, indices])
+        if task == "linear":
+            y = TargetScaler(lower=0.0, upper=INCOME_CAP[self.country]).transform(self.income)
+        elif task == "logistic":
+            y = binarize_labels(self.income, INCOME_THRESHOLD[self.country])
+        else:
+            raise DataError(f"task must be 'linear' or 'logistic', got {task!r}")
+        return RegressionTask(
+            X=X, y=y, task=task, country=self.country, feature_names=tuple(names)
+        )

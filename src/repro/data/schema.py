@@ -1,0 +1,125 @@
+"""Attribute schema for the IPUMS-like census datasets.
+
+Section 7 of the paper uses two IPUMS census extracts (US and Brazil) with
+13 attributes; after expanding the 3-valued Marital Status into the two
+binaries *Is Single* and *Is Married*, both datasets are 14-dimensional
+(13 predictors + Annual Income).
+
+This module declares that schema once: attribute names, kinds, and **domain
+bounds**.  The bounds matter for privacy — footnote-1 normalization must use
+declared domains, not data minima/maxima — so they live here as constants
+rather than being derived at run time.
+
+The attribute-subset definitions for the dimensionality sweep (Table 2 /
+Figure 4) follow the paper's three nested subsets exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+__all__ = [
+    "AttributeSpec",
+    "CENSUS_ATTRIBUTES",
+    "TARGET_ATTRIBUTE",
+    "SUBSET_BY_DIMENSIONALITY",
+    "INCOME_THRESHOLD",
+    "INCOME_CAP",
+    "feature_names",
+    "subset_for_dims",
+]
+
+AttributeKind = Literal["binary", "ordinal", "continuous"]
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """One census attribute: name, kind, and declared domain ``[lower, upper]``."""
+
+    name: str
+    kind: AttributeKind
+    lower: float
+    upper: float
+
+    def __post_init__(self) -> None:
+        if not self.upper > self.lower:
+            raise ValueError(
+                f"attribute {self.name!r}: upper ({self.upper!r}) must exceed "
+                f"lower ({self.lower!r})"
+            )
+
+
+#: The 13 predictor attributes, in canonical column order (Marital Status
+#: already expanded into the two binaries, as the paper does before any
+#: experiment).
+CENSUS_ATTRIBUTES: tuple[AttributeSpec, ...] = (
+    AttributeSpec("Age", "continuous", 16.0, 95.0),
+    AttributeSpec("Gender", "binary", 0.0, 1.0),
+    AttributeSpec("Is Single", "binary", 0.0, 1.0),
+    AttributeSpec("Is Married", "binary", 0.0, 1.0),
+    AttributeSpec("Education", "ordinal", 0.0, 18.0),
+    AttributeSpec("Disability", "binary", 0.0, 1.0),
+    AttributeSpec("Nativity", "binary", 0.0, 1.0),
+    AttributeSpec("Working Hours per Week", "continuous", 0.0, 99.0),
+    AttributeSpec("Years Residing", "continuous", 0.0, 60.0),
+    AttributeSpec("Ownership of Dwelling", "binary", 0.0, 1.0),
+    AttributeSpec("Family Size", "ordinal", 1.0, 15.0),
+    AttributeSpec("Number of Children", "ordinal", 0.0, 10.0),
+    AttributeSpec("Number of Automobiles", "ordinal", 0.0, 6.0),
+)
+
+#: Annual Income caps per country — the declared target domain for the
+#: TargetScaler ([0, cap] -> [-1, 1]).
+INCOME_CAP: dict[str, float] = {"us": 300_000.0, "brazil": 120_000.0}
+
+#: Binarization thresholds for the logistic task ("values higher than a
+#: predefined threshold are mapped to 1").  Fixed constants close to the
+#: generator's population median — *not* recomputed from data at run time.
+INCOME_THRESHOLD: dict[str, float] = {"us": 42_000.0, "brazil": 15_000.0}
+
+TARGET_ATTRIBUTE = "Annual Income"
+
+#: The paper's nested attribute subsets.  Dimensionality counts attributes
+#: *including* Annual Income, so ``dims = len(subset) + 1``.
+SUBSET_BY_DIMENSIONALITY: dict[int, tuple[str, ...]] = {
+    5: ("Age", "Gender", "Education", "Family Size"),
+    8: (
+        "Age",
+        "Gender",
+        "Education",
+        "Family Size",
+        "Nativity",
+        "Ownership of Dwelling",
+        "Number of Automobiles",
+    ),
+    11: (
+        "Age",
+        "Gender",
+        "Education",
+        "Family Size",
+        "Nativity",
+        "Ownership of Dwelling",
+        "Number of Automobiles",
+        "Is Single",
+        "Is Married",
+        "Number of Children",
+    ),
+    14: tuple(spec.name for spec in CENSUS_ATTRIBUTES),
+}
+
+
+def feature_names() -> list[str]:
+    """Names of the 13 predictor columns in canonical order."""
+    return [spec.name for spec in CENSUS_ATTRIBUTES]
+
+
+def subset_for_dims(dims: int) -> tuple[str, ...]:
+    """The paper's attribute subset for a Table-2 dimensionality value."""
+    try:
+        return SUBSET_BY_DIMENSIONALITY[int(dims)]
+    except KeyError:
+        raise ValueError(
+            f"dimensionality must be one of {sorted(SUBSET_BY_DIMENSIONALITY)}, "
+            f"got {dims!r}"
+        ) from None

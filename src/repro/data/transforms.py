@@ -1,0 +1,69 @@
+"""Stand-alone data transforms mirroring the paper's preprocessing.
+
+Most users go through :meth:`repro.data.datasets.CensusDataset.regression_task`,
+which composes these; they are exposed separately for pipelines operating on
+plain arrays (e.g. a user bringing their own table to the quickstart
+example).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..regression.preprocessing import FeatureScaler, TargetScaler, binarize_labels
+from .schema import CENSUS_ATTRIBUTES, subset_for_dims
+
+__all__ = [
+    "expand_marital_status",
+    "census_feature_scaler",
+    "prepare_linear_target",
+    "prepare_logistic_target",
+]
+
+
+def expand_marital_status(marital: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Expand a 3-valued Marital Status column into (Is Single, Is Married).
+
+    Follows the paper exactly: codes are 0 = Single, 1 = Married,
+    2 = Divorced/Widowed; a divorced or widowed individual has 0 on both
+    output columns.
+
+    >>> single, married = expand_marital_status(np.array([0, 1, 2]))
+    >>> single.tolist(), married.tolist()
+    ([1.0, 0.0, 0.0], [0.0, 1.0, 0.0])
+    """
+    marital = np.asarray(marital)
+    valid = np.isin(marital, (0, 1, 2))
+    if not valid.all():
+        bad = np.asarray(marital)[~valid][:3]
+        raise DataError(
+            f"marital status codes must be 0 (single), 1 (married) or "
+            f"2 (divorced/widowed); got {bad!r}"
+        )
+    return (marital == 0).astype(float), (marital == 1).astype(float)
+
+
+def census_feature_scaler(dims: int = 14) -> FeatureScaler:
+    """The footnote-1 scaler for a Table-2 attribute subset.
+
+    Bounds come from the declared schema domains, so the scaler is
+    data-independent (safe to build before seeing any records).
+    """
+    names = subset_for_dims(dims)
+    by_name = {spec.name: spec for spec in CENSUS_ATTRIBUTES}
+    specs = [by_name[name] for name in names]
+    return FeatureScaler(
+        lower=np.array([s.lower for s in specs]),
+        upper=np.array([s.upper for s in specs]),
+    )
+
+
+def prepare_linear_target(income: np.ndarray, cap: float) -> np.ndarray:
+    """Scale income from ``[0, cap]`` onto ``[-1, 1]`` (Definition 1)."""
+    return TargetScaler(lower=0.0, upper=float(cap)).transform(income)
+
+
+def prepare_logistic_target(income: np.ndarray, threshold: float) -> np.ndarray:
+    """Binarize income at a predefined threshold (Section 7's logistic task)."""
+    return binarize_labels(income, threshold)

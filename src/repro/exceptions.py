@@ -1,0 +1,127 @@
+"""Exception hierarchy for the ``repro`` library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can guard an entire pipeline with a single ``except ReproError``.
+Subclasses are grouped by the subsystem that raises them; the messages aim
+to carry enough context (parameter names, offending values) to debug a
+failed experiment without a stack-trace dive.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "PrivacyError",
+    "BudgetExhaustedError",
+    "InvalidBudgetError",
+    "SensitivityError",
+    "PolynomialError",
+    "DegreeError",
+    "DimensionMismatchError",
+    "ObjectiveError",
+    "UnboundedObjectiveError",
+    "ApproximationError",
+    "DataError",
+    "DomainError",
+    "NotFittedError",
+    "SolverError",
+    "ConvergenceError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` library."""
+
+
+class PrivacyError(ReproError):
+    """Base class for differential-privacy accounting and mechanism errors."""
+
+
+class BudgetExhaustedError(PrivacyError):
+    """A mechanism asked for more privacy budget than the accountant holds."""
+
+    def __init__(self, requested: float, remaining: float) -> None:
+        self.requested = float(requested)
+        self.remaining = float(remaining)
+        super().__init__(
+            f"requested epsilon={requested:g} exceeds remaining budget "
+            f"epsilon={remaining:g}"
+        )
+
+
+class InvalidBudgetError(PrivacyError):
+    """A privacy parameter (epsilon, delta) is outside its valid range."""
+
+
+class SensitivityError(PrivacyError):
+    """A sensitivity bound is missing, non-positive, or not finite."""
+
+
+class PolynomialError(ReproError):
+    """Base class for polynomial-representation errors."""
+
+
+class DegreeError(PolynomialError):
+    """An operation required a polynomial degree the object does not have."""
+
+
+class DimensionMismatchError(PolynomialError):
+    """Operands act on parameter vectors of different dimension."""
+
+    def __init__(self, expected: int, got: int, what: str = "dimension") -> None:
+        self.expected = int(expected)
+        self.got = int(got)
+        super().__init__(f"{what} mismatch: expected {expected}, got {got}")
+
+
+class ObjectiveError(ReproError):
+    """Base class for objective-function construction and evaluation errors."""
+
+
+class UnboundedObjectiveError(ObjectiveError):
+    """A (noisy) objective has no finite minimizer.
+
+    Raised when post-processing is disabled or fails to repair the perturbed
+    quadratic form (Section 6 of the paper discusses why this can happen).
+    """
+
+
+class ApproximationError(ObjectiveError):
+    """Polynomial approximation of an objective failed or is ill-defined."""
+
+
+class DataError(ReproError):
+    """Base class for dataset construction and validation errors."""
+
+
+class DomainError(DataError):
+    """Data fell outside the declared attribute domain."""
+
+
+class NotFittedError(ReproError):
+    """A model method that requires ``fit`` was called before fitting."""
+
+    def __init__(self, model: str) -> None:
+        super().__init__(f"{model} is not fitted; call fit() first")
+
+
+class SolverError(ReproError):
+    """Base class for optimization-solver failures."""
+
+
+class ConvergenceError(SolverError):
+    """An iterative solver failed to converge within its iteration budget."""
+
+    def __init__(self, solver: str, iterations: int, residual: float) -> None:
+        self.solver = solver
+        self.iterations = int(iterations)
+        self.residual = float(residual)
+        super().__init__(
+            f"{solver} did not converge in {iterations} iterations "
+            f"(last residual {residual:.3e})"
+        )
+
+
+class ExperimentError(ReproError):
+    """An experiment driver was misconfigured."""

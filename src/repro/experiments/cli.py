@@ -1,0 +1,173 @@
+"""Command-line interface for regenerating the paper's experiments.
+
+Usage (installed package)::
+
+    python -m repro figure2
+    python -m repro figure4 --country us --task linear --scale smoke
+    python -m repro figure6 --country brazil --task logistic --scale default
+    python -m repro figure7 --country us --scale smoke
+    python -m repro convergence --task linear
+    python -m repro table2
+
+Accuracy figures print the paper-style sweep table; timing figures print the
+per-algorithm fit times; ``figure2``/``figure3`` print the worked examples.
+The ``--scale`` presets trade fidelity for time (see
+:mod:`repro.experiments.config`).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from ..analysis.convergence import convergence_study
+from ..data import load_brazil, load_us
+from .config import DEFAULT, FULL, SMOKE, ScalePreset
+from .figures import (
+    figure2_objective_example,
+    figure3_approximation_example,
+    figure4_dimensionality,
+    figure5_cardinality,
+    figure6_privacy_budget,
+    figure7_time_dimensionality,
+    figure8_time_cardinality,
+    figure9_time_budget,
+)
+from .reporting import (
+    format_objective_curve,
+    format_sweep_table,
+    format_time_table,
+    summarize_ordering,
+)
+
+__all__ = ["main", "build_parser"]
+
+_PRESETS: dict[str, ScalePreset] = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+
+_ACCURACY_FIGURES = {
+    "figure4": figure4_dimensionality,
+    "figure5": figure5_cardinality,
+    "figure6": figure6_privacy_budget,
+}
+_TIMING_FIGURES = {
+    "figure7": figure7_time_dimensionality,
+    "figure8": figure8_time_cardinality,
+    "figure9": figure9_time_budget,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate experiments from 'Functional Mechanism' (VLDB 2012).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("table2", help="print the Table-2 parameter grid")
+
+    fig2 = sub.add_parser("figure2", help="linear objective vs FM-noisy version")
+    fig2.add_argument("--epsilon", type=float, default=1.0)
+    fig2.add_argument("--seed", type=int, default=0)
+
+    sub.add_parser("figure3", help="logistic objective vs degree-2 approximation")
+
+    for name, help_text in [
+        ("figure4", "accuracy vs dimensionality"),
+        ("figure5", "accuracy vs cardinality"),
+        ("figure6", "accuracy vs privacy budget"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--country", choices=("us", "brazil"), default="us")
+        p.add_argument("--task", choices=("linear", "logistic"), default="linear")
+        p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
+        p.add_argument("--seed", type=int, default=0)
+
+    for name, help_text in [
+        ("figure7", "computation time vs dimensionality (logistic)"),
+        ("figure8", "computation time vs cardinality (logistic)"),
+        ("figure9", "computation time vs privacy budget (logistic)"),
+    ]:
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("--country", choices=("us", "brazil"), default="us")
+        p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
+        p.add_argument("--seed", type=int, default=0)
+
+    conv = sub.add_parser("convergence", help="Theorem-2 convergence study")
+    conv.add_argument("--task", choices=("linear", "logistic"), default="linear")
+    conv.add_argument("--epsilon", type=float, default=1.0)
+
+    return parser
+
+
+def _load(country: str, preset: ScalePreset):
+    loader = load_us if country == "us" else load_brazil
+    if preset.max_records is not None:
+        return loader(preset.max_records)
+    return loader()
+
+
+def _run_table2() -> str:
+    from .config import (
+        DIMENSIONALITIES,
+        PRIVACY_BUDGETS,
+        SAMPLING_RATES,
+    )
+
+    return "\n".join(
+        [
+            "Table 2: experimental parameters",
+            f"  sampling rates:    {', '.join(f'{v:g}' for v in SAMPLING_RATES)}",
+            f"  dimensionalities:  {', '.join(str(v) for v in DIMENSIONALITIES)}",
+            f"  privacy budgets:   {', '.join(f'{v:g}' for v in PRIVACY_BUDGETS)}",
+        ]
+    )
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+
+    if args.command == "table2":
+        print(_run_table2())
+        return 0
+
+    if args.command == "figure2":
+        curve = figure2_objective_example(epsilon=args.epsilon, rng=args.seed)
+        print(format_objective_curve(curve, ("f_D(w)", "noisy f_D(w)")))
+        return 0
+
+    if args.command == "figure3":
+        curve = figure3_approximation_example()
+        print(format_objective_curve(curve, ("f~_D(w)", "f^_D(w)")))
+        return 0
+
+    if args.command == "convergence":
+        points = convergence_study(
+            [500, 2000, 8000, 32000], task=args.task, epsilon=args.epsilon
+        )
+        print(f"{'n':>8} {'|w_fm - w_pop|':>16} {'noise/signal':>14}")
+        for p in points:
+            print(f"{p.n:>8} {p.parameter_distance:>16.4f} {p.relative_noise:>14.5f}")
+        return 0
+
+    preset = _PRESETS[args.scale]
+    dataset = _load(args.country, preset)
+    if args.command in _ACCURACY_FIGURES:
+        result = _ACCURACY_FIGURES[args.command](
+            dataset, args.task, preset=preset, seed=args.seed
+        )
+        print(format_sweep_table(result))
+        flags = summarize_ordering(result)
+        print(f"ordering flags: {flags}")
+        return 0
+    if args.command in _TIMING_FIGURES:
+        result = _TIMING_FIGURES[args.command](dataset, preset=preset, seed=args.seed)
+        print(format_time_table(result))
+        return 0
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,292 @@
+"""One driver per figure of the paper's evaluation (Figures 2-9).
+
+Each driver returns a structured result that the reporting module renders as
+the same rows/series the paper plots.  The accuracy sweeps (Figures 4-6) and
+timing sweeps (Figures 7-9) share machinery: the harness measures both the
+held-out metric and the fit wall-time, so a timing figure is the time-view
+of the corresponding accuracy sweep restricted to the logistic task (as in
+the paper: "we only report the results for logistic regression").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal, Sequence
+
+import numpy as np
+
+from ..baselines.base import Task
+from ..core.mechanism import FunctionalMechanism
+from ..core.objectives import LinearRegressionObjective, LogisticRegressionObjective
+from ..data.datasets import CensusDataset
+from ..privacy.rng import RngLike, ensure_rng
+from .config import (
+    DEFAULT,
+    DEFAULT_DIMENSIONALITY,
+    DEFAULT_EPSILON,
+    DIMENSIONALITIES,
+    LINEAR_ALGORITHMS,
+    LOGISTIC_ALGORITHMS,
+    PRIVACY_BUDGETS,
+    SAMPLING_RATES,
+    ScalePreset,
+)
+from .harness import EvaluationResult, evaluate_algorithm
+
+__all__ = [
+    "ObjectiveCurve",
+    "figure2_objective_example",
+    "figure3_approximation_example",
+    "SweepResult",
+    "accuracy_sweep",
+    "figure4_dimensionality",
+    "figure5_cardinality",
+    "figure6_privacy_budget",
+    "figure7_time_dimensionality",
+    "figure8_time_cardinality",
+    "figure9_time_budget",
+]
+
+
+# ----------------------------------------------------------------------
+# Figures 2-3: the illustrative single-dimension examples
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectiveCurve:
+    """A pair of 1-d objective curves over a grid of ``omega`` values.
+
+    For Figure 2 the pair is (exact objective, FM-noisy objective); for
+    Figure 3 it is (exact logistic objective, degree-2 approximation).
+    ``minimizers`` holds the argmin of each curve over the grid.
+    """
+
+    omega_grid: np.ndarray
+    exact: np.ndarray
+    perturbed: np.ndarray
+    exact_coefficients: tuple[float, ...]
+    perturbed_coefficients: tuple[float, ...]
+    minimizers: tuple[float, float]
+
+
+#: The paper's running example database (Section 4.2 / Figure 2):
+#: three 1-d tuples whose exact objective is 2.06 w^2 - 2.34 w + 1.25.
+FIGURE2_DATABASE = (
+    np.array([[1.0], [0.9], [-0.5]]),
+    np.array([0.4, 0.3, -1.0]),
+)
+
+#: The Figure-3 example database (Section 5.2): three 1-d tuples for
+#: logistic regression.
+FIGURE3_DATABASE = (
+    np.array([[-0.5], [0.0], [1.0]]),
+    np.array([1.0, 0.0, 1.0]),
+)
+
+
+def figure2_objective_example(
+    epsilon: float = 1.0,
+    rng: RngLike = 0,
+    grid: np.ndarray | None = None,
+) -> ObjectiveCurve:
+    """Figure 2: the linear-regression objective and its FM-noisy version.
+
+    Reproduces the paper's example: ``f_D(w) = 2.06 w^2 - 2.34 w + 1.25``
+    with ``Delta = 2 (d+1)^2 = 8``, perturbed by ``Lap(Delta/epsilon)`` per
+    coefficient.
+    """
+    X, y = FIGURE2_DATABASE
+    objective = LinearRegressionObjective(dim=1)
+    exact = objective.aggregate_quadratic(X, y)
+    mechanism = FunctionalMechanism(epsilon, rng=ensure_rng(rng))
+    noisy, _ = mechanism.perturb_quadratic(exact, objective.sensitivity())
+    omega = np.linspace(0.0, 1.0, 201) if grid is None else np.asarray(grid, float)
+    exact_vals = np.array([exact.evaluate(np.array([w])) for w in omega])
+    noisy_vals = np.array([noisy.evaluate(np.array([w])) for w in omega])
+    return ObjectiveCurve(
+        omega_grid=omega,
+        exact=exact_vals,
+        perturbed=noisy_vals,
+        exact_coefficients=(float(exact.M[0, 0]), float(exact.alpha[0]), exact.beta),
+        perturbed_coefficients=(float(noisy.M[0, 0]), float(noisy.alpha[0]), noisy.beta),
+        minimizers=(float(omega[np.argmin(exact_vals)]), float(omega[np.argmin(noisy_vals)])),
+    )
+
+
+def figure3_approximation_example(grid: np.ndarray | None = None) -> ObjectiveCurve:
+    """Figure 3: exact logistic objective vs its degree-2 approximation.
+
+    No noise is involved — the figure isolates the Section-5 truncation
+    error on the 3-tuple example database.
+    """
+    X, y = FIGURE3_DATABASE
+    objective = LogisticRegressionObjective(dim=1)
+    omega = np.linspace(0.0, 2.0, 201) if grid is None else np.asarray(grid, float)
+    exact_vals = np.array([objective.true_loss(np.array([w]), X, y) for w in omega])
+    approx_vals = np.array(
+        [objective.approximate_loss(np.array([w]), X, y) for w in omega]
+    )
+    form = objective.aggregate_quadratic(X, y)
+    return ObjectiveCurve(
+        omega_grid=omega,
+        exact=exact_vals,
+        perturbed=approx_vals,
+        exact_coefficients=(),
+        perturbed_coefficients=(float(form.M[0, 0]), float(form.alpha[0]), form.beta),
+        minimizers=(float(omega[np.argmin(exact_vals)]), float(omega[np.argmin(approx_vals)])),
+    )
+
+
+# ----------------------------------------------------------------------
+# Figures 4-9: the parameter sweeps
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepResult:
+    """One panel of a sweep figure.
+
+    ``series`` maps algorithm name -> list of :class:`EvaluationResult`,
+    one per sweep value, in ``values`` order.
+    """
+
+    figure: str
+    panel: str
+    task: Task
+    parameter: str
+    values: tuple
+    series: dict[str, tuple[EvaluationResult, ...]]
+
+    def metric_series(self, algorithm: str) -> list[float]:
+        """The accuracy metric across the sweep for one algorithm."""
+        return [r.mean_score for r in self.series[algorithm]]
+
+    def time_series(self, algorithm: str) -> list[float]:
+        """Mean fit seconds across the sweep for one algorithm."""
+        return [r.mean_fit_seconds for r in self.series[algorithm]]
+
+
+def _algorithms_for(task: Task) -> tuple[str, ...]:
+    return LINEAR_ALGORITHMS if task == "linear" else LOGISTIC_ALGORITHMS
+
+
+def accuracy_sweep(
+    dataset: CensusDataset,
+    task: Task,
+    parameter: Literal["dimensionality", "sampling_rate", "epsilon"],
+    values: Sequence,
+    figure: str,
+    preset: ScalePreset = DEFAULT,
+    algorithms: Sequence[str] | None = None,
+    seed: int = 0,
+) -> SweepResult:
+    """Evaluate all panel algorithms across one Table-2 parameter sweep.
+
+    Non-swept parameters sit at their Table-2 defaults.
+    """
+    algorithms = tuple(algorithms or _algorithms_for(task))
+    series: dict[str, list[EvaluationResult]] = {name: [] for name in algorithms}
+    for i, value in enumerate(values):
+        dims = value if parameter == "dimensionality" else DEFAULT_DIMENSIONALITY
+        rate = value if parameter == "sampling_rate" else 1.0
+        epsilon = value if parameter == "epsilon" else DEFAULT_EPSILON
+        for name in algorithms:
+            series[name].append(
+                evaluate_algorithm(
+                    name,
+                    dataset,
+                    task,
+                    dims=int(dims),
+                    epsilon=float(epsilon),
+                    preset=preset,
+                    sampling_rate=float(rate),
+                    seed=seed + 1000 * i,
+                )
+            )
+    return SweepResult(
+        figure=figure,
+        panel=f"{dataset.country.upper()}-{task.capitalize()}",
+        task=task,
+        parameter=parameter,
+        values=tuple(values),
+        series={name: tuple(results) for name, results in series.items()},
+    )
+
+
+def figure4_dimensionality(
+    dataset: CensusDataset,
+    task: Task,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 4,
+) -> SweepResult:
+    """Figure 4: accuracy vs dataset dimensionality (5, 8, 11, 14)."""
+    return accuracy_sweep(
+        dataset, task, "dimensionality", DIMENSIONALITIES, figure="figure4",
+        preset=preset, seed=seed,
+    )
+
+
+def figure5_cardinality(
+    dataset: CensusDataset,
+    task: Task,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 5,
+    rates: Sequence[float] = SAMPLING_RATES,
+) -> SweepResult:
+    """Figure 5: accuracy vs dataset cardinality (sampling rate 0.1-1.0)."""
+    return accuracy_sweep(
+        dataset, task, "sampling_rate", tuple(rates), figure="figure5",
+        preset=preset, seed=seed,
+    )
+
+
+def figure6_privacy_budget(
+    dataset: CensusDataset,
+    task: Task,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 6,
+) -> SweepResult:
+    """Figure 6: accuracy vs privacy budget (epsilon 0.1-3.2).
+
+    NoPrivacy and Truncated ignore epsilon, reproducing the paper's flat
+    reference lines.
+    """
+    return accuracy_sweep(
+        dataset, task, "epsilon", PRIVACY_BUDGETS, figure="figure6",
+        preset=preset, seed=seed,
+    )
+
+
+def figure7_time_dimensionality(
+    dataset: CensusDataset,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 7,
+) -> SweepResult:
+    """Figure 7: computation time vs dimensionality (logistic task)."""
+    result = accuracy_sweep(
+        dataset, "logistic", "dimensionality", DIMENSIONALITIES,
+        figure="figure7", preset=preset, seed=seed,
+    )
+    return result
+
+
+def figure8_time_cardinality(
+    dataset: CensusDataset,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 8,
+    rates: Sequence[float] = SAMPLING_RATES,
+) -> SweepResult:
+    """Figure 8: computation time vs cardinality (logistic task)."""
+    return accuracy_sweep(
+        dataset, "logistic", "sampling_rate", tuple(rates),
+        figure="figure8", preset=preset, seed=seed,
+    )
+
+
+def figure9_time_budget(
+    dataset: CensusDataset,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 9,
+) -> SweepResult:
+    """Figure 9: computation time vs privacy budget (logistic task)."""
+    return accuracy_sweep(
+        dataset, "logistic", "epsilon", PRIVACY_BUDGETS,
+        figure="figure9", preset=preset, seed=seed,
+    )

@@ -1,0 +1,45 @@
+"""Differential-privacy primitives: mechanisms, budget accounting, auditing.
+
+This package is the substrate under the Functional Mechanism.  It contains
+the Laplace mechanism (the noise source of Algorithm 1), the exponential and
+geometric mechanisms (used by baselines and the audit), an ``epsilon``-budget
+accountant with sequential/parallel composition, seeded RNG utilities, and an
+empirical privacy auditor used by the test suite as an end-to-end guarantee
+check.
+"""
+
+from .budget import BudgetLedgerEntry, PrivacyBudget
+from .exponential import ExponentialMechanism, exponential_mechanism_probabilities
+from .geometric import GeometricMechanism, two_sided_geometric_noise
+from .laplace import (
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_logpdf,
+    laplace_noise,
+    laplace_pdf,
+    laplace_scale,
+)
+from .audit import PrivacyLossEstimate, audit_mechanism, estimate_privacy_loss
+from .rng import RngLike, derive_substream, ensure_rng, spawn
+
+__all__ = [
+    "BudgetLedgerEntry",
+    "PrivacyBudget",
+    "ExponentialMechanism",
+    "exponential_mechanism_probabilities",
+    "GeometricMechanism",
+    "two_sided_geometric_noise",
+    "LaplaceMechanism",
+    "laplace_cdf",
+    "laplace_logpdf",
+    "laplace_noise",
+    "laplace_pdf",
+    "laplace_scale",
+    "PrivacyLossEstimate",
+    "audit_mechanism",
+    "estimate_privacy_loss",
+    "RngLike",
+    "derive_substream",
+    "ensure_rng",
+    "spawn",
+]

@@ -1,0 +1,174 @@
+"""Empirical differential-privacy auditing.
+
+Theorem 1 proves that Algorithm 1 satisfies ``epsilon``-DP.  This module
+provides the machinery to *measure* privacy loss empirically, which the test
+suite uses as an end-to-end check on the implementation: run a mechanism many
+times on two neighboring databases, discretize the outputs into common bins,
+and report the largest observed log-probability ratio.  The estimate is a
+statistical *lower bound* on the true ``epsilon`` — an implementation bug
+that breaks the DP guarantee (e.g. noise scaled by ``Delta/(2 epsilon)``)
+shows up as an estimate well above the nominal budget.
+
+This is a "DP-Sniper"-style black-box check, kept deliberately simple: the
+events compared are one-sided thresholds at pooled quantiles (cumulative
+counts are statistically stable and attain the supremum for location-shift
+mechanisms), with add-half smoothing so that disjoint supports register as
+a large finite loss instead of being skipped.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from .rng import RngLike, ensure_rng
+
+__all__ = ["PrivacyLossEstimate", "estimate_privacy_loss", "audit_mechanism"]
+
+
+@dataclass(frozen=True)
+class PrivacyLossEstimate:
+    """Result of an empirical privacy audit.
+
+    Attributes
+    ----------
+    epsilon_hat:
+        Largest observed log-ratio between the two output distributions.
+    nominal_epsilon:
+        The budget the mechanism claims to satisfy.
+    trials:
+        Number of mechanism invocations per database.
+    bins:
+        Number of threshold events actually compared.
+    """
+
+    epsilon_hat: float
+    nominal_epsilon: float
+    trials: int
+    bins: int
+
+    @property
+    def consistent(self) -> bool:
+        """Whether the measurement is consistent with the nominal guarantee.
+
+        Allows a statistical slack factor of 1.35 plus an absolute 0.15,
+        which covers plug-in estimation error at the trial counts used in
+        the test suite while still catching gross calibration bugs (which
+        typically inflate the estimate by 2x or more).
+        """
+        return self.epsilon_hat <= 1.35 * self.nominal_epsilon + 0.15
+
+
+def estimate_privacy_loss(
+    samples_a: np.ndarray,
+    samples_b: np.ndarray,
+    num_bins: int = 200,
+    min_count: int = 50,
+) -> tuple[float, int]:
+    """Estimate the max log-probability ratio between two scalar samples.
+
+    The estimator compares *one-sided threshold events* ``{X >= t}`` and
+    ``{X <= t}`` at pooled-quantile thresholds.  Cumulative counts are far
+    more stable than per-bin counts (the DP guarantee must hold for every
+    measurable event, and half-lines attain the supremum for the location-
+    shifted noise distributions this library produces).  Probabilities are
+    add-half smoothed, so disjoint supports — the signature of a mechanism
+    that leaks deterministically — produce a large finite estimate instead
+    of being silently skipped.
+
+    Parameters
+    ----------
+    samples_a, samples_b:
+        1-d arrays of mechanism outputs on the two neighboring databases.
+    num_bins:
+        Number of quantile thresholds examined.
+    min_count:
+        An event is considered only if at least one side has this many
+        samples in it (both-sides-tiny events estimate nothing).
+
+    Returns
+    -------
+    (epsilon_hat, events_used)
+    """
+    a = np.asarray(samples_a, dtype=float).ravel()
+    b = np.asarray(samples_b, dtype=float).ravel()
+    if a.size == 0 or b.size == 0:
+        raise ValueError("both sample arrays must be non-empty")
+    pooled = np.sort(np.concatenate([a, b]))
+    if pooled[0] == pooled[-1]:  # constant mechanism output
+        return 0.0, 1
+    quantiles = np.linspace(0.0, 1.0, num_bins + 2)[1:-1]
+    thresholds = np.unique(np.quantile(pooled, quantiles))
+    a_sorted = np.sort(a)
+    b_sorted = np.sort(b)
+    # Counts of {X <= t} via binary search; {X >= t} follows by complement.
+    le_a = np.searchsorted(a_sorted, thresholds, side="right")
+    le_b = np.searchsorted(b_sorted, thresholds, side="right")
+    ge_a = a.size - np.searchsorted(a_sorted, thresholds, side="left")
+    ge_b = b.size - np.searchsorted(b_sorted, thresholds, side="left")
+
+    best = 0.0
+    events = 0
+    for count_a, count_b in ((le_a, le_b), (ge_a, ge_b)):
+        mask = np.maximum(count_a, count_b) >= min_count
+        if not mask.any():
+            continue
+        p_a = (count_a[mask] + 0.5) / (a.size + 1.0)
+        p_b = (count_b[mask] + 0.5) / (b.size + 1.0)
+        ratios = np.abs(np.log(p_a) - np.log(p_b))
+        best = max(best, float(ratios.max()))
+        events += int(mask.sum())
+    return best, events
+
+
+def audit_mechanism(
+    mechanism: Callable[[np.ndarray, np.random.Generator], float | np.ndarray],
+    database_a: np.ndarray,
+    database_b: np.ndarray,
+    nominal_epsilon: float,
+    trials: int = 20_000,
+    num_bins: int = 200,
+    output_index: int | None = None,
+    rng: RngLike = None,
+) -> PrivacyLossEstimate:
+    """Run ``mechanism`` on two neighboring databases and audit the outputs.
+
+    Parameters
+    ----------
+    mechanism:
+        Callable ``(database, generator) -> scalar or vector output``.  The
+        callable must be *stateless across calls* apart from the generator.
+    database_a, database_b:
+        Neighboring databases (same shape, one row differing) — the caller is
+        responsible for the neighbor relation; the audit does not check it.
+    nominal_epsilon:
+        Claimed privacy budget of one mechanism invocation.
+    trials:
+        Invocations per database.  20k gives a usable estimate for
+        ``epsilon <= 2`` with 40 bins.
+    output_index:
+        When the mechanism returns a vector, which coordinate to audit
+        (``None`` audits the first coordinate).
+    """
+    gen = ensure_rng(rng)
+    idx = 0 if output_index is None else int(output_index)
+
+    def _collect(db: np.ndarray) -> np.ndarray:
+        out = np.empty(trials, dtype=float)
+        for i in range(trials):
+            result = mechanism(db, gen)
+            arr = np.atleast_1d(np.asarray(result, dtype=float))
+            out[i] = arr[idx]
+        return out
+
+    samples_a = _collect(database_a)
+    samples_b = _collect(database_b)
+    epsilon_hat, bins_used = estimate_privacy_loss(samples_a, samples_b, num_bins=num_bins)
+    return PrivacyLossEstimate(
+        epsilon_hat=epsilon_hat,
+        nominal_epsilon=float(nominal_epsilon),
+        trials=trials,
+        bins=bins_used,
+    )

@@ -1,0 +1,62 @@
+"""Non-private regression engine: solvers, models, metrics, preprocessing.
+
+This package is both a substrate (the Functional Mechanism's estimators and
+all synthetic-data baselines fit models through it) and the source of the
+paper's *NoPrivacy* comparison line.
+"""
+
+from .features import PolynomialFeatureMap
+from .linear import LinearRegression, RidgeRegression
+from .logistic import (
+    LogisticRegressionModel,
+    logistic_gradient,
+    logistic_hessian,
+    logistic_loss,
+    sigmoid,
+)
+from .metrics import (
+    accuracy,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    misclassification_rate,
+    r2_score,
+    root_mean_squared_error,
+)
+from .preprocessing import (
+    FeatureScaler,
+    KFold,
+    TargetScaler,
+    binarize_labels,
+    max_feature_norm,
+    train_test_split,
+)
+from .solvers import GradientDescent, NewtonSolver, SolverResult, solve_quadratic
+
+__all__ = [
+    "PolynomialFeatureMap",
+    "LinearRegression",
+    "RidgeRegression",
+    "LogisticRegressionModel",
+    "logistic_gradient",
+    "logistic_hessian",
+    "logistic_loss",
+    "sigmoid",
+    "accuracy",
+    "log_loss",
+    "mean_absolute_error",
+    "mean_squared_error",
+    "misclassification_rate",
+    "r2_score",
+    "root_mean_squared_error",
+    "FeatureScaler",
+    "KFold",
+    "TargetScaler",
+    "binarize_labels",
+    "max_feature_norm",
+    "train_test_split",
+    "GradientDescent",
+    "NewtonSolver",
+    "SolverResult",
+    "solve_quadratic",
+]

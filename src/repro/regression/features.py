@@ -1,0 +1,108 @@
+"""Norm-preserving polynomial feature expansion.
+
+The Functional Mechanism's sensitivity bounds require ``||x||_2 <= 1``.
+That constraint composes with feature maps: if ``phi`` maps the unit ball
+into the unit ball, FM on ``phi(x)`` is differentially private with the
+*same* formulas at the expanded dimensionality — which turns the paper's
+linear/logistic case studies into private *polynomial* regression for free.
+
+:class:`PolynomialFeatureMap` implements the degree-2 expansion
+
+    phi(x) = ( x,  v(x) ) / sqrt(2),
+    v(x)   = ( x_1^2, ..., x_d^2, sqrt(2) x_i x_j for i < j ),
+
+where ``v`` is the Frobenius flattening of ``x x^T`` — so ``||v(x)||_2 =
+||x||_2^2`` and ``||phi(x)||_2^2 = (||x||^2 + ||x||^4)/2 <= 1`` whenever
+``||x|| <= 1``.  The expanded dimensionality is ``d + d(d+1)/2``; the FM
+noise grows accordingly (quadratically in the expanded ``d``), which is the
+honest cost of fitting curvature privately.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DataError
+
+__all__ = ["PolynomialFeatureMap"]
+
+
+@dataclass(frozen=True)
+class PolynomialFeatureMap:
+    """Degree-2 feature expansion that maps the unit ball into itself.
+
+    Parameters
+    ----------
+    input_dim:
+        Dimensionality ``d`` of the raw feature space.
+    include_linear:
+        Keep the raw coordinates alongside the quadratic terms (default
+        True; False gives a purely quadratic map, scaled so the unit-ball
+        guarantee still holds).
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> phi = PolynomialFeatureMap(input_dim=2)
+    >>> phi.output_dim
+    5
+    >>> X = np.array([[0.6, 0.8]])              # ||x|| = 1
+    >>> float(np.linalg.norm(phi.transform(X)))  # stays inside the ball
+    1.0
+    """
+
+    input_dim: int
+    include_linear: bool = True
+
+    def __post_init__(self) -> None:
+        if int(self.input_dim) < 1:
+            raise DataError(f"input_dim must be >= 1, got {self.input_dim}")
+        object.__setattr__(self, "input_dim", int(self.input_dim))
+
+    @property
+    def output_dim(self) -> int:
+        """Expanded dimensionality ``d + d(d+1)/2`` (or just the quadratic part)."""
+        d = self.input_dim
+        quadratic = d * (d + 1) // 2
+        return d + quadratic if self.include_linear else quadratic
+
+    def feature_names(self, names: list[str] | None = None) -> list[str]:
+        """Human-readable names of the expanded columns."""
+        d = self.input_dim
+        base = names if names is not None else [f"x{j + 1}" for j in range(d)]
+        if len(base) != d:
+            raise DataError(f"expected {d} names, got {len(base)}")
+        out = list(base) if self.include_linear else []
+        for i in range(d):
+            for j in range(i, d):
+                out.append(f"{base[i]}^2" if i == j else f"{base[i]}*{base[j]}")
+        return out
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Expand ``X``; rows with ``||x|| <= 1`` map to ``||phi(x)|| <= 1``."""
+        X = np.asarray(X, dtype=float)
+        if X.ndim != 2 or X.shape[1] != self.input_dim:
+            raise DataError(
+                f"X must be 2-d with {self.input_dim} columns, got shape {X.shape}"
+            )
+        n, d = X.shape
+        blocks = []
+        if self.include_linear:
+            blocks.append(X)
+        quadratic = np.empty((n, d * (d + 1) // 2))
+        col = 0
+        for i in range(d):
+            quadratic[:, col] = X[:, i] ** 2
+            col += 1
+            for j in range(i + 1, d):
+                quadratic[:, col] = math.sqrt(2.0) * X[:, i] * X[:, j]
+                col += 1
+        blocks.append(quadratic)
+        expanded = np.hstack(blocks)
+        # ||(x, v)||^2 = ||x||^2 + ||x||^4 <= 2 on the unit ball; the pure
+        # quadratic map is already bounded by 1.
+        scale = math.sqrt(2.0) if self.include_linear else 1.0
+        return expanded / scale

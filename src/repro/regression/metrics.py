@@ -1,0 +1,99 @@
+"""Evaluation metrics used in the paper's Section 7.
+
+The paper measures
+
+* **linear regression** by mean square error of the predictions on the
+  normalized target, ``(1/n) sum_i (y_i - x_i^T w)^2``, and
+* **logistic regression** by the misclassification rate under the 0.5
+  probability threshold.
+
+A few additional standard metrics (R^2, log-loss, MAE) are included for the
+examples and for richer test assertions; they are not part of the paper's
+reporting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "mean_squared_error",
+    "root_mean_squared_error",
+    "mean_absolute_error",
+    "r2_score",
+    "misclassification_rate",
+    "accuracy",
+    "log_loss",
+]
+
+
+def _check_pair(y_true: np.ndarray, y_pred: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    y_true = np.asarray(y_true, dtype=float).ravel()
+    y_pred = np.asarray(y_pred, dtype=float).ravel()
+    if y_true.shape != y_pred.shape:
+        raise ValueError(
+            f"y_true and y_pred must have the same length, got "
+            f"{y_true.shape[0]} and {y_pred.shape[0]}"
+        )
+    if y_true.size == 0:
+        raise ValueError("metrics require at least one sample")
+    return y_true, y_pred
+
+
+def mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean square error — the paper's linear-regression accuracy measure."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean((y_true - y_pred) ** 2))
+
+
+def root_mean_squared_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Square root of :func:`mean_squared_error`."""
+    return float(np.sqrt(mean_squared_error(y_true, y_pred)))
+
+
+def mean_absolute_error(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Mean absolute error."""
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    return float(np.mean(np.abs(y_true - y_pred)))
+
+
+def r2_score(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Coefficient of determination.
+
+    Returns 0.0 for a constant ``y_true`` with perfect predictions and
+    ``-inf``-free values otherwise (a constant target with imperfect
+    predictions yields a large negative score capped at ``-1e18`` to keep
+    downstream aggregation finite).
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    ss_res = float(np.sum((y_true - y_pred) ** 2))
+    ss_tot = float(np.sum((y_true - y_true.mean()) ** 2))
+    if ss_tot == 0.0:
+        return 0.0 if ss_res == 0.0 else -1e18
+    return 1.0 - ss_res / ss_tot
+
+
+def misclassification_rate(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of incorrectly classified labels — the paper's logistic metric.
+
+    Inputs are coerced to {0, 1} by thresholding at 0.5, so both hard labels
+    and probability predictions are accepted.
+    """
+    y_true, y_pred = _check_pair(y_true, y_pred)
+    labels_true = (y_true >= 0.5).astype(int)
+    labels_pred = (y_pred >= 0.5).astype(int)
+    return float(np.mean(labels_true != labels_pred))
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """``1 - misclassification_rate``."""
+    return 1.0 - misclassification_rate(y_true, y_pred)
+
+
+def log_loss(y_true: np.ndarray, probabilities: np.ndarray, eps: float = 1e-12) -> float:
+    """Average negative log-likelihood of binary labels under ``probabilities``."""
+    y_true, probabilities = _check_pair(y_true, probabilities)
+    if np.any((probabilities < 0.0) | (probabilities > 1.0)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    p = np.clip(probabilities, eps, 1.0 - eps)
+    return float(-np.mean(y_true * np.log(p) + (1.0 - y_true) * np.log(1.0 - p)))

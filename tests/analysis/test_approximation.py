@@ -1,0 +1,55 @@
+"""Tests for the Lemma-3/4 truncation-error measurement."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.approximation import measure_truncation_error
+from repro.analysis.convergence import sample_population
+from repro.core.taylor import logistic_truncation_error_bound
+
+
+@pytest.fixture(scope="module")
+def logistic_sample():
+    X, y, _ = sample_population(4000, 4, "logistic", rng=3)
+    return X, y
+
+
+class TestTruncationError:
+    def test_gap_nonnegative(self, logistic_sample):
+        X, y = logistic_sample
+        report = measure_truncation_error(X, y)
+        assert report.measured_gap >= -1e-10
+
+    def test_within_strict_bound_in_working_regime(self, logistic_sample):
+        X, y = logistic_sample
+        report = measure_truncation_error(X, y)
+        if report.max_score <= 1.0:
+            assert report.within_strict_bound
+
+    def test_small_constant_in_practice(self, logistic_sample):
+        # The paper's empirical claim: the truncation costs very little.
+        X, y = logistic_sample
+        report = measure_truncation_error(X, y)
+        assert report.measured_gap < 0.05
+
+    def test_paper_bound_recorded(self, logistic_sample):
+        X, y = logistic_sample
+        report = measure_truncation_error(X, y)
+        assert report.paper_bound == pytest.approx(logistic_truncation_error_bound())
+        assert report.strict_bound == pytest.approx(2 * report.paper_bound)
+
+    def test_chebyshev_variant_runs(self, logistic_sample):
+        X, y = logistic_sample
+        report = measure_truncation_error(X, y, approximation="chebyshev")
+        assert report.measured_gap >= -1e-10
+
+    def test_figure3_example(self, figure3_example):
+        X, y = figure3_example
+        report = measure_truncation_error(X, y)
+        assert report.measured_gap >= 0.0
+        # Figure 3 shows the curves nearly coincide on this database.
+        assert report.measured_gap < 0.05
+
+    def test_rejects_empty(self):
+        with pytest.raises(Exception):
+            measure_truncation_error(np.zeros((0, 2)), np.zeros(0))

@@ -1,0 +1,110 @@
+"""Tests for the noise-calibration analysis."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    calibration_report,
+    cardinality_for_snr,
+    coefficient_snr,
+    epsilon_for_snr,
+)
+from repro.core.objectives import LinearRegressionObjective
+from repro.exceptions import DataError
+
+
+class TestCoefficientSNR:
+    def test_linear_in_n(self):
+        assert coefficient_snr(20_000, 5, 1.0) == pytest.approx(
+            2.0 * coefficient_snr(10_000, 5, 1.0)
+        )
+
+    def test_linear_in_epsilon(self):
+        assert coefficient_snr(10_000, 5, 2.0) == pytest.approx(
+            2.0 * coefficient_snr(10_000, 5, 1.0)
+        )
+
+    def test_decreases_with_dimension(self):
+        assert coefficient_snr(10_000, 13, 1.0) < coefficient_snr(10_000, 5, 1.0)
+
+    def test_tight_bound_raises_snr(self):
+        assert coefficient_snr(10_000, 9, 1.0, tight=True) > coefficient_snr(
+            10_000, 9, 1.0
+        )
+
+    def test_matches_manual_computation(self):
+        n, d, eps = 50_000, 4, 0.5
+        delta = LinearRegressionObjective(d).sensitivity()
+        expected = (n / (3.0 * d)) / (delta / eps)
+        assert coefficient_snr(n, d, eps) == pytest.approx(expected)
+
+    def test_logistic_discounts_by_one_eighth(self):
+        lin = coefficient_snr(10_000, 4, 1.0, task="linear")
+        log = coefficient_snr(10_000, 4, 1.0, task="logistic")
+        # Same n/d/eps: logistic M carries a 1/8 factor but a smaller Delta.
+        d = 4
+        ratio = (0.125 / 1.0) * (2.0 * (d + 1) ** 2) / (d * d / 4.0 + 3 * d)
+        assert log / lin == pytest.approx(ratio)
+
+    def test_custom_feature_moment(self):
+        base = coefficient_snr(1000, 3, 1.0, mean_square_feature=0.01)
+        doubled = coefficient_snr(1000, 3, 1.0, mean_square_feature=0.02)
+        assert doubled == pytest.approx(2.0 * base)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(DataError):
+            coefficient_snr(0, 3, 1.0)
+        with pytest.raises(DataError):
+            coefficient_snr(10, 3, 0.0)
+        with pytest.raises(DataError):
+            coefficient_snr(10, 3, 1.0, mean_square_feature=0.0)
+        with pytest.raises(DataError):
+            coefficient_snr(10, 3, 1.0, task="poisson")
+
+
+class TestInversions:
+    def test_epsilon_inversion_roundtrip(self):
+        eps = epsilon_for_snr(3.0, 50_000, 8)
+        assert coefficient_snr(50_000, 8, eps) == pytest.approx(3.0)
+
+    def test_cardinality_inversion_achieves_target(self):
+        n = cardinality_for_snr(3.0, 0.8, 13)
+        assert coefficient_snr(n, 13, 0.8) >= 3.0
+        assert coefficient_snr(n - 1, 13, 0.8) < 3.0 or n == 1
+
+    def test_rejects_bad_target(self):
+        with pytest.raises(DataError):
+            epsilon_for_snr(0.0, 100, 3)
+        with pytest.raises(DataError):
+            cardinality_for_snr(-1.0, 1.0, 3)
+
+
+class TestReport:
+    def test_fields_consistent(self):
+        report = calibration_report(100_000, 13, 0.8)
+        delta = LinearRegressionObjective(13).sensitivity()
+        assert report.sensitivity == delta
+        assert report.noise_scale == pytest.approx(delta / 0.8)
+        assert report.regularizer == pytest.approx(4 * np.sqrt(2) * delta / 0.8)
+
+    def test_regimes(self):
+        assert calibration_report(500_000, 13, 3.2).regime == "signal-dominated"
+        assert calibration_report(2_000, 13, 0.1).regime == "noise-dominated"
+
+    def test_regime_matches_observed_crossover(self):
+        # EXPERIMENTS.md documents FM losing the floor near eps <= 0.2 at
+        # n ~ 160k, d = 13; the calibration must place that point at or
+        # below "marginal".
+        report = calibration_report(160_000, 13, 0.2)
+        assert report.regime in ("marginal", "noise-dominated")
+        generous = calibration_report(160_000, 13, 3.2)
+        assert generous.regime == "signal-dominated"
+
+    def test_consistent_with_convergence_study_relative_noise(self):
+        # convergence.py computes noise/signal = 1/snr for uniform features.
+        from repro.analysis.convergence import convergence_study
+
+        points = convergence_study([2000], dim=3, epsilon=1.0, repetitions=1, seed=0)
+        snr = coefficient_snr(2000, 3, 1.0, task="linear")
+        assert points[0].relative_noise == pytest.approx(1.0 / snr)

@@ -1,0 +1,49 @@
+"""Tests for the Theorem-2 convergence study."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.convergence import convergence_study, sample_population
+
+
+class TestSamplePopulation:
+    def test_linear_shapes_and_domains(self):
+        X, y, w = sample_population(500, 4, "linear", rng=0)
+        assert X.shape == (500, 4)
+        assert np.linalg.norm(X, axis=1).max() <= 1.0 + 1e-9
+        assert np.abs(y).max() <= 1.0
+
+    def test_logistic_labels(self):
+        _, y, _ = sample_population(500, 3, "logistic", rng=0)
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_ground_truth_fixed_across_seeds(self):
+        _, _, w1 = sample_population(10, 4, "linear", rng=0)
+        _, _, w2 = sample_population(10, 4, "linear", rng=99)
+        np.testing.assert_array_equal(w1, w2)
+
+
+class TestConvergenceStudy:
+    def test_distance_decreases_with_n(self):
+        points = convergence_study(
+            [400, 3200, 25_600], dim=3, task="linear",
+            epsilon=1.0, repetitions=4, seed=0,
+        )
+        distances = [p.parameter_distance for p in points]
+        # Theorem 2: the FM estimate approaches the population optimum.
+        assert distances[-1] < distances[0]
+        assert distances[-1] < 0.5 * distances[0]
+
+    def test_relative_noise_vanishes(self):
+        points = convergence_study(
+            [400, 3200], dim=3, task="linear", epsilon=1.0, repetitions=2, seed=0
+        )
+        assert points[1].relative_noise < points[0].relative_noise
+        # Noise scale is constant while coefficients grow ~n: ratio ~ 1/n.
+        assert points[1].relative_noise == pytest.approx(
+            points[0].relative_noise / 8.0, rel=0.01
+        )
+
+    def test_cardinalities_recorded(self):
+        points = convergence_study([100, 200], dim=2, repetitions=1, seed=0)
+        assert [p.n for p in points] == [100, 200]

@@ -1,0 +1,141 @@
+"""Tests for the multi-dimensional grid histogram substrate."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.histogram import (
+    Grid,
+    choose_bins_per_dim,
+    histogram_counts,
+)
+from repro.exceptions import DataError, DomainError
+
+
+@pytest.fixture
+def unit_grid():
+    return Grid(lower=np.zeros(2), upper=np.ones(2), bins_per_dim=np.array([4, 4]))
+
+
+class TestGrid:
+    def test_total_cells(self, unit_grid):
+        assert unit_grid.total_cells == 16
+
+    def test_cell_widths(self, unit_grid):
+        np.testing.assert_allclose(unit_grid.cell_widths, 0.25)
+
+    def test_cell_indices_corners(self, unit_grid):
+        idx = unit_grid.cell_indices(np.array([[0.0, 0.0], [0.99, 0.99]]))
+        assert idx[0] == 0
+        assert idx[1] == 15
+
+    def test_upper_boundary_in_last_bin(self, unit_grid):
+        idx = unit_grid.cell_indices(np.array([[1.0, 1.0]]))
+        assert idx[0] == 15
+
+    def test_out_of_box_raises(self, unit_grid):
+        with pytest.raises(DomainError):
+            unit_grid.cell_indices(np.array([[1.5, 0.5]]))
+        with pytest.raises(DomainError):
+            unit_grid.cell_indices(np.array([[-0.1, 0.5]]))
+
+    def test_cell_center_roundtrip(self, unit_grid):
+        for flat in range(unit_grid.total_cells):
+            center = unit_grid.cell_center(flat)
+            back = unit_grid.cell_indices(center[None, :])
+            assert back[0] == flat
+
+    def test_cell_center_vectorized(self, unit_grid):
+        centers = unit_grid.cell_center(np.arange(unit_grid.total_cells))
+        assert centers.shape == (16, 2)
+
+    def test_cell_center_out_of_range(self, unit_grid):
+        with pytest.raises(DataError):
+            unit_grid.cell_center(16)
+
+    def test_sample_in_cells_stays_inside(self, unit_grid):
+        flats = np.array([0, 5, 15])
+        points = unit_grid.sample_in_cells(flats, rng=0)
+        back = unit_grid.cell_indices(points)
+        np.testing.assert_array_equal(back, flats)
+
+    def test_asymmetric_bins(self):
+        grid = Grid(lower=np.zeros(2), upper=np.ones(2), bins_per_dim=np.array([2, 3]))
+        assert grid.total_cells == 6
+        idx = grid.cell_indices(np.array([[0.9, 0.9]]))
+        assert idx[0] == 5
+
+    def test_invalid_construction(self):
+        with pytest.raises(DomainError):
+            Grid(lower=np.ones(2), upper=np.zeros(2), bins_per_dim=np.array([2, 2]))
+        with pytest.raises(DataError):
+            Grid(lower=np.zeros(2), upper=np.ones(2), bins_per_dim=np.array([0, 2]))
+        with pytest.raises(DataError):
+            Grid(lower=np.zeros(2), upper=np.ones(3), bins_per_dim=np.array([2, 2]))
+
+    def test_wrong_point_width(self, unit_grid):
+        with pytest.raises(DataError):
+            unit_grid.cell_indices(np.zeros((2, 3)))
+
+
+class TestHistogramCounts:
+    def test_total_mass_preserved(self, unit_grid, rng):
+        points = rng.uniform(0, 1, size=(500, 2))
+        counts = histogram_counts(unit_grid, points)
+        assert counts.sum() == 500
+        assert counts.shape == (16,)
+
+    def test_known_placement(self, unit_grid):
+        points = np.array([[0.1, 0.1], [0.1, 0.1], [0.9, 0.9]])
+        counts = histogram_counts(unit_grid, points)
+        assert counts[0] == 2
+        assert counts[15] == 1
+
+    def test_replace_one_changes_l1_by_at_most_two(self, unit_grid, rng):
+        # The sensitivity claim behind Lap(2/eps) count noise.
+        points = rng.uniform(0, 1, size=(100, 2))
+        counts_before = histogram_counts(unit_grid, points)
+        modified = points.copy()
+        modified[0] = rng.uniform(0, 1, size=2)
+        counts_after = histogram_counts(unit_grid, modified)
+        assert np.abs(counts_before - counts_after).sum() <= 2
+
+
+class TestChooseBins:
+    def test_more_data_finer_bins(self):
+        coarse = choose_bins_per_dim(1000, 3)
+        fine = choose_bins_per_dim(1_000_000, 3)
+        assert fine[0] >= coarse[0]
+
+    def test_higher_dims_coarser_bins(self):
+        low_d = choose_bins_per_dim(100_000, 3)
+        high_d = choose_bins_per_dim(100_000, 14)
+        assert high_d[0] <= low_d[0]
+
+    def test_binary_dims_pinned_to_two(self):
+        mask = np.array([False, False, True])
+        bins = choose_bins_per_dim(100_000, 3, binary_dims=mask)
+        assert bins[2] == 2
+        assert bins[0] == bins[1] >= 2
+
+    def test_cell_budget_respected(self):
+        bins = choose_bins_per_dim(10_000_000, 10, cell_budget=1024)
+        assert int(np.prod(bins.astype(object))) <= 1024
+
+    def test_minimum_two_bins_when_budget_allows(self):
+        bins = choose_bins_per_dim(100, 4)
+        assert np.all(bins >= 2)
+
+    def test_mask_length_checked(self):
+        with pytest.raises(DataError):
+            choose_bins_per_dim(100, 3, binary_dims=np.array([True]))
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(DataError):
+            choose_bins_per_dim(0, 3)
+        with pytest.raises(DataError):
+            choose_bins_per_dim(10, 0)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(21)

@@ -1,0 +1,55 @@
+"""Shared fixtures for the test suite.
+
+Fixtures provide small, footnote-1-compliant datasets so individual tests
+stay fast; anything needing paper-scale data builds it explicitly and is
+marked ``slow``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line("markers", "slow: long-running end-to-end checks")
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def linear_data(rng) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(X, y, w_true): normalized features, targets in [-1, 1]."""
+    d = 4
+    X = rng.uniform(0.0, 1.0 / np.sqrt(d), size=(3000, d))
+    w_true = np.array([0.8, -0.5, 0.3, 0.15])
+    y = np.clip(X @ w_true + rng.normal(0.0, 0.05, 3000), -1.0, 1.0)
+    return X, y, w_true
+
+
+@pytest.fixture
+def logistic_data(rng) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """(X, y, w_true): normalized features, boolean labels."""
+    d = 4
+    X = rng.uniform(0.0, 1.0 / np.sqrt(d), size=(3000, d))
+    w_true = np.array([0.9, -0.6, 0.4, 0.2])
+    z = X @ w_true
+    probs = 1.0 / (1.0 + np.exp(-10.0 * (z - z.mean())))
+    y = (rng.uniform(size=3000) < probs).astype(float)
+    return X, y, w_true
+
+
+@pytest.fixture
+def figure2_example() -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Section-4.2 example database (1-d, three tuples)."""
+    return np.array([[1.0], [0.9], [-0.5]]), np.array([0.4, 0.3, -1.0])
+
+
+@pytest.fixture
+def figure3_example() -> tuple[np.ndarray, np.ndarray]:
+    """The paper's Section-5.2 example database for logistic regression."""
+    return np.array([[-0.5], [0.0], [1.0]]), np.array([1.0, 0.0, 1.0])

@@ -1,0 +1,144 @@
+"""Tests for the monomial basis Phi_j (Equation 2)."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.basis import (
+    MonomialIndex,
+    basis_size,
+    monomial_degree,
+    monomial_string,
+    monomials_of_degree,
+    monomials_up_to_degree,
+    multinomial_coefficient,
+    total_basis_size,
+)
+from repro.exceptions import DegreeError
+
+
+class TestBasisSize:
+    def test_phi0_is_singleton(self):
+        assert basis_size(5, 0) == 1
+
+    def test_phi1_has_d_elements(self):
+        assert basis_size(7, 1) == 7
+
+    def test_phi2_matches_paper_example(self):
+        # Phi_2 = {w_i w_j | i, j in [1, d]} has d(d+1)/2 distinct members.
+        assert basis_size(4, 2) == 4 * 5 // 2
+
+    def test_total_counts_all_degrees(self):
+        assert total_basis_size(3, 2) == basis_size(3, 0) + basis_size(3, 1) + basis_size(3, 2)
+
+    def test_rejects_bad_dim(self):
+        with pytest.raises(ValueError):
+            basis_size(0, 1)
+
+    def test_rejects_negative_degree(self):
+        with pytest.raises(DegreeError):
+            basis_size(2, -1)
+
+
+class TestEnumeration:
+    def test_degree_zero_is_all_zeros(self):
+        assert list(monomials_of_degree(3, 0)) == [(0, 0, 0)]
+
+    def test_degree_two_dim_two(self):
+        assert list(monomials_of_degree(2, 2)) == [(2, 0), (1, 1), (0, 2)]
+
+    def test_enumeration_count_matches_size(self):
+        for d, j in [(1, 3), (3, 2), (5, 4), (2, 0)]:
+            assert len(list(monomials_of_degree(d, j))) == basis_size(d, j)
+
+    def test_all_exponents_sum_to_degree(self):
+        for exps in monomials_of_degree(4, 3):
+            assert sum(exps) == 3
+
+    def test_no_duplicates(self):
+        exps = list(monomials_of_degree(5, 3))
+        assert len(exps) == len(set(exps))
+
+    def test_up_to_degree_is_degree_major(self):
+        degrees = [monomial_degree(e) for e in monomials_up_to_degree(3, 3)]
+        assert degrees == sorted(degrees)
+
+    @given(st.integers(1, 6), st.integers(0, 4))
+    def test_count_property(self, dim, degree):
+        assert len(list(monomials_of_degree(dim, degree))) == math.comb(
+            dim + degree - 1, degree
+        )
+
+
+class TestMultinomial:
+    def test_binomial_case(self):
+        # (x + y)^2 -> coefficient of xy is 2.
+        assert multinomial_coefficient((1, 1)) == 2
+
+    def test_pure_power(self):
+        assert multinomial_coefficient((4, 0, 0)) == 1
+
+    def test_trinomial(self):
+        # 3! / (1! 1! 1!) = 6
+        assert multinomial_coefficient((1, 1, 1)) == 6
+
+    def test_rejects_negative(self):
+        with pytest.raises(DegreeError):
+            multinomial_coefficient((1, -1))
+
+    @given(st.lists(st.integers(0, 5), min_size=1, max_size=5))
+    def test_sums_to_power_of_count(self, exps):
+        # sum over all monomials of degree j of multinomial(c) = dim^j
+        # (set every x_l = 1 in the multinomial theorem); verify via a
+        # random instance by summing the enumeration.
+        dim = len(exps)
+        degree = sum(exps)
+        total = sum(
+            multinomial_coefficient(e) for e in monomials_of_degree(dim, degree)
+        )
+        assert total == dim**degree
+
+
+class TestMonomialString:
+    def test_constant(self):
+        assert monomial_string((0, 0)) == "1"
+
+    def test_mixed(self):
+        assert monomial_string((2, 0, 1)) == "w1^2*w3"
+
+
+class TestMonomialIndex:
+    def test_roundtrip(self):
+        index = MonomialIndex(3, 2)
+        for i in range(len(index)):
+            assert index.position(index.exponents(i)) == i
+
+    def test_length(self):
+        index = MonomialIndex(4, 2)
+        assert len(index) == total_basis_size(4, 2)
+
+    def test_contains(self):
+        index = MonomialIndex(2, 2)
+        assert (1, 1) in index
+        assert (3, 0) not in index
+
+    def test_unknown_monomial_raises(self):
+        index = MonomialIndex(2, 2)
+        with pytest.raises(DegreeError):
+            index.position((3, 0))
+
+    def test_degree_slice_covers_phi_j(self):
+        index = MonomialIndex(3, 2)
+        sl = index.degree_slice(2)
+        members = [index.exponents(i) for i in range(sl.start, sl.stop)]
+        assert members == list(monomials_of_degree(3, 2))
+
+    def test_degree_slice_bounds(self):
+        index = MonomialIndex(3, 2)
+        with pytest.raises(DegreeError):
+            index.degree_slice(3)
+
+    def test_iteration_order_is_canonical(self):
+        index = MonomialIndex(2, 2)
+        assert list(index) == list(monomials_up_to_degree(2, 2))

@@ -1,0 +1,70 @@
+"""Tests for the Chebyshev alternative approximation (Section 8 direction)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.chebyshev import chebyshev_quadratic, chebyshev_softplus
+from repro.core.taylor import softplus
+from repro.exceptions import ApproximationError
+
+
+class TestChebyshevQuadratic:
+    def test_exact_on_quadratics(self):
+        approx = chebyshev_quadratic(lambda z: 1.0 + 2.0 * z + 3.0 * z**2, radius=1.0)
+        assert approx.a0 == pytest.approx(1.0, abs=1e-10)
+        assert approx.a1 == pytest.approx(2.0, abs=1e-10)
+        assert approx.a2 == pytest.approx(3.0, abs=1e-10)
+        assert approx.max_error < 1e-9
+
+    def test_exact_on_quadratics_scaled_interval(self):
+        approx = chebyshev_quadratic(lambda z: 0.5 - z + 0.25 * z**2, radius=3.0)
+        assert approx.a1 == pytest.approx(-1.0, abs=1e-10)
+        assert approx.a2 == pytest.approx(0.25, abs=1e-10)
+
+    def test_rejects_bad_radius(self):
+        with pytest.raises(ApproximationError):
+            chebyshev_quadratic(np.cos, radius=0.0)
+
+    def test_rejects_few_nodes(self):
+        with pytest.raises(ApproximationError):
+            chebyshev_quadratic(np.cos, nodes=4)
+
+    def test_rejects_non_finite_function(self):
+        with pytest.raises(ApproximationError):
+            chebyshev_quadratic(lambda z: np.where(z > 0, np.inf, 0.0), radius=1.0)
+
+    def test_evaluate(self):
+        approx = chebyshev_quadratic(lambda z: z**2, radius=1.0)
+        assert approx.evaluate(0.5) == pytest.approx(0.25, abs=1e-9)
+
+
+class TestChebyshevSoftplus:
+    def test_coefficients_near_taylor(self):
+        approx = chebyshev_softplus(radius=1.0)
+        a0, a1, a2 = approx.coefficients()
+        assert a0 == pytest.approx(math.log(2.0), abs=5e-3)
+        assert a1 == pytest.approx(0.5, abs=5e-3)
+        assert a2 == pytest.approx(0.125, abs=1e-2)
+
+    def test_uniform_error_beats_taylor_on_interval(self):
+        # The Chebyshev projection should have smaller worst-case error than
+        # the Taylor polynomial over the same interval.
+        radius = 2.0
+        approx = chebyshev_softplus(radius=radius)
+        grid = np.linspace(-radius, radius, 1001)
+        taylor_vals = math.log(2.0) + 0.5 * grid + 0.125 * grid**2
+        taylor_err = np.abs(softplus(grid) - taylor_vals).max()
+        assert approx.max_error < taylor_err
+
+    def test_sigmoid_symmetry_of_linear_coefficient(self):
+        # softplus(z) - z/2 is even, so the degree-1 Chebyshev coefficient
+        # equals exactly 1/2 regardless of the radius.
+        for radius in (0.5, 1.0, 3.0):
+            assert chebyshev_softplus(radius=radius).a1 == pytest.approx(0.5, abs=1e-9)
+
+    def test_error_grows_with_radius(self):
+        small = chebyshev_softplus(radius=0.5)
+        large = chebyshev_softplus(radius=4.0)
+        assert large.max_error > small.max_error

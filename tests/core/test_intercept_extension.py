@@ -1,0 +1,99 @@
+"""Tests for the footnote-2 intercept extension of the FM estimators.
+
+The paper's Definition 1 omits the intercept and footnote 2 notes the
+general variant is a mechanical extension; here it is implemented by the
+``(x, 1)/sqrt(2)`` augmentation, which preserves footnote-1 normalization
+at dimensionality d+1.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.models import FMLinearRegression, FMLogisticRegression
+from repro.regression.linear import LinearRegression
+
+
+@pytest.fixture
+def offset_data():
+    """Linear data with a strong intercept that a no-intercept model misses."""
+    rng = np.random.default_rng(0)
+    d = 3
+    X = rng.uniform(0.0, 1.0 / np.sqrt(d), size=(20_000, d))
+    y = np.clip(0.5 + X @ np.array([0.3, -0.2, 0.1]), -1.0, 1.0)
+    return X, y
+
+
+class TestFMLinearIntercept:
+    def test_recovers_offset(self, offset_data):
+        X, y = offset_data
+        model = FMLinearRegression(epsilon=100.0, rng=0, fit_intercept=True).fit(X, y)
+        assert model.intercept_ == pytest.approx(0.5, abs=0.05)
+
+    def test_matches_ols_with_intercept_at_high_epsilon(self, offset_data):
+        X, y = offset_data
+        fm = FMLinearRegression(epsilon=1e8, rng=0, fit_intercept=True).fit(X, y)
+        ols = LinearRegression(fit_intercept=True).fit(X, y)
+        np.testing.assert_allclose(fm.coef_, ols.coef_, atol=1e-3)
+        assert fm.intercept_ == pytest.approx(ols.intercept_, abs=1e-3)
+
+    def test_beats_no_intercept_variant(self, offset_data):
+        X, y = offset_data
+        with_b = FMLinearRegression(epsilon=10.0, rng=1, fit_intercept=True).fit(X, y)
+        without = FMLinearRegression(epsilon=10.0, rng=1).fit(X, y)
+        assert with_b.score_mse(X, y) < without.score_mse(X, y)
+
+    def test_sensitivity_uses_augmented_dimension(self, offset_data):
+        X, y = offset_data
+        d = X.shape[1]
+        model = FMLinearRegression(epsilon=1.0, rng=0, fit_intercept=True).fit(X, y)
+        assert model.record_.sensitivity == pytest.approx(2.0 * (d + 2) ** 2)
+
+    def test_default_has_zero_intercept(self, offset_data):
+        X, y = offset_data
+        model = FMLinearRegression(epsilon=1.0, rng=0).fit(X, y)
+        assert model.intercept_ == 0.0
+
+    def test_predict_width_unchanged(self, offset_data):
+        # The public predict still takes d columns (not d+1).
+        X, y = offset_data
+        model = FMLinearRegression(epsilon=1.0, rng=0, fit_intercept=True).fit(X, y)
+        assert model.predict(X).shape == (X.shape[0],)
+
+    def test_augmented_rows_stay_normalized(self, offset_data):
+        from repro.core.models import _augment_intercept
+
+        X, _ = offset_data
+        augmented = _augment_intercept(X)
+        assert np.linalg.norm(augmented, axis=1).max() <= 1.0 + 1e-9
+
+
+class TestFMLogisticIntercept:
+    def test_handles_imbalanced_classes(self):
+        # Without an intercept, scores x^T w on non-negative features cannot
+        # straddle 0 freely; the intercept variant can.
+        rng = np.random.default_rng(1)
+        d = 2
+        X = rng.uniform(0.0, 1.0 / np.sqrt(d), size=(20_000, d))
+        y = (X @ np.array([1.0, 1.0]) > 0.45).astype(float)  # ~minority positive
+        with_b = FMLogisticRegression(epsilon=50.0, rng=0, fit_intercept=True).fit(X, y)
+        without = FMLogisticRegression(epsilon=50.0, rng=0).fit(X, y)
+        assert (
+            with_b.score_misclassification(X, y)
+            <= without.score_misclassification(X, y) + 1e-9
+        )
+
+    def test_intercept_recorded(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0.0, 0.5, size=(5000, 2))
+        y = (rng.uniform(size=5000) < 0.8).astype(float)
+        model = FMLogisticRegression(epsilon=100.0, rng=0, fit_intercept=True).fit(X, y)
+        # 80/20 labels independent of x: the intercept must be positive.
+        assert model.intercept_ > 0.0
+
+    def test_sensitivity_uses_augmented_dimension(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0.0, 0.5, size=(100, 2))
+        y = (rng.uniform(size=100) > 0.5).astype(float)
+        model = FMLogisticRegression(epsilon=1.0, rng=0, fit_intercept=True).fit(X, y)
+        d_aug = 3
+        assert model.record_.sensitivity == pytest.approx(d_aug**2 / 4 + 3 * d_aug)

@@ -1,0 +1,137 @@
+"""Tests for Algorithm 1 (FunctionalMechanism)."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import FunctionalMechanism
+from repro.core.objectives import LinearRegressionObjective
+from repro.core.polynomial import Polynomial, QuadraticForm
+from repro.exceptions import InvalidBudgetError, SensitivityError
+from repro.privacy.budget import PrivacyBudget
+
+
+@pytest.fixture
+def form(figure2_example):
+    X, y = figure2_example
+    return LinearRegressionObjective(1).aggregate_quadratic(X, y)
+
+
+class TestConstruction:
+    def test_rejects_zero_epsilon(self):
+        with pytest.raises(InvalidBudgetError):
+            FunctionalMechanism(0.0)
+
+    def test_rejects_negative_epsilon(self):
+        with pytest.raises(InvalidBudgetError):
+            FunctionalMechanism(-1.0)
+
+    def test_rejects_infinite_epsilon(self):
+        with pytest.raises(InvalidBudgetError):
+            FunctionalMechanism(float("inf"))
+
+
+class TestPerturbQuadratic:
+    def test_noise_scale_recorded(self, form):
+        mech = FunctionalMechanism(epsilon=2.0, rng=0)
+        _, record = mech.perturb_quadratic(form, sensitivity=8.0)
+        assert record.noise_scale == pytest.approx(4.0)
+        assert record.noise_std == pytest.approx(4.0 * np.sqrt(2.0))
+
+    def test_coefficient_count_d1(self, form):
+        mech = FunctionalMechanism(epsilon=1.0, rng=0)
+        _, record = mech.perturb_quadratic(form, sensitivity=8.0)
+        assert record.coefficients_perturbed == 3  # beta, alpha, M
+
+    def test_coefficient_count_general(self):
+        d = 4
+        q = QuadraticForm.zero(d)
+        mech = FunctionalMechanism(epsilon=1.0, rng=0)
+        _, record = mech.perturb_quadratic(q, sensitivity=1.0)
+        assert record.coefficients_perturbed == 1 + d + d * (d + 1) // 2
+
+    def test_output_differs_from_input(self, form):
+        mech = FunctionalMechanism(epsilon=1.0, rng=1)
+        noisy, _ = mech.perturb_quadratic(form, sensitivity=8.0)
+        assert abs(noisy.M[0, 0] - form.M[0, 0]) > 0.0
+
+    def test_noisy_matrix_stays_symmetric(self):
+        rng = np.random.default_rng(5)
+        A = rng.normal(size=(5, 5))
+        q = QuadraticForm(M=A.T @ A, alpha=rng.normal(size=5), beta=0.0)
+        mech = FunctionalMechanism(epsilon=0.5, rng=2)
+        noisy, _ = mech.perturb_quadratic(q, sensitivity=10.0)
+        np.testing.assert_allclose(noisy.M, noisy.M.T)
+
+    def test_deterministic_under_seed(self, form):
+        a, _ = FunctionalMechanism(1.0, rng=42).perturb_quadratic(form, 8.0)
+        b, _ = FunctionalMechanism(1.0, rng=42).perturb_quadratic(form, 8.0)
+        np.testing.assert_allclose(a.M, b.M)
+        np.testing.assert_allclose(a.alpha, b.alpha)
+        assert a.beta == b.beta
+
+    def test_noise_magnitude_scales_with_sensitivity(self, form):
+        # Empirical: average |noise| should track the scale Delta/epsilon.
+        deviations = {}
+        for delta in (1.0, 100.0):
+            samples = []
+            mech = FunctionalMechanism(1.0, rng=7)
+            for _ in range(200):
+                noisy, _ = mech.perturb_quadratic(form, delta)
+                samples.append(abs(noisy.beta - form.beta))
+            deviations[delta] = np.mean(samples)
+        assert deviations[100.0] > 20 * deviations[1.0]
+
+    def test_rejects_zero_sensitivity(self, form):
+        with pytest.raises(SensitivityError):
+            FunctionalMechanism(1.0).perturb_quadratic(form, 0.0)
+
+    def test_budget_charged(self, form):
+        budget = PrivacyBudget(1.0)
+        mech = FunctionalMechanism(0.4, budget=budget, rng=0)
+        mech.perturb_quadratic(form, 8.0)
+        assert budget.spent == pytest.approx(0.4)
+        mech.perturb_quadratic(form, 8.0)
+        assert budget.spent == pytest.approx(0.8)
+
+    def test_budget_exhaustion_blocks(self, form):
+        budget = PrivacyBudget(0.5)
+        mech = FunctionalMechanism(0.4, budget=budget, rng=0)
+        mech.perturb_quadratic(form, 8.0)
+        with pytest.raises(Exception):
+            mech.perturb_quadratic(form, 8.0)
+
+
+class TestPerturbPolynomial:
+    def test_all_basis_coefficients_receive_noise(self):
+        # A zero polynomial of degree 2 in 2 vars must come back with
+        # noise on all 6 basis monomials (not just stored terms).
+        poly = Polynomial(2, {(2, 0): 1.0})
+        mech = FunctionalMechanism(epsilon=1.0, rng=3)
+        noisy, record = mech.perturb_polynomial(poly, sensitivity=5.0, max_degree=2)
+        assert record.coefficients_perturbed == 6
+        nonzero = sum(
+            1 for exps in [(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)]
+            if noisy.coefficient(exps) != 0.0
+        )
+        assert nonzero == 6
+
+    def test_matches_quadratic_path_statistically(self, figure2_example):
+        # Polynomial and quadratic perturbation paths draw from the same
+        # distribution: compare standard deviation of the constant term.
+        X, y = figure2_example
+        obj = LinearRegressionObjective(1)
+        poly = obj.aggregate_polynomial(X, y)
+        form = obj.aggregate_quadratic(X, y)
+        mech = FunctionalMechanism(1.0, rng=11)
+        betas_p = [
+            mech.perturb_polynomial(poly, 8.0)[0].coefficient((0,)) for _ in range(300)
+        ]
+        betas_q = [mech.perturb_quadratic(form, 8.0)[0].beta for _ in range(300)]
+        assert np.std(betas_p) == pytest.approx(np.std(betas_q), rel=0.25)
+
+    def test_degree_respected(self):
+        poly = Polynomial(1, {(4,): 1.0})
+        mech = FunctionalMechanism(1.0, rng=0)
+        noisy, record = mech.perturb_polynomial(poly, 1.0)
+        assert noisy.degree == 4
+        assert record.coefficients_perturbed == 5

@@ -1,0 +1,237 @@
+"""Tests for the linear and logistic objectives (Definitions 1-2, Sections 4-5)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+)
+from repro.exceptions import DataError, DegreeError, DomainError
+from repro.regression.logistic import logistic_loss
+
+
+class TestLinearObjective:
+    def test_figure2_aggregation(self, figure2_example):
+        X, y = figure2_example
+        form = LinearRegressionObjective(1).aggregate_quadratic(X, y)
+        assert float(form.M[0, 0]) == pytest.approx(2.06)
+        assert float(form.alpha[0]) == pytest.approx(-2.34)
+        assert form.beta == pytest.approx(1.25)
+
+    def test_figure2_minimizer(self, figure2_example):
+        X, y = figure2_example
+        form = LinearRegressionObjective(1).aggregate_quadratic(X, y)
+        assert form.minimize()[0] == pytest.approx(117.0 / 206.0)
+
+    def test_aggregate_equals_sum_of_tuple_polynomials(self, figure2_example):
+        X, y = figure2_example
+        obj = LinearRegressionObjective(1)
+        total = obj.aggregate_polynomial(X, y)
+        manual = obj.tuple_polynomial(X[0], y[0])
+        for i in range(1, 3):
+            manual = manual + obj.tuple_polynomial(X[i], y[i])
+        assert total == manual
+
+    def test_objective_value_is_sum_of_squares(self, rng):
+        d = 3
+        X = rng.uniform(0, 1.0 / math.sqrt(d), size=(50, d))
+        y = rng.uniform(-1, 1, size=50)
+        obj = LinearRegressionObjective(d)
+        form = obj.aggregate_quadratic(X, y)
+        w = rng.normal(size=d)
+        direct = float(np.sum((y - X @ w) ** 2))
+        assert form.evaluate(w) == pytest.approx(direct, rel=1e-10)
+        assert obj.true_loss(w, X, y) == pytest.approx(direct, rel=1e-10)
+
+    def test_sensitivity_paper_formula(self):
+        # Delta = 2 (d + 1)^2 (Section 4.2); the paper's d=1 example is 8.
+        assert LinearRegressionObjective(1).sensitivity() == 8.0
+        assert LinearRegressionObjective(13).sensitivity() == 2.0 * 14**2
+
+    def test_tight_sensitivity_smaller(self):
+        obj = LinearRegressionObjective(9)
+        assert obj.sensitivity(tight=True) == pytest.approx(2.0 * (1 + 3.0) ** 2)
+        assert obj.sensitivity(tight=True) < obj.sensitivity()
+
+    def test_validate_rejects_large_norm(self):
+        obj = LinearRegressionObjective(2)
+        X = np.array([[0.9, 0.9]])  # norm > 1
+        with pytest.raises(DomainError):
+            obj.validate(X, np.array([0.0]))
+
+    def test_validate_rejects_target_out_of_range(self):
+        obj = LinearRegressionObjective(1)
+        with pytest.raises(DomainError):
+            obj.validate(np.array([[0.5]]), np.array([1.5]))
+
+    def test_validate_accepts_boundary(self):
+        obj = LinearRegressionObjective(1)
+        obj.validate(np.array([[1.0]]), np.array([-1.0]))
+
+    def test_length_mismatch_raises(self):
+        obj = LinearRegressionObjective(1)
+        with pytest.raises(DataError):
+            obj.validate(np.array([[0.5]]), np.array([0.1, 0.2]))
+
+    def test_degree_is_two(self):
+        assert LinearRegressionObjective(3).degree == 2
+
+
+class TestLogisticObjective:
+    def test_paper_sensitivity_formula(self):
+        # Delta = d^2/4 + 3d (Section 5.3).
+        for d in (1, 4, 13):
+            assert LogisticRegressionObjective(d).sensitivity() == pytest.approx(
+                d**2 / 4.0 + 3.0 * d
+            )
+
+    def test_tight_sensitivity(self):
+        # 2 * (a1 sqrt(d) + a2 d + sqrt(d)) with a1 = 1/2, a2 = 1/8.
+        d = 9
+        expected = 2.0 * (0.5 * math.sqrt(d) + d / 8.0 + math.sqrt(d))
+        assert LogisticRegressionObjective(d).sensitivity(tight=True) == pytest.approx(expected)
+
+    def test_taylor_coefficients(self):
+        obj = LogisticRegressionObjective(2)
+        a0, a1, a2 = obj.softplus_coefficients
+        assert a0 == pytest.approx(math.log(2.0))
+        assert a1 == pytest.approx(0.5)
+        assert a2 == pytest.approx(0.125)
+
+    def test_aggregate_quadratic_structure(self, logistic_data):
+        X, y, _ = logistic_data
+        obj = LogisticRegressionObjective(X.shape[1])
+        form = obj.aggregate_quadratic(X, y)
+        np.testing.assert_allclose(form.M, 0.125 * X.T @ X, rtol=1e-12)
+        np.testing.assert_allclose(form.alpha, 0.5 * X.sum(axis=0) - X.T @ y, rtol=1e-10)
+        assert form.beta == pytest.approx(math.log(2.0) * X.shape[0])
+
+    def test_aggregate_matches_tuple_sum(self, figure3_example):
+        X, y = figure3_example
+        obj = LogisticRegressionObjective(1)
+        total = obj.aggregate_polynomial(X, y)
+        manual = obj.tuple_polynomial(X[0], y[0])
+        for i in range(1, 3):
+            manual = manual + obj.tuple_polynomial(X[i], y[i])
+        for exps in [(0,), (1,), (2,)]:
+            assert total.coefficient(exps) == pytest.approx(manual.coefficient(exps))
+
+    def test_true_loss_matches_regression_module(self, logistic_data):
+        X, y, w = logistic_data
+        obj = LogisticRegressionObjective(X.shape[1])
+        assert obj.true_loss(w, X, y) == pytest.approx(logistic_loss(w, X, y), rel=1e-12)
+
+    def test_approximate_loss_close_to_true_near_zero(self, figure3_example):
+        X, y = figure3_example
+        obj = LogisticRegressionObjective(1)
+        for w in np.linspace(-1, 1, 11):
+            gap = abs(
+                obj.approximate_loss(np.array([w]), X, y)
+                - obj.true_loss(np.array([w]), X, y)
+            )
+            assert gap <= 3 * 0.0151 + 1e-6  # n=3 tuples x paper constant
+
+    def test_higher_order(self, figure3_example):
+        X, y = figure3_example
+        obj2 = LogisticRegressionObjective(1, order=2)
+        obj4 = LogisticRegressionObjective(1, order=4)
+        grid = np.linspace(-1, 1, 21)
+        err2 = max(
+            abs(obj2.approximate_loss(np.array([w]), X, y) - obj2.true_loss(np.array([w]), X, y))
+            for w in grid
+        )
+        err4 = max(
+            abs(obj4.approximate_loss(np.array([w]), X, y) - obj4.true_loss(np.array([w]), X, y))
+            for w in grid
+        )
+        assert err4 < err2
+
+    def test_odd_order_rejected(self):
+        with pytest.raises(DegreeError):
+            LogisticRegressionObjective(2, order=3)
+
+    def test_order_zero_rejected(self):
+        with pytest.raises(DegreeError):
+            LogisticRegressionObjective(2, order=0)
+
+    def test_chebyshev_variant(self):
+        obj = LogisticRegressionObjective(3, approximation="chebyshev", radius=1.0)
+        a0, a1, a2 = obj.softplus_coefficients
+        assert a1 == pytest.approx(0.5, abs=1e-9)
+        assert a2 == pytest.approx(0.120, abs=5e-3)
+
+    def test_chebyshev_higher_order_rejected(self):
+        with pytest.raises(DegreeError):
+            LogisticRegressionObjective(2, approximation="chebyshev", order=4)
+
+    def test_unknown_approximation_rejected(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionObjective(2, approximation="pade")
+
+    def test_validate_rejects_non_boolean_labels(self):
+        obj = LogisticRegressionObjective(1)
+        with pytest.raises(DomainError):
+            obj.validate(np.array([[0.5]]), np.array([0.3]))
+
+    def test_higher_order_quadratic_access_raises(self, figure3_example):
+        X, y = figure3_example
+        obj = LogisticRegressionObjective(1, order=4)
+        with pytest.raises(DegreeError):
+            obj.aggregate_quadratic(X, y)
+
+    def test_higher_order_sensitivity_includes_quartic_term(self):
+        d = 3
+        obj = LogisticRegressionObjective(d, order=4)
+        # a_4 = f''''(0)/4! = -1/192; bound adds |a_4| d^4.
+        expected = 2.0 * (d + 0.5 * d + 0.125 * d**2 + (1.0 / 192.0) * d**4)
+        assert obj.sensitivity() == pytest.approx(expected)
+
+
+class TestLemma1Property:
+    """Hypothesis check of Lemma 1: per-tuple L1 mass never exceeds the bound."""
+
+    @given(
+        st.integers(1, 5),
+        st.floats(-1.0, 1.0, allow_nan=False),
+        st.integers(0, 2**30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_linear_per_tuple_bound(self, d, y_val, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.normal(size=d)
+        norm = np.linalg.norm(x)
+        if norm > 1.0:
+            x = x / norm
+        obj = LinearRegressionObjective(d)
+        realized = obj.tuple_polynomial(x, y_val).l1_norm()
+        assert realized <= obj.per_tuple_l1_bound() + 1e-9
+        assert realized <= obj.per_tuple_l1_bound(tight=True) + 1e-9
+
+    @given(
+        st.integers(1, 5),
+        st.integers(0, 1),
+        st.integers(0, 2**30),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_logistic_per_tuple_bound(self, d, y_val, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.normal(size=d)
+        norm = np.linalg.norm(x)
+        if norm > 1.0:
+            x = x / norm
+        obj = LogisticRegressionObjective(d)
+        poly = obj.tuple_polynomial(x, float(y_val))
+        # The bound excludes the tuple-constant a0 (it cancels in neighbor
+        # differences); remove it before comparing.
+        realized = poly.l1_norm() - abs(poly.coefficient((0,) * d))
+        assert realized <= obj.per_tuple_l1_bound() + 1e-9
+        assert realized <= obj.per_tuple_l1_bound(tight=True) + 1e-9
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(31)

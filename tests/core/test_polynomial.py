@@ -1,0 +1,330 @@
+"""Tests for the sparse Polynomial and dense QuadraticForm representations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import Polynomial, QuadraticForm, linear_form_power
+from repro.exceptions import (
+    DegreeError,
+    DimensionMismatchError,
+    UnboundedObjectiveError,
+)
+
+
+def random_quadratic(rng: np.random.Generator, dim: int, definite: bool = True) -> QuadraticForm:
+    A = rng.normal(size=(dim, dim))
+    M = A.T @ A + (np.eye(dim) if definite else -2.0 * np.eye(dim))
+    return QuadraticForm(M=M, alpha=rng.normal(size=dim), beta=float(rng.normal()))
+
+
+# ----------------------------------------------------------------------
+# Polynomial construction and algebra
+# ----------------------------------------------------------------------
+class TestPolynomialConstruction:
+    def test_zero_coefficients_dropped(self):
+        p = Polynomial(2, {(1, 0): 0.0, (0, 1): 2.0})
+        assert p.num_terms == 1
+
+    def test_merges_duplicate_keys_listed_via_accumulation(self):
+        p = Polynomial(2, {(1, 0): 1.5})
+        q = p + Polynomial(2, {(1, 0): -1.5})
+        assert q.num_terms == 0 and q.degree == 0
+
+    def test_wrong_exponent_length_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial(2, {(1, 0, 0): 1.0})
+
+    def test_negative_exponent_raises(self):
+        with pytest.raises(DegreeError):
+            Polynomial(2, {(-1, 0): 1.0})
+
+    def test_non_finite_coefficient_raises(self):
+        with pytest.raises(ValueError):
+            Polynomial(1, {(1,): float("nan")})
+
+    def test_degree(self):
+        p = Polynomial(2, {(0, 0): 1.0, (2, 1): 3.0})
+        assert p.degree == 3
+
+    def test_repr_mentions_terms(self):
+        p = Polynomial(2, {(1, 1): 2.0})
+        assert "w1*w2" in repr(p)
+
+    def test_equality_and_hash(self):
+        p = Polynomial(2, {(1, 0): 1.0})
+        q = Polynomial(2, {(1, 0): 1.0})
+        assert p == q and hash(p) == hash(q)
+
+
+class TestPolynomialArithmetic:
+    def test_add_scalar(self):
+        p = Polynomial.linear([1.0, 2.0]) + 3.0
+        assert p.coefficient((0, 0)) == 3.0
+
+    def test_subtraction(self):
+        p = Polynomial.linear([1.0]) - Polynomial.linear([1.0])
+        assert p.num_terms == 0
+
+    def test_rsub(self):
+        p = 1.0 - Polynomial.linear([2.0])
+        assert p.coefficient((0,)) == 1.0
+        assert p.coefficient((1,)) == -2.0
+
+    def test_multiplication_degrees_add(self):
+        p = Polynomial.linear([1.0, 1.0])
+        assert (p * p).degree == 2
+
+    def test_known_product(self):
+        # (w1 + 2)(w1 - 2) = w1^2 - 4
+        a = Polynomial(1, {(1,): 1.0, (0,): 2.0})
+        b = Polynomial(1, {(1,): 1.0, (0,): -2.0})
+        product = a * b
+        assert product.coefficient((2,)) == 1.0
+        assert product.coefficient((0,)) == -4.0
+        assert product.coefficient((1,)) == 0.0
+
+    def test_power(self):
+        p = Polynomial(1, {(1,): 1.0, (0,): 1.0})  # (w + 1)
+        cubed = p**3
+        assert [cubed.coefficient((k,)) for k in range(4)] == [1.0, 3.0, 3.0, 1.0]
+
+    def test_power_zero_is_one(self):
+        p = Polynomial.linear([5.0])
+        assert (p**0).coefficient((0,)) == 1.0
+
+    def test_negative_power_raises(self):
+        with pytest.raises(DegreeError):
+            Polynomial.linear([1.0]) ** -1
+
+    def test_dim_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial.linear([1.0]) + Polynomial.linear([1.0, 2.0])
+
+    def test_scalar_multiplication(self):
+        p = Polynomial.linear([2.0]) * 0.5
+        assert p.coefficient((1,)) == 1.0
+
+    def test_sum_constructor(self):
+        total = Polynomial.sum([Polynomial.linear([1.0]), Polynomial.linear([2.0])])
+        assert total.coefficient((1,)) == 3.0
+
+    def test_sum_empty_requires_dim(self):
+        with pytest.raises(ValueError):
+            Polynomial.sum([])
+        assert Polynomial.sum([], dim=3).num_terms == 0
+
+
+class TestPolynomialCalculus:
+    def test_evaluate_figure2(self):
+        p = Polynomial(1, {(2,): 2.06, (1,): -2.34, (0,): 1.25})
+        w = 117.0 / 206.0
+        assert p.evaluate(np.array([w])) == pytest.approx(2.06 * w**2 - 2.34 * w + 1.25)
+
+    def test_gradient_matches_finite_difference(self, rng):
+        p = Polynomial(3, {(2, 1, 0): 1.5, (0, 0, 3): -2.0, (1, 1, 1): 0.7})
+        w = rng.normal(size=3)
+        grad = p.gradient(w)
+        eps = 1e-6
+        for k in range(3):
+            shift = np.zeros(3)
+            shift[k] = eps
+            fd = (p.evaluate(w + shift) - p.evaluate(w - shift)) / (2 * eps)
+            assert grad[k] == pytest.approx(fd, rel=1e-4)
+
+    def test_hessian_matches_finite_difference(self, rng):
+        p = Polynomial(2, {(2, 0): 1.0, (1, 1): -3.0, (0, 4): 0.5})
+        w = rng.normal(size=2)
+        hess = p.hessian(w)
+        eps = 1e-5
+        for k in range(2):
+            shift = np.zeros(2)
+            shift[k] = eps
+            fd = (p.gradient(w + shift) - p.gradient(w - shift)) / (2 * eps)
+            np.testing.assert_allclose(hess[:, k], fd, rtol=1e-3, atol=1e-6)
+
+    def test_hessian_symmetric(self, rng):
+        p = Polynomial(3, {(1, 1, 1): 2.0, (2, 0, 1): -1.0})
+        w = rng.normal(size=3)
+        hess = p.hessian(w)
+        np.testing.assert_allclose(hess, hess.T)
+
+    def test_partial_derivative_symbolic(self):
+        p = Polynomial(2, {(2, 1): 3.0})  # 3 w1^2 w2
+        dp = p.partial_derivative(0)
+        assert dp.coefficient((1, 1)) == 6.0
+
+    def test_partial_derivative_of_constant_is_zero(self):
+        assert Polynomial.constant(2, 5.0).partial_derivative(1).num_terms == 0
+
+    def test_partial_derivative_bad_index(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial.constant(2, 1.0).partial_derivative(2)
+
+    def test_evaluate_wrong_dim_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            Polynomial.constant(2, 1.0).evaluate(np.zeros(3))
+
+    def test_l1_norm(self):
+        p = Polynomial(2, {(1, 0): -3.0, (0, 2): 4.0})
+        assert p.l1_norm() == 7.0
+
+
+class TestLinearFormPower:
+    def test_power_zero(self):
+        p = linear_form_power(np.array([2.0, 3.0]), 0)
+        assert p.coefficient((0, 0)) == 1.0
+
+    def test_power_one_recovers_vector(self):
+        p = linear_form_power(np.array([2.0, -3.0]), 1)
+        assert p.coefficient((1, 0)) == 2.0
+        assert p.coefficient((0, 1)) == -3.0
+
+    def test_square_cross_term(self):
+        # (x1 w1 + x2 w2)^2 has coefficient 2 x1 x2 on w1 w2.
+        p = linear_form_power(np.array([1.0, 2.0]), 2)
+        assert p.coefficient((1, 1)) == 4.0
+        assert p.coefficient((2, 0)) == 1.0
+        assert p.coefficient((0, 2)) == 4.0
+
+    @given(
+        st.lists(st.floats(-2, 2, allow_nan=False), min_size=1, max_size=4),
+        st.integers(0, 4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_expansion_matches_direct_power(self, x_list, power):
+        x = np.array(x_list)
+        p = linear_form_power(x, power)
+        rng = np.random.default_rng(0)
+        w = rng.normal(size=len(x_list))
+        assert p.evaluate(w) == pytest.approx(float(x @ w) ** power, rel=1e-9, abs=1e-9)
+
+    def test_l1_norm_is_abs_sum_power(self):
+        # sum of |coefficients| of (x^T w)^k equals (sum |x_j|)^k — the
+        # identity behind the Lemma-1 bounds.
+        x = np.array([0.5, -0.25, 0.3])
+        for k in range(4):
+            p = linear_form_power(x, k)
+            assert p.l1_norm() == pytest.approx(np.abs(x).sum() ** k)
+
+
+# ----------------------------------------------------------------------
+# QuadraticForm
+# ----------------------------------------------------------------------
+class TestQuadraticForm:
+    def test_symmetrizes_M(self):
+        q = QuadraticForm(M=np.array([[1.0, 2.0], [0.0, 1.0]]), alpha=np.zeros(2))
+        np.testing.assert_allclose(q.M, q.M.T)
+
+    def test_symmetrization_preserves_function(self, rng):
+        M = rng.normal(size=(3, 3))
+        alpha = rng.normal(size=3)
+        q = QuadraticForm(M=M, alpha=alpha, beta=1.0)
+        w = rng.normal(size=3)
+        assert q.evaluate(w) == pytest.approx(float(w @ M @ w + alpha @ w + 1.0))
+
+    def test_gradient(self, rng):
+        q = random_quadratic(rng, 3)
+        w = rng.normal(size=3)
+        np.testing.assert_allclose(q.gradient(w), 2.0 * q.M @ w + q.alpha)
+
+    def test_minimize_solves_stationarity(self, rng):
+        q = random_quadratic(rng, 4)
+        w_star = q.minimize()
+        np.testing.assert_allclose(q.gradient(w_star), 0.0, atol=1e-8)
+
+    def test_minimize_is_global_minimum(self, rng):
+        q = random_quadratic(rng, 3)
+        w_star = q.minimize()
+        for _ in range(10):
+            other = w_star + rng.normal(size=3)
+            assert q.evaluate(other) >= q.evaluate(w_star) - 1e-12
+
+    def test_minimize_indefinite_raises(self, rng):
+        q = random_quadratic(rng, 3, definite=False)
+        with pytest.raises(UnboundedObjectiveError):
+            q.minimize()
+
+    def test_with_ridge_shifts_eigenvalues(self, rng):
+        q = random_quadratic(rng, 3)
+        shifted = q.with_ridge(2.0)
+        np.testing.assert_allclose(
+            shifted.eigenvalues(), q.eigenvalues() + 2.0, atol=1e-9
+        )
+
+    def test_add(self, rng):
+        a, b = random_quadratic(rng, 2), random_quadratic(rng, 2)
+        w = rng.normal(size=2)
+        assert (a + b).evaluate(w) == pytest.approx(a.evaluate(w) + b.evaluate(w))
+
+    def test_scale(self, rng):
+        q = random_quadratic(rng, 2)
+        w = rng.normal(size=2)
+        assert q.scale(2.5).evaluate(w) == pytest.approx(2.5 * q.evaluate(w))
+
+    def test_non_square_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            QuadraticForm(M=np.zeros((2, 3)), alpha=np.zeros(2))
+
+    def test_alpha_length_mismatch_raises(self):
+        with pytest.raises(DimensionMismatchError):
+            QuadraticForm(M=np.eye(2), alpha=np.zeros(3))
+
+    def test_non_finite_raises(self):
+        M = np.array([[np.inf, 0.0], [0.0, 1.0]])
+        with pytest.raises(ValueError):
+            QuadraticForm(M=M, alpha=np.zeros(2))
+
+    def test_is_positive_definite(self):
+        assert QuadraticForm(M=np.eye(2), alpha=np.zeros(2)).is_positive_definite()
+        assert not QuadraticForm(M=-np.eye(2), alpha=np.zeros(2)).is_positive_definite()
+
+    def test_copy_is_deep(self, rng):
+        q = random_quadratic(rng, 2)
+        c = q.copy()
+        c.M[0, 0] += 100.0
+        assert q.M[0, 0] != c.M[0, 0]
+
+    def test_zero(self):
+        q = QuadraticForm.zero(3)
+        assert q.evaluate(np.ones(3)) == 0.0
+
+
+class TestConversions:
+    def test_roundtrip_quadratic_to_polynomial(self, rng):
+        q = random_quadratic(rng, 3)
+        p = q.to_polynomial()
+        back = p.to_quadratic_form()
+        np.testing.assert_allclose(back.M, q.M, atol=1e-12)
+        np.testing.assert_allclose(back.alpha, q.alpha, atol=1e-12)
+        assert back.beta == pytest.approx(q.beta)
+
+    def test_polynomial_and_form_evaluate_identically(self, rng):
+        q = random_quadratic(rng, 4)
+        p = q.to_polynomial()
+        for _ in range(5):
+            w = rng.normal(size=4)
+            assert p.evaluate(w) == pytest.approx(q.evaluate(w), rel=1e-10)
+
+    def test_cross_term_convention(self):
+        # coefficient of w1 w2 must equal 2 * M[0, 1] for symmetric M.
+        q = QuadraticForm(M=np.array([[0.0, 1.5], [1.5, 0.0]]), alpha=np.zeros(2))
+        assert q.to_polynomial().coefficient((1, 1)) == 3.0
+
+    def test_degree_three_conversion_raises(self):
+        p = Polynomial(2, {(2, 1): 1.0})
+        with pytest.raises(DegreeError):
+            p.to_quadratic_form()
+
+    @given(st.integers(1, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_roundtrip_property(self, dim):
+        rng = np.random.default_rng(dim)
+        q = random_quadratic(rng, dim)
+        back = q.to_polynomial().to_quadratic_form()
+        np.testing.assert_allclose(back.M, q.M, atol=1e-10)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)

@@ -1,0 +1,124 @@
+"""Hypothesis property tests for the polynomial algebra.
+
+The Functional Mechanism's correctness rests on this algebra faithfully
+representing objective functions, so its ring axioms and the
+evaluation homomorphism are checked under randomized inputs.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import Polynomial
+
+
+@st.composite
+def polynomials(draw, dim=2, max_degree=3, max_terms=5):
+    """Random sparse polynomials with small-integer coefficients."""
+    n_terms = draw(st.integers(0, max_terms))
+    terms = {}
+    for _ in range(n_terms):
+        exps = tuple(
+            draw(st.integers(0, max_degree)) for _ in range(dim)
+        )
+        terms[exps] = float(draw(st.integers(-5, 5)))
+    return Polynomial(dim, terms)
+
+
+def points(seed, dim=2):
+    return np.random.default_rng(seed).uniform(-1.5, 1.5, size=dim)
+
+
+class TestRingAxioms:
+    @given(polynomials(), polynomials(), st.integers(0, 2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_addition_commutative(self, p, q, seed):
+        w = points(seed)
+        assert (p + q).evaluate(w) == pytest.approx((q + p).evaluate(w), abs=1e-9)
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=40, deadline=None)
+    def test_addition_associative(self, p, q, r):
+        assert (p + q) + r == p + (q + r)
+
+    @given(polynomials(), polynomials(), st.integers(0, 2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_multiplication_commutative(self, p, q, seed):
+        w = points(seed)
+        assert (p * q).evaluate(w) == pytest.approx((q * p).evaluate(w), rel=1e-9, abs=1e-9)
+
+    @given(polynomials(), polynomials(), polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_distributivity(self, p, q, r):
+        assert p * (q + r) == p * q + p * r
+
+    @given(polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_additive_inverse(self, p):
+        assert (p + (-p)).num_terms == 0
+
+    @given(polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_multiplicative_identity(self, p):
+        one = Polynomial.constant(2, 1.0)
+        assert p * one == p
+
+
+class TestEvaluationHomomorphism:
+    """evaluate() must be a ring homomorphism Polynomial -> R at any point."""
+
+    @given(polynomials(), polynomials(), st.integers(0, 2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_respects_addition(self, p, q, seed):
+        w = points(seed)
+        assert (p + q).evaluate(w) == pytest.approx(
+            p.evaluate(w) + q.evaluate(w), abs=1e-8
+        )
+
+    @given(polynomials(), polynomials(), st.integers(0, 2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_respects_multiplication(self, p, q, seed):
+        w = points(seed)
+        assert (p * q).evaluate(w) == pytest.approx(
+            p.evaluate(w) * q.evaluate(w), rel=1e-8, abs=1e-8
+        )
+
+    @given(polynomials(), st.integers(2, 4))
+    @settings(max_examples=30, deadline=None)
+    def test_power_consistent_with_repeated_product(self, p, k):
+        repeated = Polynomial.constant(2, 1.0)
+        for _ in range(k):
+            repeated = repeated * p
+        assert p**k == repeated
+
+
+class TestCalculusProperties:
+    @given(polynomials(), polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_derivative_linear(self, p, q):
+        assert (p + q).partial_derivative(0) == (
+            p.partial_derivative(0) + q.partial_derivative(0)
+        )
+
+    @given(polynomials(), polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_product_rule(self, p, q):
+        lhs = (p * q).partial_derivative(1)
+        rhs = p.partial_derivative(1) * q + p * q.partial_derivative(1)
+        assert lhs == rhs
+
+    @given(polynomials())
+    @settings(max_examples=30, deadline=None)
+    def test_mixed_partials_commute(self, p):
+        assert (
+            p.partial_derivative(0).partial_derivative(1)
+            == p.partial_derivative(1).partial_derivative(0)
+        )
+
+    @given(polynomials(), st.integers(0, 2**30))
+    @settings(max_examples=40, deadline=None)
+    def test_evaluation_bounded_by_l1_norm_on_unit_cube(self, p, seed):
+        # |p(w)| <= sum |coeff| for ||w||_inf <= 1 — the inequality behind
+        # the Lemma-1 style bounds.
+        w = np.clip(points(seed), -1.0, 1.0)
+        assert abs(p.evaluate(w)) <= p.l1_norm() + 1e-9

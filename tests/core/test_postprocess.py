@@ -1,0 +1,167 @@
+"""Tests for Section-6 post-processing (regularization, spectral trimming, rerun)."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial import QuadraticForm
+from repro.core.postprocess import (
+    NoRepair,
+    Regularization,
+    RerunUntilBounded,
+    SpectralTrimming,
+    get_strategy,
+)
+from repro.exceptions import UnboundedObjectiveError
+
+
+def definite_form(dim: int = 3, seed: int = 0) -> QuadraticForm:
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(dim, dim))
+    return QuadraticForm(M=A.T @ A + np.eye(dim), alpha=rng.normal(size=dim), beta=0.5)
+
+
+def indefinite_form(dim: int = 3, seed: int = 0) -> QuadraticForm:
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(dim, dim))
+    M = A.T @ A
+    M[0, 0] -= 50.0  # force a strongly negative eigenvalue
+    return QuadraticForm(M=M, alpha=rng.normal(size=dim), beta=0.0)
+
+
+class TestNoRepair:
+    def test_solves_definite(self):
+        form = definite_form()
+        result = NoRepair().solve(form, noise_std=1.0)
+        np.testing.assert_allclose(result.omega, form.minimize())
+        assert not result.repaired
+        assert result.privacy_cost_factor == 1.0
+
+    def test_raises_on_indefinite(self):
+        with pytest.raises(UnboundedObjectiveError):
+            NoRepair().solve(indefinite_form(), noise_std=1.0)
+
+
+class TestRegularization:
+    def test_lambda_is_four_times_noise_std(self):
+        result = Regularization().solve(definite_form(), noise_std=2.5)
+        assert result.lam == pytest.approx(10.0)
+
+    def test_repairs_mildly_indefinite(self):
+        # Smallest eigenvalue -0.5; lambda = 4 x 1.0 repairs it.
+        form = QuadraticForm(
+            M=np.diag([-0.5, 1.0, 2.0]), alpha=np.array([1.0, -1.0, 0.5]), beta=0.0
+        )
+        result = Regularization(multiplier=4.0).solve(form, noise_std=1.0)
+        assert result.repaired
+        assert np.all(np.isfinite(result.omega))
+
+    def test_raises_when_lambda_insufficient(self):
+        with pytest.raises(UnboundedObjectiveError):
+            Regularization(multiplier=0.1).solve(indefinite_form(), noise_std=1.0)
+
+    def test_ridge_biases_towards_origin(self):
+        form = definite_form()
+        raw = form.minimize()
+        result = Regularization(multiplier=4.0).solve(form, noise_std=5.0)
+        assert np.linalg.norm(result.omega) < np.linalg.norm(raw)
+
+    def test_rejects_negative_multiplier(self):
+        with pytest.raises(ValueError):
+            Regularization(multiplier=-1.0)
+
+    def test_marks_clean_solve_unrepaired(self):
+        result = Regularization().solve(definite_form(), noise_std=0.001)
+        assert not result.repaired
+
+
+class TestSpectralTrimming:
+    def test_clean_form_matches_regularization(self):
+        form = definite_form()
+        trim = SpectralTrimming().solve(form, noise_std=1.0)
+        reg = Regularization().solve(form, noise_std=1.0)
+        np.testing.assert_allclose(trim.omega, reg.omega, atol=1e-10)
+        assert trim.trimmed == 0
+
+    def test_repairs_strongly_indefinite(self):
+        result = SpectralTrimming(multiplier=0.0).solve(indefinite_form(), noise_std=1.0)
+        assert result.trimmed >= 1
+        assert result.repaired
+        assert np.all(np.isfinite(result.omega))
+
+    def test_trimmed_solution_minimizes_in_subspace(self):
+        form = indefinite_form(dim=4, seed=3)
+        result = SpectralTrimming(multiplier=0.0).solve(form, noise_std=1.0)
+        # In the retained eigenspace the gradient must vanish: project the
+        # full gradient onto the positive eigenvectors.
+        eigenvalues, eigenvectors = np.linalg.eigh(form.M)
+        keep = eigenvalues > 1e-12
+        Q = eigenvectors[:, keep].T
+        projected_gradient = Q @ form.gradient(result.omega)
+        np.testing.assert_allclose(projected_gradient, 0.0, atol=1e-8)
+
+    def test_minimum_norm_preimage(self):
+        # omega must lie in the span of the retained eigenvectors.
+        form = indefinite_form(dim=4, seed=5)
+        result = SpectralTrimming(multiplier=0.0).solve(form, noise_std=1.0)
+        eigenvalues, eigenvectors = np.linalg.eigh(form.M)
+        drop = eigenvectors[:, eigenvalues <= 1e-12]
+        np.testing.assert_allclose(drop.T @ result.omega, 0.0, atol=1e-10)
+
+    def test_all_negative_spectrum_returns_origin(self):
+        form = QuadraticForm(M=-np.eye(3), alpha=np.ones(3), beta=0.0)
+        result = SpectralTrimming(multiplier=0.0).solve(form, noise_std=0.0)
+        np.testing.assert_allclose(result.omega, 0.0)
+        assert result.trimmed == 3
+
+    def test_never_raises_on_random_indefinite(self):
+        for seed in range(25):
+            rng = np.random.default_rng(seed)
+            M = rng.normal(size=(4, 4))
+            form = QuadraticForm(M=M + M.T, alpha=rng.normal(size=4), beta=0.0)
+            result = SpectralTrimming().solve(form, noise_std=0.5)
+            assert np.all(np.isfinite(result.omega))
+
+
+class TestRerunUntilBounded:
+    def test_privacy_cost_factor_is_two(self):
+        form = definite_form()
+        result = RerunUntilBounded().solve(form, noise_std=1.0, renoise=lambda: form)
+        assert result.privacy_cost_factor == 2.0
+
+    def test_redraws_until_definite(self):
+        bad = indefinite_form()
+        good = definite_form()
+        calls = {"n": 0}
+
+        def renoise():
+            calls["n"] += 1
+            return bad if calls["n"] < 3 else good
+
+        result = RerunUntilBounded().solve(bad, noise_std=1.0, renoise=renoise)
+        assert result.attempts == 4  # initial + 3 redraws
+        assert result.repaired
+
+    def test_requires_renoise(self):
+        with pytest.raises(ValueError):
+            RerunUntilBounded().solve(definite_form(), noise_std=1.0, renoise=None)
+
+    def test_gives_up_after_max_attempts(self):
+        bad = indefinite_form()
+        with pytest.raises(UnboundedObjectiveError):
+            RerunUntilBounded(max_attempts=5).solve(bad, noise_std=1.0, renoise=lambda: bad)
+
+
+class TestStrategyRegistry:
+    def test_resolve_by_name(self):
+        assert isinstance(get_strategy("none"), NoRepair)
+        assert isinstance(get_strategy("regularize"), Regularization)
+        assert isinstance(get_strategy("spectral"), SpectralTrimming)
+        assert isinstance(get_strategy("rerun"), RerunUntilBounded)
+
+    def test_instance_passthrough(self):
+        custom = SpectralTrimming(multiplier=2.0)
+        assert get_strategy(custom) is custom
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError):
+            get_strategy("magic")

@@ -1,0 +1,155 @@
+"""Tests for the Section-5 Taylor machinery."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.taylor import (
+    ScalarTerm,
+    logistic_truncation_error_bound,
+    logistic_truncation_error_bound_two_sided,
+    sigmoid_polynomial_derivative,
+    softplus,
+    softplus_derivatives,
+    softplus_term,
+    taylor_polynomial,
+)
+from repro.exceptions import DegreeError
+
+
+class TestSoftplusDerivatives:
+    def test_paper_values_at_zero(self):
+        # Section 5.1: f(0) = log 2, f'(0) = 1/2, f''(0) = 1/4.
+        values = softplus_derivatives(2)
+        assert values[0] == pytest.approx(math.log(2.0))
+        assert values[1] == pytest.approx(0.5)
+        assert values[2] == pytest.approx(0.25)
+
+    def test_odd_higher_derivatives_vanish_at_zero(self):
+        # Softplus minus z/2 is even, so odd derivatives >= 3 vanish at 0.
+        values = softplus_derivatives(7)
+        assert values[3] == pytest.approx(0.0, abs=1e-15)
+        assert values[5] == pytest.approx(0.0, abs=1e-15)
+        assert values[7] == pytest.approx(0.0, abs=1e-15)
+
+    def test_fourth_derivative_at_zero(self):
+        assert softplus_derivatives(4)[4] == pytest.approx(-0.125)
+
+    def test_derivatives_match_finite_differences(self):
+        at = 0.3
+        values = softplus_derivatives(3, at=at)
+        eps = 1e-5
+        fd1 = (softplus(at + eps) - softplus(at - eps)) / (2 * eps)
+        assert values[1] == pytest.approx(fd1, rel=1e-6)
+        fd2 = (softplus(at + eps) - 2 * softplus(at) + softplus(at - eps)) / eps**2
+        assert values[2] == pytest.approx(fd2, rel=1e-4)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(DegreeError):
+            softplus_derivatives(-1)
+
+    @given(st.floats(-3, 3, allow_nan=False))
+    @settings(max_examples=30, deadline=None)
+    def test_first_derivative_is_sigmoid(self, z):
+        values = softplus_derivatives(1, at=z)
+        assert values[1] == pytest.approx(1.0 / (1.0 + math.exp(-z)), rel=1e-12)
+
+
+class TestSigmoidPolynomialRecursion:
+    def test_derivative_of_sigma(self):
+        # d/dz s = s - s^2.
+        assert sigmoid_polynomial_derivative([0.0, 1.0]) == [0.0, 1.0, -1.0]
+
+    def test_derivative_of_constant_is_zero(self):
+        # Output always has one more slot; a constant differentiates to 0.
+        assert sigmoid_polynomial_derivative([3.0]) == [0.0, 0.0]
+
+    def test_length_grows_by_one(self):
+        assert len(sigmoid_polynomial_derivative([1.0, 2.0, 3.0])) == 4
+
+
+class TestTaylorPolynomial:
+    def test_degree_two_matches_paper_coefficients(self):
+        x = np.array([0.5, -0.25])
+        poly = taylor_polynomial(softplus_term(), x, 2)
+        # log 2 + (1/2)(x^T w) + (1/8)(x^T w)^2 expanded.
+        assert poly.coefficient((0, 0)) == pytest.approx(math.log(2.0))
+        assert poly.coefficient((1, 0)) == pytest.approx(0.5 * 0.5)
+        assert poly.coefficient((0, 1)) == pytest.approx(0.5 * -0.25)
+        assert poly.coefficient((2, 0)) == pytest.approx(0.125 * 0.25)
+        assert poly.coefficient((1, 1)) == pytest.approx(0.125 * 2 * 0.5 * -0.25)
+
+    def test_approximation_quality_near_zero(self):
+        x = np.array([0.6])
+        poly = taylor_polynomial(softplus_term(), x, 2)
+        for w in np.linspace(-1.0, 1.0, 21):
+            exact = float(softplus(0.6 * w))
+            approx = poly.evaluate(np.array([w]))
+            assert abs(exact - approx) < 0.01
+
+    def test_higher_order_improves_fit(self):
+        x = np.array([1.0])
+        p2 = taylor_polynomial(softplus_term(), x, 2)
+        p4 = taylor_polynomial(softplus_term(), x, 4)
+        grid = np.linspace(-1.0, 1.0, 41)
+        err2 = max(abs(float(softplus(w)) - p2.evaluate(np.array([w]))) for w in grid)
+        err4 = max(abs(float(softplus(w)) - p4.evaluate(np.array([w]))) for w in grid)
+        assert err4 < err2
+
+    def test_nonzero_expansion_point(self):
+        term = ScalarTerm(
+            name="exp", derivatives=lambda k, at: [math.exp(at)] * (k + 1),
+            expansion_point=1.0,
+        )
+        x = np.array([1.0])
+        poly = taylor_polynomial(term, x, 3)
+        # Taylor of e^z at 1 evaluated at z = 1 must be exact.
+        assert poly.evaluate(np.array([1.0])) == pytest.approx(math.e, rel=1e-9)
+
+    def test_negative_order_raises(self):
+        with pytest.raises(DegreeError):
+            taylor_polynomial(softplus_term(), np.array([1.0]), -2)
+
+    def test_order_zero_is_constant(self):
+        poly = taylor_polynomial(softplus_term(), np.array([0.7, 0.1]), 0)
+        assert poly.degree == 0
+        assert poly.coefficient((0, 0)) == pytest.approx(math.log(2.0))
+
+
+class TestErrorBounds:
+    def test_paper_constant(self):
+        # Section 5.2: (e^2 - e) / (6 (1 + e)^3) ~= 0.015.
+        assert logistic_truncation_error_bound() == pytest.approx(0.01514, abs=2e-4)
+
+    def test_two_sided_is_double(self):
+        assert logistic_truncation_error_bound_two_sided() == pytest.approx(
+            2.0 * logistic_truncation_error_bound()
+        )
+
+    def test_third_derivative_extrema_match_term_metadata(self):
+        # Extrema over the Lemma-4 interval |z| <= 1 sit at the endpoints.
+        term = softplus_term()
+        lo, hi = term.third_derivative_range
+        zs = np.linspace(-1, 1, 2001)
+        s = 1.0 / (1.0 + np.exp(-zs))
+        third = s * (1 - s) * (1 - 2 * s)
+        assert third.max() == pytest.approx(hi, abs=1e-6)
+        assert third.min() == pytest.approx(lo, abs=1e-6)
+
+    def test_global_extrema_exceed_interval_extrema(self):
+        # Sanity on the docstring claim: the global |f'''| max (~0.0962)
+        # is larger than the paper's interval constant (~0.0908).
+        term = softplus_term()
+        zs = np.linspace(-6, 6, 8001)
+        s = 1.0 / (1.0 + np.exp(-zs))
+        third = s * (1 - s) * (1 - 2 * s)
+        assert third.max() > term.third_derivative_range[1]
+
+
+class TestScalarTerm:
+    def test_taylor_coefficients_divide_by_factorial(self):
+        term = softplus_term()
+        coeffs = term.taylor_coefficients(2)
+        assert coeffs[2] == pytest.approx(0.25 / 2.0)  # the paper's 1/8

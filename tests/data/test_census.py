@@ -1,0 +1,137 @@
+"""Tests for the synthetic census generator."""
+
+import numpy as np
+import pytest
+
+from repro.data.census import (
+    BRAZIL_DEFAULT_SIZE,
+    US_DEFAULT_SIZE,
+    generate_census,
+    load_brazil,
+    load_us,
+)
+from repro.data.schema import CENSUS_ATTRIBUTES, INCOME_CAP
+from repro.exceptions import DataError
+
+
+@pytest.fixture(scope="module")
+def us():
+    return load_us(30_000)
+
+
+@pytest.fixture(scope="module")
+def brazil():
+    return load_brazil(30_000)
+
+
+class TestGeneration:
+    def test_default_sizes_match_paper(self):
+        assert US_DEFAULT_SIZE == 370_000
+        assert BRAZIL_DEFAULT_SIZE == 190_000
+
+    def test_shapes(self, us):
+        assert us.features.shape == (30_000, 13)
+        assert us.income.shape == (30_000,)
+
+    def test_reproducible_default_seed(self):
+        a = load_us(100)
+        b = load_us(100)
+        np.testing.assert_array_equal(a.features, b.features)
+        np.testing.assert_array_equal(a.income, b.income)
+
+    def test_different_seeds_differ(self):
+        a = generate_census("us", 100, rng=1)
+        b = generate_census("us", 100, rng=2)
+        assert not np.array_equal(a.features, b.features)
+
+    def test_rejects_unknown_country(self):
+        with pytest.raises(DataError):
+            generate_census("narnia", 10)
+
+    def test_rejects_zero_rows(self):
+        with pytest.raises(DataError):
+            generate_census("us", 0)
+
+
+class TestDomains:
+    def test_all_attributes_within_declared_domains(self, us, brazil):
+        for ds in (us, brazil):
+            for i, spec in enumerate(CENSUS_ATTRIBUTES):
+                column = ds.features[:, i]
+                assert column.min() >= spec.lower - 1e-9, spec.name
+                assert column.max() <= spec.upper + 1e-9, spec.name
+
+    def test_income_within_cap(self, us, brazil):
+        for ds in (us, brazil):
+            assert ds.income.min() >= 0.0
+            assert ds.income.max() <= INCOME_CAP[ds.country]
+
+    def test_binary_attributes_are_binary(self, us):
+        for i, spec in enumerate(CENSUS_ATTRIBUTES):
+            if spec.kind == "binary":
+                assert set(np.unique(us.features[:, i])) <= {0.0, 1.0}, spec.name
+
+
+class TestRealism:
+    def test_marital_binaries_mutually_exclusive(self, us):
+        single = us.column("Is Single")
+        married = us.column("Is Married")
+        assert np.max(single + married) <= 1.0
+
+    def test_some_divorced_or_widowed_exist(self, us):
+        single = us.column("Is Single")
+        married = us.column("Is Married")
+        assert np.mean((single == 0) & (married == 0)) > 0.01
+
+    def test_income_right_skewed(self, us):
+        # Census income: mean above median, long right tail.
+        assert us.income.mean() > np.median(us.income)
+        assert np.percentile(us.income, 99) > 3 * np.median(us.income)
+
+    def test_income_concentated_below_cap(self, us):
+        # The concentration that starves 2-bin histograms of signal.
+        assert np.median(us.income) < 0.25 * INCOME_CAP["us"]
+
+    def test_hours_spike_at_forty(self, us):
+        hours = us.column("Working Hours per Week")
+        workers = hours[hours > 0]
+        assert np.mean(workers == 40.0) > 0.3
+
+    def test_some_non_workers(self, us):
+        hours = us.column("Working Hours per Week")
+        assert np.mean(hours == 0.0) > 0.05
+
+    def test_education_milestone_spikes(self, us):
+        edu = us.column("Education")
+        assert np.mean(edu == 12.0) > 0.1
+
+    def test_education_income_correlation_positive(self, us):
+        corr = np.corrcoef(us.column("Education"), us.income)[0, 1]
+        assert corr > 0.2
+
+    def test_disability_increases_with_age(self, us):
+        age = us.column("Age")
+        dis = us.column("Disability")
+        young = dis[age < 35].mean()
+        old = dis[age > 65].mean()
+        assert old > 2 * young
+
+    def test_married_rate_rises_with_age(self, us):
+        age = us.column("Age")
+        married = us.column("Is Married")
+        assert married[age > 40].mean() > married[age < 25].mean()
+
+    def test_brazil_lower_education(self, us, brazil):
+        assert brazil.column("Education").mean() < us.column("Education").mean()
+
+    def test_brazil_lower_income(self, us, brazil):
+        assert np.median(brazil.income) < np.median(us.income)
+
+    def test_children_bounded_by_family(self, us):
+        children = us.column("Number of Children")
+        family = us.column("Family Size")
+        assert np.all(children <= family)
+
+    def test_ownership_correlates_with_income(self, us):
+        own = us.column("Ownership of Dwelling")
+        assert us.income[own == 1].mean() > us.income[own == 0].mean()

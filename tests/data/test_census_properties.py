@@ -1,0 +1,61 @@
+"""Hypothesis property tests for the census generator.
+
+Whatever the seed, size or country, generated data must satisfy the
+declared schema invariants — the privacy analysis depends on them (domain
+bounds feed the sensitivity), so a generator that strays breaks the DP
+guarantee silently.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.data.census import generate_census
+from repro.data.schema import CENSUS_ATTRIBUTES, INCOME_CAP
+
+
+@given(
+    st.sampled_from(["us", "brazil"]),
+    st.integers(1, 400),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=25, deadline=None)
+def test_domains_hold_for_any_seed(country, n, seed):
+    ds = generate_census(country, n, rng=seed)
+    for i, spec in enumerate(CENSUS_ATTRIBUTES):
+        column = ds.features[:, i]
+        assert column.min() >= spec.lower - 1e-9
+        assert column.max() <= spec.upper + 1e-9
+        if spec.kind == "binary":
+            assert set(np.unique(column)) <= {0.0, 1.0}
+    assert ds.income.min() >= 0.0
+    assert ds.income.max() <= INCOME_CAP[country] + 1e-6
+
+
+@given(
+    st.sampled_from(["us", "brazil"]),
+    st.integers(50, 400),
+    st.integers(0, 2**31),
+)
+@settings(max_examples=15, deadline=None)
+def test_structural_invariants_for_any_seed(country, n, seed):
+    ds = generate_census(country, n, rng=seed)
+    single = ds.column("Is Single")
+    married = ds.column("Is Married")
+    assert np.max(single + married) <= 1.0
+    assert np.all(ds.column("Number of Children") <= ds.column("Family Size"))
+    hours = ds.column("Working Hours per Week")
+    assert np.all((hours == 0.0) | (hours >= 1.0))
+
+
+@given(st.integers(2, 200), st.integers(0, 2**31))
+@settings(max_examples=15, deadline=None)
+def test_normalized_task_always_footnote_compliant(n, seed):
+    ds = generate_census("us", n, rng=seed)
+    for task in ("linear", "logistic"):
+        prepared = ds.regression_task(task, dims=14)
+        assert np.linalg.norm(prepared.X, axis=1).max() <= 1.0 + 1e-9
+        if task == "linear":
+            assert np.abs(prepared.y).max() <= 1.0
+        else:
+            assert set(np.unique(prepared.y)) <= {0.0, 1.0}

@@ -1,0 +1,70 @@
+"""Tests for the census attribute schema."""
+
+import pytest
+
+from repro.data.schema import (
+    CENSUS_ATTRIBUTES,
+    INCOME_CAP,
+    INCOME_THRESHOLD,
+    SUBSET_BY_DIMENSIONALITY,
+    AttributeSpec,
+    feature_names,
+    subset_for_dims,
+)
+
+
+class TestSchema:
+    def test_thirteen_predictors(self):
+        # 12 raw attributes + marital expansion = 13 predictors (paper: 14
+        # dims including income).
+        assert len(CENSUS_ATTRIBUTES) == 13
+
+    def test_marital_expanded(self):
+        names = feature_names()
+        assert "Is Single" in names and "Is Married" in names
+        assert "Marital Status" not in names
+
+    def test_binary_attributes_have_unit_domain(self):
+        for spec in CENSUS_ATTRIBUTES:
+            if spec.kind == "binary":
+                assert (spec.lower, spec.upper) == (0.0, 1.0)
+
+    def test_all_domains_valid(self):
+        for spec in CENSUS_ATTRIBUTES:
+            assert spec.upper > spec.lower
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            AttributeSpec("Broken", "binary", 1.0, 0.0)
+
+    def test_caps_and_thresholds_for_both_countries(self):
+        for country in ("us", "brazil"):
+            assert INCOME_CAP[country] > INCOME_THRESHOLD[country] > 0
+
+
+class TestSubsets:
+    def test_table2_dimensionalities(self):
+        assert sorted(SUBSET_BY_DIMENSIONALITY) == [5, 8, 11, 14]
+
+    def test_subset_sizes_match_paper(self):
+        # dims counts attributes including Annual Income.
+        for dims, subset in SUBSET_BY_DIMENSIONALITY.items():
+            assert len(subset) == dims - 1
+
+    def test_paper_five_dim_subset(self):
+        assert subset_for_dims(5) == ("Age", "Gender", "Education", "Family Size")
+
+    def test_subsets_are_nested(self):
+        s5, s8, s11, s14 = (set(subset_for_dims(d)) for d in (5, 8, 11, 14))
+        assert s5 < s8 < s11 < s14
+
+    def test_eleven_adds_marital_and_children(self):
+        added = set(subset_for_dims(11)) - set(subset_for_dims(8))
+        assert added == {"Is Single", "Is Married", "Number of Children"}
+
+    def test_fourteen_is_everything(self):
+        assert set(subset_for_dims(14)) == set(feature_names())
+
+    def test_unknown_dims_rejected(self):
+        with pytest.raises(ValueError):
+            subset_for_dims(7)

@@ -1,0 +1,53 @@
+"""Tests for stand-alone data transforms."""
+
+import numpy as np
+import pytest
+
+from repro.data.transforms import (
+    census_feature_scaler,
+    expand_marital_status,
+    prepare_linear_target,
+    prepare_logistic_target,
+)
+from repro.exceptions import DataError
+
+
+class TestMaritalExpansion:
+    def test_paper_semantics(self):
+        single, married = expand_marital_status(np.array([0, 1, 2, 1, 0]))
+        np.testing.assert_array_equal(single, [1, 0, 0, 0, 1])
+        np.testing.assert_array_equal(married, [0, 1, 0, 1, 0])
+
+    def test_divorced_widowed_zero_on_both(self):
+        single, married = expand_marital_status(np.array([2, 2]))
+        assert single.sum() == 0 and married.sum() == 0
+
+    def test_invalid_code_rejected(self):
+        with pytest.raises(DataError):
+            expand_marital_status(np.array([0, 3]))
+
+
+class TestCensusFeatureScaler:
+    def test_matches_subset_width(self):
+        for dims in (5, 8, 11, 14):
+            scaler = census_feature_scaler(dims)
+            assert scaler.dim == dims - 1
+
+    def test_age_bounds_from_schema(self):
+        scaler = census_feature_scaler(5)
+        assert scaler.lower[0] == 16.0 and scaler.upper[0] == 95.0
+
+    def test_scaled_norm_bound(self):
+        scaler = census_feature_scaler(5)
+        X = np.array([[95.0, 1.0, 18.0, 15.0]])  # everything at max
+        assert np.linalg.norm(scaler.transform(X)) == pytest.approx(1.0)
+
+
+class TestTargetPreparation:
+    def test_linear_range(self):
+        y = prepare_linear_target(np.array([0.0, 150_000.0, 300_000.0]), cap=300_000.0)
+        np.testing.assert_allclose(y, [-1.0, 0.0, 1.0])
+
+    def test_logistic_threshold(self):
+        y = prepare_logistic_target(np.array([10.0, 30.0]), threshold=20.0)
+        np.testing.assert_array_equal(y, [0.0, 1.0])

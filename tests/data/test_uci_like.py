@@ -1,0 +1,70 @@
+"""Tests for the UCI-Adult-like dataset."""
+
+import numpy as np
+import pytest
+
+from repro.core.models import FMLogisticRegression
+from repro.data.uci_like import ADULT_ATTRIBUTES, AdultLikeDataset, load_adult_like
+from repro.exceptions import DataError
+from repro.regression.logistic import LogisticRegressionModel
+
+
+@pytest.fixture(scope="module")
+def adult():
+    return load_adult_like()
+
+
+class TestGeneration:
+    def test_default_size_matches_uci_train_split(self, adult):
+        assert adult.n == 30_162
+
+    def test_positive_rate_near_canonical(self, adult):
+        # UCI Adult: ~24.8% of the cleaned train split earns > 50K.
+        assert 0.18 <= adult.label.mean() <= 0.32
+
+    def test_domains_respected(self, adult):
+        for i, (name, lower, upper) in enumerate(ADULT_ATTRIBUTES):
+            column = adult.features[:, i]
+            assert column.min() >= lower - 1e-9, name
+            assert column.max() <= upper + 1e-9, name
+
+    def test_capital_gain_zero_inflated(self, adult):
+        gains = adult.features[:, 3]
+        assert np.mean(gains == 0.0) > 0.8
+        assert gains.max() > 10_000
+
+    def test_reproducible(self):
+        a = load_adult_like(500)
+        b = load_adult_like(500)
+        np.testing.assert_array_equal(a.features, b.features)
+
+    def test_invalid_size(self):
+        with pytest.raises(DataError):
+            load_adult_like(0)
+
+    def test_container_validation(self):
+        with pytest.raises(DataError):
+            AdultLikeDataset(np.zeros((5, 3)), np.zeros(5))
+        with pytest.raises(DataError):
+            AdultLikeDataset(np.zeros((5, 6)), np.zeros(4))
+
+
+class TestTask:
+    def test_normalization(self, adult):
+        X, y = adult.logistic_task()
+        assert np.linalg.norm(X, axis=1).max() <= 1.0 + 1e-9
+        assert set(np.unique(y)) <= {0.0, 1.0}
+
+    def test_signal_is_learnable(self, adult):
+        # Non-private reference fit with an intercept column (the >50K
+        # boundary is a shifted halfspace, not a cone through the origin).
+        X, y = adult.logistic_task()
+        X_b = np.hstack([X, np.ones((X.shape[0], 1))])
+        model = LogisticRegressionModel().fit(X_b, y)
+        majority_error = min(y.mean(), 1 - y.mean())
+        assert model.score_misclassification(X_b, y) < majority_error
+
+    def test_fm_fits_privately(self, adult):
+        X, y = adult.logistic_task()
+        model = FMLogisticRegression(epsilon=0.8, rng=0, fit_intercept=True).fit(X, y)
+        assert model.score_misclassification(X, y) <= 0.5

@@ -1,0 +1,65 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figure4_defaults(self):
+        args = build_parser().parse_args(["figure4"])
+        assert args.country == "us"
+        assert args.task == "linear"
+        assert args.scale == "smoke"
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure99"])
+
+    def test_scale_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figure4", "--scale", "galactic"])
+
+
+class TestCommands:
+    def test_table2(self, capsys):
+        assert main(["table2"]) == 0
+        out = capsys.readouterr().out
+        assert "sampling rates" in out
+        assert "0.1" in out and "3.2" in out
+
+    def test_figure2(self, capsys):
+        assert main(["figure2", "--epsilon", "1.0", "--seed", "0"]) == 0
+        out = capsys.readouterr().out
+        assert "2.06" in out and "argmin" in out
+
+    def test_figure3(self, capsys):
+        assert main(["figure3"]) == 0
+        assert "f^_D(w)" in capsys.readouterr().out
+
+    def test_figure4_smoke(self, capsys):
+        assert main(["figure4", "--scale", "smoke", "--task", "linear"]) == 0
+        out = capsys.readouterr().out
+        assert "mean square error vs dimensionality" in out
+        assert "ordering flags" in out
+
+    def test_figure6_logistic_smoke(self, capsys):
+        assert (
+            main(["figure6", "--scale", "smoke", "--task", "logistic",
+                  "--country", "brazil"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "misclassification rate" in out
+        assert "Truncated" in out
+
+    def test_figure7_smoke(self, capsys):
+        assert main(["figure7", "--scale", "smoke"]) == 0
+        assert "computation time" in capsys.readouterr().out
+
+    def test_convergence(self, capsys):
+        assert main(["convergence", "--task", "linear"]) == 0
+        assert "noise/signal" in capsys.readouterr().out

@@ -1,0 +1,69 @@
+"""Tests for the Table-2 configuration."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import (
+    DEFAULT,
+    DEFAULT_DIMENSIONALITY,
+    DEFAULT_EPSILON,
+    DEFAULT_SAMPLING_RATE,
+    DIMENSIONALITIES,
+    FULL,
+    LINEAR_ALGORITHMS,
+    LOGISTIC_ALGORITHMS,
+    PRIVACY_BUDGETS,
+    SAMPLING_RATES,
+    SMOKE,
+    ScalePreset,
+)
+
+
+class TestTable2:
+    def test_sampling_rates(self):
+        assert SAMPLING_RATES == (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0)
+
+    def test_dimensionalities(self):
+        assert DIMENSIONALITIES == (5, 8, 11, 14)
+
+    def test_privacy_budgets(self):
+        assert PRIVACY_BUDGETS == (3.2, 1.6, 0.8, 0.4, 0.2, 0.1)
+
+    def test_defaults_in_ranges(self):
+        assert DEFAULT_SAMPLING_RATE in SAMPLING_RATES
+        assert DEFAULT_DIMENSIONALITY in DIMENSIONALITIES
+        assert DEFAULT_EPSILON in PRIVACY_BUDGETS
+
+    def test_algorithm_panels(self):
+        # Truncated only appears on the logistic panels (Section 7.1).
+        assert "Truncated" not in LINEAR_ALGORITHMS
+        assert "Truncated" in LOGISTIC_ALGORITHMS
+        for name in ("FM", "DPME", "FP", "NoPrivacy"):
+            assert name in LINEAR_ALGORITHMS
+            assert name in LOGISTIC_ALGORITHMS
+
+
+class TestScalePreset:
+    def test_full_matches_paper_protocol(self):
+        assert FULL.folds == 5
+        assert FULL.repetitions == 50
+        assert FULL.max_records is None
+
+    def test_cardinality_capped(self):
+        assert DEFAULT.cardinality(10**9) == DEFAULT.max_records
+        assert SMOKE.cardinality(1000) == 1000
+
+    def test_full_uses_everything(self):
+        assert FULL.cardinality(370_000) == 370_000
+
+    def test_invalid_folds(self):
+        with pytest.raises(ExperimentError):
+            ScalePreset(name="bad", max_records=None, folds=1, repetitions=1)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ExperimentError):
+            ScalePreset(name="bad", max_records=None, folds=5, repetitions=0)
+
+    def test_records_below_folds_rejected(self):
+        with pytest.raises(ExperimentError):
+            ScalePreset(name="bad", max_records=3, folds=5, repetitions=1)

@@ -1,0 +1,80 @@
+"""Tests for result rendering."""
+
+import pytest
+
+from repro.experiments.figures import (
+    SweepResult,
+    figure2_objective_example,
+)
+from repro.experiments.harness import EvaluationResult
+from repro.experiments.reporting import (
+    format_objective_curve,
+    format_sweep_table,
+    format_time_table,
+    summarize_ordering,
+)
+
+
+def _result(name: str, score: float, seconds: float = 0.01) -> EvaluationResult:
+    return EvaluationResult(
+        algorithm=name, task="linear", mean_score=score, std_score=0.0,
+        mean_fit_seconds=seconds, cells=5, n_train=100,
+    )
+
+
+@pytest.fixture
+def sweep():
+    return SweepResult(
+        figure="figure4",
+        panel="US-Linear",
+        task="linear",
+        parameter="dimensionality",
+        values=(5, 8),
+        series={
+            "FM": (_result("FM", 0.06), _result("FM", 0.07)),
+            "DPME": (_result("DPME", 0.09, 0.5), _result("DPME", 0.12, 0.6)),
+            "NoPrivacy": (_result("NoPrivacy", 0.05), _result("NoPrivacy", 0.05)),
+        },
+    )
+
+
+class TestTables:
+    def test_sweep_table_contains_all_columns(self, sweep):
+        table = format_sweep_table(sweep)
+        for name in ("FM", "DPME", "NoPrivacy"):
+            assert name in table
+        assert "mean square error" in table
+        assert "dimensionality" in table
+
+    def test_sweep_table_rows(self, sweep):
+        table = format_sweep_table(sweep)
+        assert "0.0600" in table and "0.1200" in table
+
+    def test_time_table(self, sweep):
+        table = format_time_table(sweep)
+        assert "computation time" in table
+        assert "0.5" in table
+
+    def test_objective_curve_rendering(self):
+        curve = figure2_objective_example(rng=0)
+        text = format_objective_curve(curve, ("f_D", "noisy"))
+        assert "2.06" in text
+        assert "argmin" in text
+
+
+class TestOrderingSummary:
+    def test_flags(self, sweep):
+        flags = summarize_ordering(sweep)
+        assert flags["fm_beats_dpme"] is True
+        assert flags["noprivacy_best"] is True
+
+    def test_fm_losing_detected(self):
+        sweep = SweepResult(
+            figure="figure4", panel="US-Linear", task="linear",
+            parameter="dimensionality", values=(5,),
+            series={
+                "FM": (_result("FM", 0.5),),
+                "DPME": (_result("DPME", 0.1),),
+            },
+        )
+        assert summarize_ordering(sweep)["fm_beats_dpme"] is False

@@ -1,0 +1,42 @@
+"""Tests for the timing harness."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.timing import fm_speedup_over, time_fit
+
+
+@pytest.fixture(scope="module")
+def data():
+    rng = np.random.default_rng(0)
+    d = 6
+    X = rng.uniform(0, 1 / np.sqrt(d), size=(20_000, d))
+    w = rng.normal(0, 0.5, d)
+    y = (X @ w > np.median(X @ w)).astype(float)
+    return X, y
+
+
+class TestTimeFit:
+    def test_basic(self, data):
+        X, y = data
+        timing = time_fit("FM", X, y, "logistic", repetitions=2)
+        assert timing.mean_seconds > 0
+        assert timing.min_seconds <= timing.mean_seconds
+        assert timing.repetitions == 2
+
+    def test_kwargs_forwarded(self, data):
+        X, y = data
+        timing = time_fit(
+            "FM", X, y, "logistic", repetitions=1,
+            algorithm_kwargs={"post_processing": "regularize"},
+        )
+        assert timing.mean_seconds > 0
+
+
+class TestSpeedup:
+    def test_fm_faster_than_noprivacy_logistic(self, data):
+        # The Figure-7 headline: FM solves a quadratic, NoPrivacy iterates
+        # Newton over all tuples.  At 20k x 6 the gap is already large.
+        X, y = data
+        speedup = fm_speedup_over("NoPrivacy", X, y, task="logistic", repetitions=2)
+        assert speedup > 3.0

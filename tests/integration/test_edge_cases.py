@@ -1,0 +1,138 @@
+"""Failure injection and degenerate-input behaviour across the stack.
+
+A production library must fail predictably (or degrade gracefully) on the
+inputs real pipelines produce by accident: single-row tables, constant
+features, single-class labels, extreme budgets.  Every behaviour asserted
+here is the *documented* one — raise a library error or return a finite,
+well-defined answer, never crash with a numpy internals traceback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DPME, FilterPriority, NoPrivacy, Truncated
+from repro.core.models import FMLinearRegression, FMLogisticRegression
+from repro.exceptions import DataError, ReproError
+from repro.regression.linear import LinearRegression
+from repro.regression.logistic import LogisticRegressionModel
+
+
+class TestSingleRow:
+    def test_fm_linear_single_row(self):
+        model = FMLinearRegression(epsilon=1.0, rng=0)
+        model.fit(np.array([[0.5]]), np.array([0.3]))
+        assert np.isfinite(model.coef_).all()
+
+    def test_fm_logistic_single_row(self):
+        model = FMLogisticRegression(epsilon=1.0, rng=0)
+        model.fit(np.array([[0.5]]), np.array([1.0]))
+        assert np.isfinite(model.coef_).all()
+
+    def test_dpme_single_row(self):
+        model = DPME(task="linear", epsilon=1.0, rng=0)
+        model.fit(np.array([[0.5]]), np.array([0.3]))
+        assert np.isfinite(model.coef_).all()
+
+    def test_fp_single_row(self):
+        model = FilterPriority(task="linear", epsilon=1.0, rng=0)
+        model.fit(np.array([[0.5]]), np.array([0.3]))
+        assert np.isfinite(model.coef_).all()
+
+
+class TestConstantFeatures:
+    def test_all_zero_features_linear(self):
+        # X = 0 -> M = 0 -> the noisy objective's curvature is pure noise;
+        # the spectral repair must still release something finite.
+        X = np.zeros((100, 3))
+        y = np.random.default_rng(0).uniform(-1, 1, 100)
+        model = FMLinearRegression(epsilon=1.0, rng=0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_duplicate_columns_linear(self):
+        rng = np.random.default_rng(1)
+        col = rng.uniform(0, 0.5, size=(200, 1))
+        X = np.hstack([col, col])  # rank 1
+        y = np.clip(col.ravel() * 0.8, -1, 1)
+        model = FMLinearRegression(epsilon=2.0, rng=0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_truncated_rank_deficient(self):
+        col = np.full((50, 1), 0.3)
+        X = np.hstack([col, col])
+        y = np.full(50, 0.5)
+        model = Truncated(task="linear").fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+
+class TestSingleClassLabels:
+    def test_fm_logistic_all_ones(self):
+        rng = np.random.default_rng(2)
+        X = rng.uniform(0, 0.5, size=(500, 2))
+        model = FMLogisticRegression(epsilon=1.0, rng=0).fit(X, np.ones(500))
+        assert np.isfinite(model.coef_).all()
+
+    def test_exact_logistic_all_zeros_does_not_crash(self):
+        rng = np.random.default_rng(3)
+        X = rng.uniform(0, 0.5, size=(200, 2))
+        model = LogisticRegressionModel(max_iterations=25).fit(X, np.zeros(200))
+        # MLE diverges towards -inf scores; the solver must stop cleanly.
+        assert np.isfinite(model.coef_).all()
+
+    def test_dpme_logistic_single_class(self):
+        rng = np.random.default_rng(4)
+        X = rng.uniform(0, 0.5, size=(500, 2))
+        model = DPME(task="logistic", epsilon=1.0, rng=0).fit(X, np.ones(500))
+        assert np.isfinite(model.coef_).all()
+
+
+class TestExtremeBudgets:
+    def test_tiny_epsilon_still_finite(self):
+        rng = np.random.default_rng(5)
+        X = rng.uniform(0, 0.5, size=(300, 2))
+        y = np.clip(X @ np.array([0.5, -0.5]), -1, 1)
+        model = FMLinearRegression(epsilon=1e-6, rng=0).fit(X, y)
+        assert np.isfinite(model.coef_).all()
+
+    def test_huge_epsilon_recovers_ols(self):
+        rng = np.random.default_rng(6)
+        X = rng.uniform(0, 0.5, size=(300, 2))
+        y = np.clip(X @ np.array([0.5, -0.5]) + rng.normal(0, 0.01, 300), -1, 1)
+        fm = FMLinearRegression(epsilon=1e9, rng=0).fit(X, y)
+        ols = LinearRegression().fit(X, y)
+        np.testing.assert_allclose(fm.coef_, ols.coef_, atol=1e-4)
+
+    def test_non_positive_epsilon_rejected(self):
+        with pytest.raises(ReproError):
+            FMLinearRegression(epsilon=0.0).fit(np.array([[0.1]]), np.array([0.1]))
+
+
+class TestDimensionOne:
+    def test_d1_pipeline(self, figure2_example):
+        X, y = figure2_example
+        for model in (
+            FMLinearRegression(epsilon=2.0, rng=0),
+            NoPrivacy(task="linear"),
+            Truncated(task="linear"),
+        ):
+            model.fit(X, y)
+            assert np.isfinite(model.predict(X)).all()
+
+
+class TestErrorHierarchy:
+    def test_all_library_errors_catchable_as_repro_error(self):
+        # A caller guarding with `except ReproError` must catch everything.
+        cases = [
+            lambda: FMLinearRegression(epsilon=1.0).fit(
+                np.array([[5.0]]), np.array([0.0])  # norm violation
+            ),
+            lambda: FMLogisticRegression(epsilon=1.0).fit(
+                np.array([[0.1]]), np.array([0.5])  # non-boolean label
+            ),
+            lambda: LinearRegression().fit(np.zeros((0, 1)), np.zeros(0)),
+            lambda: DPME(task="linear", epsilon=1.0).fit(
+                np.zeros((0, 1)), np.zeros(0)
+            ),
+        ]
+        for case in cases:
+            with pytest.raises(ReproError):
+                case()

@@ -1,0 +1,76 @@
+"""Exact reproduction of every concrete number the paper states.
+
+These tests are the tightest form of reproduction check: Section 4.2's
+worked example, the quoted sensitivity formulas, the Taylor coefficients of
+Section 5.1, and the Section 5.2 error constant.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+)
+from repro.core.taylor import (
+    logistic_truncation_error_bound,
+    softplus_derivatives,
+)
+
+
+class TestSection42Example:
+    """D = {(1, 0.4), (0.9, 0.3), (-0.5, -1)}; f_D = 2.06w^2 - 2.34w + 1.25."""
+
+    def setup_method(self):
+        self.X = np.array([[1.0], [0.9], [-0.5]])
+        self.y = np.array([0.4, 0.3, -1.0])
+        self.objective = LinearRegressionObjective(1)
+
+    def test_objective_coefficients(self):
+        poly = self.objective.aggregate_polynomial(self.X, self.y)
+        assert poly.coefficient((2,)) == pytest.approx(2.06)
+        assert poly.coefficient((1,)) == pytest.approx(-2.34)
+        assert poly.coefficient((0,)) == pytest.approx(1.25)
+
+    def test_optimal_omega_is_117_over_206(self):
+        form = self.objective.aggregate_quadratic(self.X, self.y)
+        assert form.minimize()[0] == pytest.approx(117.0 / 206.0, rel=1e-12)
+
+    def test_delta_is_8(self):
+        # "Line 1 of Algorithm 1 would set Delta = 2 (d + 1)^2 = 8".
+        assert self.objective.sensitivity() == 8.0
+
+
+class TestQuotedFormulas:
+    def test_linear_sensitivity_2d_plus_1_squared(self):
+        for d in range(1, 20):
+            assert LinearRegressionObjective(d).sensitivity() == pytest.approx(
+                2.0 * (1.0 + 2.0 * d + d * d)
+            )
+
+    def test_logistic_sensitivity_quarter_d_squared_plus_3d(self):
+        for d in range(1, 20):
+            assert LogisticRegressionObjective(d).sensitivity() == pytest.approx(
+                d * d / 4.0 + 3.0 * d
+            )
+
+    def test_section51_taylor_values(self):
+        # f1^(0)(0) = log 2, f1^(1)(0) = 1/2, f1^(2)(0) = 1/4.
+        f0, f1, f2 = softplus_derivatives(2)
+        assert f0 == pytest.approx(math.log(2.0))
+        assert f1 == pytest.approx(0.5)
+        assert f2 == pytest.approx(0.25)
+
+    def test_section52_error_constant(self):
+        # (e^2 - e) / (6 (1 + e)^3) ~= 0.015.
+        expected = (math.e**2 - math.e) / (6.0 * (1.0 + math.e) ** 3)
+        assert logistic_truncation_error_bound() == pytest.approx(expected)
+        assert expected == pytest.approx(0.015, abs=2e-4)
+
+    def test_noise_scale_per_coefficient(self):
+        # Algorithm 1 adds Lap(2(d+1)^2 / eps) for linear regression.
+        d, eps = 13, 0.8
+        obj = LinearRegressionObjective(d)
+        assert obj.sensitivity() / eps == pytest.approx(2 * (d + 1) ** 2 / eps)

@@ -1,0 +1,131 @@
+"""Tests for the privacy-budget accountant."""
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, InvalidBudgetError
+from repro.privacy.budget import PrivacyBudget
+
+
+class TestConstruction:
+    def test_valid(self):
+        assert PrivacyBudget(1.0).total == 1.0
+
+    def test_rejects_zero(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(0.0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(-1.0)
+
+    def test_rejects_infinite(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(float("inf"))
+
+
+class TestSpending:
+    def test_sequential_composition_adds(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.25)
+        budget.spend(0.25)
+        assert budget.spent == pytest.approx(0.5)
+        assert budget.remaining == pytest.approx(0.5)
+
+    def test_exhaustion_raises_with_context(self):
+        budget = PrivacyBudget(0.5)
+        budget.spend(0.4)
+        with pytest.raises(BudgetExhaustedError) as err:
+            budget.spend(0.2)
+        assert err.value.requested == pytest.approx(0.2)
+        assert err.value.remaining == pytest.approx(0.1)
+
+    def test_can_spend(self):
+        budget = PrivacyBudget(1.0)
+        assert budget.can_spend(1.0)
+        budget.spend(0.7)
+        assert not budget.can_spend(0.4)
+
+    def test_exact_exhaustion_allowed(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        budget.spend(0.5)
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_float_accumulation_tolerated(self):
+        budget = PrivacyBudget(1.0)
+        for _ in range(10):
+            budget.spend(0.1)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_non_positive_spend(self):
+        budget = PrivacyBudget(1.0)
+        with pytest.raises(InvalidBudgetError):
+            budget.spend(0.0)
+        with pytest.raises(InvalidBudgetError):
+            budget.spend(-0.1)
+
+    def test_ledger_records_notes(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.3, note="histogram")
+        budget.spend(0.2, note="fit")
+        assert [e.note for e in budget.ledger] == ["histogram", "fit"]
+        assert [e.epsilon for e in budget.ledger] == [0.3, 0.2]
+
+    def test_repr(self):
+        budget = PrivacyBudget(2.0)
+        budget.spend(0.5)
+        text = repr(budget)
+        assert "2" in text and "0.5" in text
+
+
+class TestSplit:
+    def test_children_share_parent_budget(self):
+        budget = PrivacyBudget(1.0)
+        children = budget.split([0.5, 0.5])
+        assert [c.total for c in children] == [0.5, 0.5]
+        assert budget.remaining == pytest.approx(0.0)
+
+    def test_partial_fractions_allowed(self):
+        budget = PrivacyBudget(1.0)
+        children = budget.split([0.25, 0.25])
+        assert [c.total for c in children] == [0.25, 0.25]
+
+    def test_split_respects_prior_spend(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(0.5)
+        children = budget.split([1.0])
+        assert children[0].total == pytest.approx(0.5)
+
+    def test_overcommitted_fractions_rejected(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0).split([0.7, 0.7])
+
+    def test_empty_fractions_rejected(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0).split([])
+
+    def test_non_positive_fraction_rejected(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget(1.0).split([0.5, 0.0])
+
+    def test_exhausted_budget_cannot_split(self):
+        budget = PrivacyBudget(1.0)
+        budget.spend(1.0)
+        with pytest.raises(BudgetExhaustedError):
+            budget.split([0.5])
+
+
+class TestParallelComposition:
+    def test_max_rule(self):
+        assert PrivacyBudget.parallel_composition([0.1, 0.5, 0.3]) == 0.5
+
+    def test_single(self):
+        assert PrivacyBudget.parallel_composition([0.2]) == 0.2
+
+    def test_rejects_empty(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget.parallel_composition([])
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget.parallel_composition([0.1, -0.2])

@@ -1,0 +1,73 @@
+"""Tests for the exponential mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidBudgetError, SensitivityError
+from repro.privacy.exponential import (
+    ExponentialMechanism,
+    exponential_mechanism_probabilities,
+)
+
+
+class TestProbabilities:
+    def test_normalized(self):
+        probs = exponential_mechanism_probabilities([1.0, 2.0, 3.0], 1.0, 1.0)
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_monotone_in_score(self):
+        probs = exponential_mechanism_probabilities([1.0, 2.0, 3.0], 1.0, 1.0)
+        assert probs[0] < probs[1] < probs[2]
+
+    def test_exact_two_candidate_ratio(self):
+        # p2/p1 = exp(eps (q2 - q1) / (2 S)).
+        eps, S = 2.0, 1.0
+        probs = exponential_mechanism_probabilities([0.0, 1.0], eps, S)
+        assert probs[1] / probs[0] == pytest.approx(math.exp(eps / 2.0))
+
+    def test_uniform_for_equal_scores(self):
+        probs = exponential_mechanism_probabilities([5.0, 5.0, 5.0], 1.0, 1.0)
+        np.testing.assert_allclose(probs, 1.0 / 3.0)
+
+    def test_large_scores_no_overflow(self):
+        probs = exponential_mechanism_probabilities([1e6, 1e6 + 1], 10.0, 1.0)
+        assert np.all(np.isfinite(probs))
+        assert probs.sum() == pytest.approx(1.0)
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidBudgetError):
+            exponential_mechanism_probabilities([1.0], 0.0, 1.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            exponential_mechanism_probabilities([1.0], 1.0, 0.0)
+
+    def test_rejects_empty_scores(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([], 1.0, 1.0)
+
+    def test_rejects_non_finite_scores(self):
+        with pytest.raises(ValueError):
+            exponential_mechanism_probabilities([1.0, float("inf")], 1.0, 1.0)
+
+
+class TestSelection:
+    def test_select_returns_valid_index(self):
+        mech = ExponentialMechanism(epsilon=1.0, rng=0)
+        for _ in range(20):
+            assert 0 <= mech.select([1.0, 2.0, 3.0]) < 3
+
+    def test_empirical_frequencies_match_probabilities(self):
+        mech = ExponentialMechanism(epsilon=2.0, rng=1)
+        scores = [0.0, 1.0, 2.0]
+        expected = mech.probabilities(scores)
+        draws = np.array([mech.select(scores) for _ in range(20_000)])
+        for i in range(3):
+            assert np.mean(draws == i) == pytest.approx(expected[i], abs=0.015)
+
+    def test_high_epsilon_concentrates_on_best(self):
+        mech = ExponentialMechanism(epsilon=200.0, rng=2)
+        draws = [mech.select([0.0, 0.5, 1.0]) for _ in range(100)]
+        assert all(d == 2 for d in draws)

@@ -1,0 +1,73 @@
+"""Tests for the two-sided geometric mechanism."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidBudgetError, SensitivityError
+from repro.privacy.geometric import GeometricMechanism, two_sided_geometric_noise
+
+
+class TestNoise:
+    def test_integer_output(self):
+        noise = two_sided_geometric_noise(1.0, 1.0, rng=0)
+        assert isinstance(noise, int)
+
+    def test_array_dtype(self):
+        noise = two_sided_geometric_noise(1.0, 1.0, size=10, rng=0)
+        assert noise.dtype == np.int64
+
+    def test_zero_sensitivity(self):
+        assert two_sided_geometric_noise(0.0, 1.0, rng=0) == 0
+
+    def test_symmetric(self):
+        draws = two_sided_geometric_noise(1.0, 1.0, size=100_000, rng=1)
+        assert abs(float(np.mean(draws))) < 0.02
+
+    def test_variance_matches_theory(self):
+        # Var = 2a / (1 - a)^2 with a = exp(-eps/S).
+        eps, S = 1.0, 1.0
+        a = math.exp(-eps / S)
+        expected = 2 * a / (1 - a) ** 2
+        draws = two_sided_geometric_noise(S, eps, size=200_000, rng=2)
+        assert float(np.var(draws)) == pytest.approx(expected, rel=0.03)
+
+    def test_pmf_ratio_bounded_by_exp_eps(self):
+        # Adjacent-count probability ratio <= e^eps: empirical check.
+        eps = 0.5
+        draws = two_sided_geometric_noise(1.0, eps, size=400_000, rng=3)
+        values, counts = np.unique(draws, return_counts=True)
+        probs = dict(zip(values.tolist(), (counts / draws.size).tolist()))
+        for k in range(-3, 3):
+            if probs.get(k, 0) > 1e-3 and probs.get(k + 1, 0) > 1e-3:
+                ratio = probs[k] / probs[k + 1]
+                assert ratio <= math.exp(eps) * 1.1
+
+    def test_rejects_bad_epsilon(self):
+        with pytest.raises(InvalidBudgetError):
+            two_sided_geometric_noise(1.0, 0.0)
+
+    def test_rejects_bad_sensitivity(self):
+        with pytest.raises(SensitivityError):
+            two_sided_geometric_noise(-1.0, 1.0)
+
+
+class TestMechanism:
+    def test_randomize_integer_counts(self):
+        mech = GeometricMechanism(epsilon=1.0, sensitivity=2.0, rng=0)
+        counts = np.array([5, 0, 12], dtype=np.int64)
+        noisy = mech.randomize(counts)
+        assert noisy.dtype == np.int64
+        assert noisy.shape == counts.shape
+
+    def test_rejects_float_counts(self):
+        mech = GeometricMechanism(epsilon=1.0, rng=0)
+        with pytest.raises(TypeError):
+            mech.randomize(np.array([1.5, 2.5]))
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(InvalidBudgetError):
+            GeometricMechanism(epsilon=-1.0)
+        with pytest.raises(SensitivityError):
+            GeometricMechanism(epsilon=1.0, sensitivity=-2.0)

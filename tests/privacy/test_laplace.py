@@ -1,0 +1,131 @@
+"""Tests for the Laplace mechanism and distribution helpers."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exceptions import InvalidBudgetError, SensitivityError
+from repro.privacy.budget import PrivacyBudget
+from repro.privacy.laplace import (
+    LaplaceMechanism,
+    laplace_cdf,
+    laplace_logpdf,
+    laplace_noise,
+    laplace_pdf,
+    laplace_scale,
+)
+
+
+class TestLaplaceScale:
+    def test_basic(self):
+        assert laplace_scale(8.0, 2.0) == 4.0
+
+    def test_zero_sensitivity_allowed(self):
+        assert laplace_scale(0.0, 1.0) == 0.0
+
+    def test_rejects_bad_epsilon(self):
+        for eps in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidBudgetError):
+                laplace_scale(1.0, eps)
+
+    def test_rejects_bad_sensitivity(self):
+        for s in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(SensitivityError):
+                laplace_scale(s, 1.0)
+
+
+class TestLaplaceNoise:
+    def test_scalar_output(self):
+        noise = laplace_noise(1.0, 1.0, rng=0)
+        assert isinstance(noise, float)
+
+    def test_array_shape(self):
+        noise = laplace_noise(1.0, 1.0, size=(3, 4), rng=0)
+        assert noise.shape == (3, 4)
+
+    def test_zero_sensitivity_is_exact(self):
+        assert laplace_noise(0.0, 1.0, rng=0) == 0.0
+        assert np.all(laplace_noise(0.0, 1.0, size=5, rng=0) == 0.0)
+
+    def test_empirical_scale(self):
+        draws = laplace_noise(2.0, 1.0, size=200_000, rng=1)
+        # For Laplace(b): E|X| = b.
+        assert np.mean(np.abs(draws)) == pytest.approx(2.0, rel=0.02)
+
+    def test_zero_mean(self):
+        draws = laplace_noise(1.0, 1.0, size=200_000, rng=2)
+        assert np.mean(draws) == pytest.approx(0.0, abs=0.02)
+
+    def test_seeded_reproducibility(self):
+        a = laplace_noise(1.0, 1.0, size=10, rng=3)
+        b = laplace_noise(1.0, 1.0, size=10, rng=3)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestDistributionHelpers:
+    def test_pdf_integrates_to_one(self):
+        xs = np.linspace(-40, 40, 200_001)
+        pdf = laplace_pdf(xs, scale=2.0)
+        assert np.trapezoid(pdf, xs) == pytest.approx(1.0, abs=1e-6)
+
+    def test_logpdf_consistent(self):
+        xs = np.array([-1.0, 0.0, 2.5])
+        np.testing.assert_allclose(
+            laplace_logpdf(xs, 1.5), np.log(laplace_pdf(xs, 1.5))
+        )
+
+    def test_cdf_limits(self):
+        assert laplace_cdf(-50.0, 1.0) == pytest.approx(0.0, abs=1e-12)
+        assert laplace_cdf(50.0, 1.0) == pytest.approx(1.0, abs=1e-12)
+        assert laplace_cdf(0.0, 1.0) == pytest.approx(0.5)
+
+    def test_cdf_monotone(self):
+        xs = np.linspace(-5, 5, 101)
+        cdf = laplace_cdf(xs, 0.7)
+        assert np.all(np.diff(cdf) >= 0)
+
+    def test_cdf_matches_empirical(self):
+        draws = laplace_noise(1.0, 1.0, size=100_000, rng=4)
+        for q in (-1.0, 0.5, 2.0):
+            empirical = np.mean(draws <= q)
+            assert laplace_cdf(q, 1.0) == pytest.approx(empirical, abs=0.01)
+
+    def test_helpers_reject_bad_scale(self):
+        with pytest.raises(ValueError):
+            laplace_pdf(0.0, 0.0)
+        with pytest.raises(ValueError):
+            laplace_logpdf(0.0, -1.0)
+        with pytest.raises(ValueError):
+            laplace_cdf(0.0, 0.0)
+
+
+class TestLaplaceMechanism:
+    def test_randomize_scalar(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=0)
+        out = mech.randomize(10.0)
+        assert isinstance(out, float) and out != 10.0
+
+    def test_randomize_vector_shape(self):
+        mech = LaplaceMechanism(epsilon=1.0, sensitivity=1.0, rng=0)
+        assert mech.randomize(np.zeros(7)).shape == (7,)
+
+    def test_noise_std_formula(self):
+        mech = LaplaceMechanism(epsilon=2.0, sensitivity=8.0)
+        assert mech.scale == 4.0
+        assert mech.noise_std == pytest.approx(4.0 * math.sqrt(2.0))
+
+    def test_budget_integration(self):
+        budget = PrivacyBudget(1.0)
+        mech = LaplaceMechanism(epsilon=0.6, sensitivity=1.0, budget=budget, rng=0)
+        mech.randomize(0.0)
+        assert budget.remaining == pytest.approx(0.4)
+        with pytest.raises(Exception):
+            mech.randomize(0.0)
+
+    @given(st.floats(0.1, 10.0), st.floats(0.1, 10.0))
+    @settings(max_examples=25, deadline=None)
+    def test_scale_property(self, sensitivity, epsilon):
+        mech = LaplaceMechanism(epsilon=epsilon, sensitivity=sensitivity)
+        assert mech.scale == pytest.approx(sensitivity / epsilon)

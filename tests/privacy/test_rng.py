@@ -1,0 +1,80 @@
+"""Tests for RNG plumbing."""
+
+import numpy as np
+import pytest
+
+from repro.privacy.rng import derive_substream, ensure_rng, spawn
+
+
+class TestEnsureRng:
+    def test_none_gives_generator(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_int_seed_reproducible(self):
+        a = ensure_rng(42).integers(0, 1 << 30)
+        b = ensure_rng(42).integers(0, 1 << 30)
+        assert a == b
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(0)
+        assert ensure_rng(gen) is gen
+
+    def test_seed_sequence_accepted(self):
+        seq = np.random.SeedSequence(7)
+        assert isinstance(ensure_rng(seq), np.random.Generator)
+
+    def test_legacy_randomstate_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng(np.random.RandomState(0))
+
+    def test_string_rejected(self):
+        with pytest.raises(TypeError):
+            ensure_rng("seed")
+
+
+class TestSpawn:
+    def test_count(self):
+        children = spawn(0, 5)
+        assert len(children) == 5
+
+    def test_children_independent_streams(self):
+        children = spawn(0, 2)
+        a = children[0].normal(size=100)
+        b = children[1].normal(size=100)
+        assert abs(np.corrcoef(a, b)[0, 1]) < 0.5
+
+    def test_zero_count(self):
+        assert spawn(0, 0) == []
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)
+
+
+class TestDeriveSubstream:
+    def test_same_tag_same_stream(self):
+        a = derive_substream(7, [1, 2]).integers(0, 1 << 30)
+        b = derive_substream(7, [1, 2]).integers(0, 1 << 30)
+        assert a == b
+
+    def test_different_tags_differ(self):
+        a = derive_substream(7, [1, 2]).integers(0, 1 << 30, size=4)
+        b = derive_substream(7, [1, 3]).integers(0, 1 << 30, size=4)
+        assert not np.array_equal(a, b)
+
+    def test_scalar_tag(self):
+        a = derive_substream(7, 3).integers(0, 1 << 30)
+        b = derive_substream(7, [3]).integers(0, 1 << 30)
+        assert a == b
+
+    def test_integer_seed_not_consumed(self):
+        # Deriving from an int seed must not depend on call order.
+        first = derive_substream(11, [0]).integers(0, 1 << 30)
+        derive_substream(11, [5])  # unrelated derivation in between
+        second = derive_substream(11, [0]).integers(0, 1 << 30)
+        assert first == second
+
+    def test_generator_parent_accepted(self):
+        gen = np.random.default_rng(0)
+        child = derive_substream(gen, [1])
+        assert isinstance(child, np.random.Generator)

@@ -1,0 +1,98 @@
+"""Tests for the norm-preserving polynomial feature map."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.models import FMLinearRegression
+from repro.exceptions import DataError
+from repro.regression.features import PolynomialFeatureMap
+from repro.regression.linear import LinearRegression
+
+
+class TestShape:
+    def test_output_dim(self):
+        assert PolynomialFeatureMap(2).output_dim == 5  # x1 x2 x1^2 x1x2 x2^2
+        assert PolynomialFeatureMap(3).output_dim == 3 + 6
+
+    def test_quadratic_only(self):
+        phi = PolynomialFeatureMap(3, include_linear=False)
+        assert phi.output_dim == 6
+
+    def test_feature_names(self):
+        names = PolynomialFeatureMap(2).feature_names(["a", "b"])
+        assert names == ["a", "b", "a^2", "a*b", "b^2"]
+
+    def test_wrong_name_count(self):
+        with pytest.raises(DataError):
+            PolynomialFeatureMap(2).feature_names(["only-one"])
+
+    def test_invalid_dim(self):
+        with pytest.raises(DataError):
+            PolynomialFeatureMap(0)
+
+    def test_wrong_width(self):
+        with pytest.raises(DataError):
+            PolynomialFeatureMap(2).transform(np.zeros((3, 3)))
+
+
+class TestNormPreservation:
+    def test_unit_vector_maps_to_unit_norm(self):
+        phi = PolynomialFeatureMap(2)
+        out = phi.transform(np.array([[0.6, 0.8]]))
+        assert np.linalg.norm(out) == pytest.approx(1.0)
+
+    @given(st.integers(1, 5), st.integers(0, 2**30))
+    @settings(max_examples=50, deadline=None)
+    def test_ball_maps_into_ball(self, d, seed):
+        gen = np.random.default_rng(seed)
+        x = gen.normal(size=d)
+        norm = np.linalg.norm(x)
+        if norm > 1.0:
+            x = x / norm * gen.uniform(0, 1)
+        phi = PolynomialFeatureMap(d)
+        out = phi.transform(x[None, :])
+        assert np.linalg.norm(out) <= 1.0 + 1e-9
+
+    def test_quadratic_block_is_frobenius_flattening(self):
+        # ||v(x)|| must equal ||x||^2 exactly.
+        x = np.array([[0.3, -0.5, 0.2]])
+        phi = PolynomialFeatureMap(3, include_linear=False)
+        out = phi.transform(x)
+        assert np.linalg.norm(out) == pytest.approx(np.linalg.norm(x) ** 2)
+
+
+class TestPrivatePolynomialRegression:
+    def test_captures_curvature_plain_fm_cannot(self):
+        # y = x^2 relationship on [-1, 1]-ish domain: the linear model is
+        # helpless, the expanded model fits it.
+        rng = np.random.default_rng(0)
+        x = rng.uniform(-0.9, 0.9, size=(20_000, 1))
+        y = np.clip(x[:, 0] ** 2 + rng.normal(0, 0.02, 20_000), -1, 1)
+        phi = PolynomialFeatureMap(1)
+        X_expanded = phi.transform(x)
+
+        plain = FMLinearRegression(epsilon=10.0, rng=1).fit(x, y)
+        curved = FMLinearRegression(epsilon=10.0, rng=1).fit(X_expanded, y)
+        assert curved.score_mse(X_expanded, y) < 0.25 * plain.score_mse(x, y)
+
+    def test_matches_nonprivate_polynomial_fit_at_high_epsilon(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(-0.7, 0.7, size=(5_000, 2))
+        y = np.clip(
+            0.5 * x[:, 0] ** 2 - 0.3 * x[:, 0] * x[:, 1] + 0.2 * x[:, 1], -1, 1
+        )
+        phi = PolynomialFeatureMap(2)
+        X_expanded = phi.transform(x)
+        fm = FMLinearRegression(epsilon=1e8, rng=0).fit(X_expanded, y)
+        ols = LinearRegression().fit(X_expanded, y)
+        np.testing.assert_allclose(fm.coef_, ols.coef_, atol=1e-3)
+
+    def test_sensitivity_grows_with_expanded_dimension(self):
+        rng = np.random.default_rng(2)
+        x = rng.uniform(-0.5, 0.5, size=(100, 2))
+        y = np.clip(x[:, 0], -1, 1)
+        phi = PolynomialFeatureMap(2)
+        model = FMLinearRegression(epsilon=1.0, rng=0).fit(phi.transform(x), y)
+        # Expanded d = 5 -> Delta = 2 * 6^2.
+        assert model.record_.sensitivity == pytest.approx(72.0)

@@ -1,0 +1,96 @@
+"""Tests for the paper's accuracy metrics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regression.metrics import (
+    accuracy,
+    log_loss,
+    mean_absolute_error,
+    mean_squared_error,
+    misclassification_rate,
+    r2_score,
+    root_mean_squared_error,
+)
+
+
+class TestMSE:
+    def test_perfect_prediction(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert mean_squared_error(y, y) == 0.0
+
+    def test_known_value(self):
+        assert mean_squared_error([0.0, 0.0], [1.0, -1.0]) == 1.0
+
+    def test_rmse(self):
+        assert root_mean_squared_error([0.0, 0.0], [2.0, -2.0]) == 2.0
+
+    def test_mae(self):
+        assert mean_absolute_error([0.0, 0.0], [1.0, -3.0]) == 2.0
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], [])
+
+    @given(st.lists(st.floats(-10, 10), min_size=1, max_size=30))
+    @settings(max_examples=30, deadline=None)
+    def test_nonnegative(self, values):
+        y = np.array(values)
+        shifted = y + 1.0
+        assert mean_squared_error(y, shifted) >= 0.0
+
+
+class TestR2:
+    def test_perfect(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, y) == pytest.approx(1.0)
+
+    def test_mean_prediction_is_zero(self):
+        y = np.array([1.0, 2.0, 3.0])
+        assert r2_score(y, np.full(3, 2.0)) == pytest.approx(0.0)
+
+    def test_constant_target_perfect_prediction(self):
+        y = np.ones(5)
+        assert r2_score(y, y) == 0.0
+
+    def test_constant_target_bad_prediction_finite(self):
+        assert np.isfinite(r2_score(np.ones(5), np.zeros(5)))
+
+
+class TestMisclassification:
+    def test_all_correct(self):
+        y = np.array([0.0, 1.0, 1.0])
+        assert misclassification_rate(y, y) == 0.0
+
+    def test_all_wrong(self):
+        assert misclassification_rate([0, 1], [1, 0]) == 1.0
+
+    def test_accepts_probabilities(self):
+        # Probabilities threshold at 0.5, matching the paper's rule.
+        assert misclassification_rate([1.0, 0.0], [0.9, 0.2]) == 0.0
+        assert misclassification_rate([1.0, 0.0], [0.4, 0.6]) == 1.0
+
+    def test_accuracy_complement(self):
+        y_true = np.array([0.0, 1.0, 1.0, 0.0])
+        y_pred = np.array([0.0, 0.0, 1.0, 0.0])
+        assert accuracy(y_true, y_pred) + misclassification_rate(y_true, y_pred) == 1.0
+
+
+class TestLogLoss:
+    def test_confident_correct_is_small(self):
+        assert log_loss([1.0, 0.0], [0.999, 0.001]) < 0.01
+
+    def test_uniform_prediction(self):
+        assert log_loss([1.0, 0.0], [0.5, 0.5]) == pytest.approx(np.log(2.0))
+
+    def test_clipping_prevents_infinity(self):
+        assert np.isfinite(log_loss([1.0], [0.0]))
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            log_loss([1.0], [1.5])

@@ -1,0 +1,134 @@
+"""Tests for the from-scratch optimization solvers."""
+
+import numpy as np
+import pytest
+
+from repro.core.polynomial import QuadraticForm
+from repro.exceptions import ConvergenceError, SolverError
+from repro.regression.solvers import GradientDescent, NewtonSolver, solve_quadratic
+
+
+def rosenbrock(w):
+    return float(100.0 * (w[1] - w[0] ** 2) ** 2 + (1 - w[0]) ** 2)
+
+
+def rosenbrock_grad(w):
+    return np.array([
+        -400.0 * w[0] * (w[1] - w[0] ** 2) - 2.0 * (1 - w[0]),
+        200.0 * (w[1] - w[0] ** 2),
+    ])
+
+
+def rosenbrock_hess(w):
+    return np.array([
+        [1200.0 * w[0] ** 2 - 400.0 * w[1] + 2.0, -400.0 * w[0]],
+        [-400.0 * w[0], 200.0],
+    ])
+
+
+class TestSolveQuadratic:
+    def test_exact_solution(self):
+        form = QuadraticForm(M=np.diag([1.0, 2.0]), alpha=np.array([-2.0, -8.0]), beta=0.0)
+        result = solve_quadratic(form)
+        np.testing.assert_allclose(result.x, [1.0, 2.0])
+        assert result.converged
+        assert result.iterations == 0
+
+    def test_reports_objective_value(self):
+        form = QuadraticForm(M=np.eye(1), alpha=np.array([-2.0]), beta=5.0)
+        result = solve_quadratic(form)
+        assert result.fun == pytest.approx(form.evaluate(result.x))
+
+
+class TestGradientDescent:
+    def test_quadratic_bowl(self):
+        solver = GradientDescent(max_iterations=500, tolerance=1e-9)
+        result = solver.minimize(
+            lambda w: float(w @ w), lambda w: 2.0 * w, np.array([3.0, -4.0])
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, 0.0, atol=1e-6)
+
+    def test_shifted_quadratic(self):
+        target = np.array([1.0, -2.0, 0.5])
+        solver = GradientDescent(max_iterations=1000, tolerance=1e-10)
+        result = solver.minimize(
+            lambda w: float((w - target) @ (w - target)),
+            lambda w: 2.0 * (w - target),
+            np.zeros(3),
+        )
+        np.testing.assert_allclose(result.x, target, atol=1e-6)
+
+    def test_iteration_budget_respected(self):
+        solver = GradientDescent(max_iterations=3)
+        result = solver.minimize(rosenbrock, rosenbrock_grad, np.array([-1.2, 1.0]))
+        assert not result.converged
+        assert result.iterations <= 3
+
+    def test_raise_on_failure_option(self):
+        solver = GradientDescent(max_iterations=2, raise_on_failure=True)
+        with pytest.raises(ConvergenceError):
+            solver.minimize(rosenbrock, rosenbrock_grad, np.array([-1.2, 1.0]))
+
+    def test_non_finite_start_raises(self):
+        solver = GradientDescent()
+        with pytest.raises(SolverError):
+            solver.minimize(lambda w: float("inf"), lambda w: w, np.zeros(2))
+
+    def test_monotone_decrease(self):
+        # Track objective values: each accepted step must not increase f.
+        values = []
+
+        def f(w):
+            v = float(w @ w + 0.5 * w[0])
+            return v
+
+        solver = GradientDescent(max_iterations=50)
+        result = solver.minimize(f, lambda w: 2.0 * w + np.array([0.5, 0.0]), np.array([5.0, 5.0]))
+        assert result.fun <= f(np.array([5.0, 5.0]))
+
+
+class TestNewtonSolver:
+    def test_quadratic_in_one_step(self):
+        form = QuadraticForm(M=np.diag([2.0, 1.0]), alpha=np.array([-4.0, -2.0]), beta=0.0)
+        solver = NewtonSolver()
+        result = solver.minimize(
+            form.evaluate, form.gradient, form.hessian, np.zeros(2)
+        )
+        assert result.converged
+        assert result.iterations <= 2
+        np.testing.assert_allclose(result.x, form.minimize(), atol=1e-8)
+
+    def test_rosenbrock(self):
+        solver = NewtonSolver(max_iterations=200, tolerance=1e-8)
+        result = solver.minimize(
+            rosenbrock, rosenbrock_grad, rosenbrock_hess, np.array([-1.2, 1.0])
+        )
+        assert result.converged
+        np.testing.assert_allclose(result.x, [1.0, 1.0], atol=1e-5)
+
+    def test_singular_hessian_fallback(self):
+        # f(w) = w1^4 has a singular Hessian at 0-ish points; the solver
+        # must still make progress via damping / steepest descent.
+        solver = NewtonSolver(max_iterations=200, tolerance=1e-6)
+        result = solver.minimize(
+            lambda w: float(w[0] ** 4),
+            lambda w: np.array([4.0 * w[0] ** 3]),
+            lambda w: np.array([[12.0 * w[0] ** 2]]),
+            np.array([2.0]),
+        )
+        assert abs(result.x[0]) < 0.1
+
+    def test_raise_on_failure(self):
+        solver = NewtonSolver(max_iterations=1, raise_on_failure=True, tolerance=1e-16)
+        with pytest.raises(ConvergenceError):
+            solver.minimize(
+                rosenbrock, rosenbrock_grad, rosenbrock_hess, np.array([-1.2, 1.0])
+            )
+
+    def test_non_finite_start_raises(self):
+        solver = NewtonSolver()
+        with pytest.raises(SolverError):
+            solver.minimize(
+                lambda w: float("nan"), lambda w: w, lambda w: np.eye(2), np.zeros(2)
+            )

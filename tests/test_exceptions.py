@@ -1,0 +1,77 @@
+"""Contract tests for the exception hierarchy.
+
+The hierarchy is public API: downstream code catches ``ReproError`` (or a
+subsystem subtree) and relies on the carried context attributes.
+"""
+
+import pytest
+
+from repro.exceptions import (
+    ApproximationError,
+    BudgetExhaustedError,
+    ConvergenceError,
+    DataError,
+    DegreeError,
+    DimensionMismatchError,
+    DomainError,
+    ExperimentError,
+    InvalidBudgetError,
+    NotFittedError,
+    ObjectiveError,
+    PolynomialError,
+    PrivacyError,
+    ReproError,
+    SensitivityError,
+    SolverError,
+    UnboundedObjectiveError,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for cls in (
+            PrivacyError, BudgetExhaustedError, InvalidBudgetError,
+            SensitivityError, PolynomialError, DegreeError,
+            DimensionMismatchError, ObjectiveError, UnboundedObjectiveError,
+            ApproximationError, DataError, DomainError, NotFittedError,
+            SolverError, ConvergenceError, ExperimentError,
+        ):
+            assert issubclass(cls, ReproError), cls.__name__
+
+    def test_privacy_subtree(self):
+        for cls in (BudgetExhaustedError, InvalidBudgetError, SensitivityError):
+            assert issubclass(cls, PrivacyError)
+
+    def test_polynomial_subtree(self):
+        for cls in (DegreeError, DimensionMismatchError):
+            assert issubclass(cls, PolynomialError)
+
+    def test_objective_subtree(self):
+        for cls in (UnboundedObjectiveError, ApproximationError):
+            assert issubclass(cls, ObjectiveError)
+
+    def test_domain_error_is_data_error(self):
+        assert issubclass(DomainError, DataError)
+
+
+class TestCarriedContext:
+    def test_budget_exhausted_carries_amounts(self):
+        err = BudgetExhaustedError(requested=0.5, remaining=0.2)
+        assert err.requested == 0.5
+        assert err.remaining == 0.2
+        assert "0.5" in str(err) and "0.2" in str(err)
+
+    def test_dimension_mismatch_carries_sizes(self):
+        err = DimensionMismatchError(expected=3, got=5, what="point dim")
+        assert err.expected == 3 and err.got == 5
+        assert "point dim" in str(err)
+
+    def test_convergence_error_carries_diagnostics(self):
+        err = ConvergenceError("Newton", iterations=42, residual=1e-3)
+        assert err.solver == "Newton"
+        assert err.iterations == 42
+        assert err.residual == pytest.approx(1e-3)
+        assert "Newton" in str(err) and "42" in str(err)
+
+    def test_not_fitted_names_the_model(self):
+        assert "FMLinearRegression" in str(NotFittedError("FMLinearRegression"))
