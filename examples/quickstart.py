@@ -10,6 +10,10 @@ table with *declared* attribute domains:
 5. sweep epsilon to see the privacy/utility trade-off.
 
 Run:  python examples/quickstart.py
+
+For the streaming/sharded variant of this pipeline — ingesting the census
+dataset in chunks through ``repro.engine`` and refitting a whole epsilon
+sweep from one data pass — see ``examples/streaming_census.py``.
 """
 
 import numpy as np

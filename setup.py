@@ -1,10 +1,21 @@
-"""Setuptools shim.
+"""Packaging metadata for the src/-layout ``repro`` package.
 
-All metadata lives in ``pyproject.toml``; this file exists so that
-``pip install -e .`` works in offline environments whose pip cannot build
-PEP-660 editable wheels (no ``wheel`` package available).
+``pip install -e .`` makes ``import repro`` work without a manual
+``PYTHONPATH=src`` (the tier-1 test command keeps setting it anyway so the
+suite also runs from a bare checkout).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-functional-mechanism",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Functional Mechanism: Regression Analysis under "
+        "Differential Privacy' (Zhang et al., VLDB 2012)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.10",
+    install_requires=["numpy>=1.22"],
+)

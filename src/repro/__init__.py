@@ -31,6 +31,11 @@ Package map
     DPME, Filter-Priority, output/objective perturbation, Truncated.
 ``repro.data``
     Synthetic IPUMS-like census data (US/Brazil substitution).
+``repro.engine``
+    Streaming, shardable sufficient-statistics engine: chunked/merged
+    moment accumulation, N-way parallel ingestion, one-pass multi-epsilon
+    sweeps, and a content-addressed accumulator cache
+    (``python -m repro engine`` is the CLI entry point).
 ``repro.experiments``
     Table-2 parameter grid, cross-validation harness, per-figure drivers.
 ``repro.analysis``
@@ -45,6 +50,13 @@ from .core import (
     LogisticRegressionObjective,
     Polynomial,
     QuadraticForm,
+)
+from .engine import (
+    AccumulatorCache,
+    EpsilonSweepEngine,
+    MomentAccumulator,
+    MomentSnapshot,
+    ShardedAccumulator,
 )
 from .exceptions import (
     BudgetExhaustedError,
@@ -78,6 +90,11 @@ __all__ = [
     "LogisticRegressionObjective",
     "Polynomial",
     "QuadraticForm",
+    "AccumulatorCache",
+    "EpsilonSweepEngine",
+    "MomentAccumulator",
+    "MomentSnapshot",
+    "ShardedAccumulator",
     "BudgetExhaustedError",
     "DataError",
     "DomainError",

@@ -10,7 +10,7 @@ The perturbed objective is then handed to a minimizer; by Theorem 1 the
 noisy coefficient vector is ``epsilon``-differentially private and everything
 derived from it (including the Section-6 repairs) is post-processing.
 
-Two perturbation entry points are provided:
+Three perturbation entry points are provided:
 
 * :meth:`FunctionalMechanism.perturb_quadratic` — the dense fast path for
   degree-2 objectives (both of the paper's case studies).  Noise layout
@@ -20,6 +20,9 @@ Two perturbation entry points are provided:
   monomial coefficient ``2 M[j, l]`` receives exactly ``w``.
 * :meth:`FunctionalMechanism.perturb_polynomial` — the general path for any
   finite degree ``J`` (used by the higher-order Taylor extension).
+* :meth:`FunctionalMechanism.perturb_from_accumulator` — the streaming path:
+  the database-level coefficients come from precomputed
+  :mod:`repro.engine` moment statistics instead of a fresh data pass.
 """
 
 from __future__ import annotations
@@ -143,6 +146,32 @@ class FunctionalMechanism:
             coefficients_perturbed=1 + d + d * (d + 1) // 2,
         )
         return noisy, record
+
+    def perturb_from_accumulator(
+        self, accumulator, objective, tight_sensitivity: bool = False
+    ) -> tuple[QuadraticForm, PerturbationRecord]:
+        """Algorithm 1 from precomputed sufficient statistics.
+
+        Parameters
+        ----------
+        accumulator:
+            Anything exposing ``quadratic_form(objective)`` — a
+            :class:`repro.engine.MomentAccumulator` or
+            :class:`repro.engine.MomentSnapshot`.  The data pass happened
+            when the accumulator ingested its chunks; this call only maps
+            the stored moments to coefficient blocks and perturbs them.
+        objective:
+            The degree-2 objective whose coefficient map and Lemma-1
+            sensitivity apply.
+        tight_sensitivity:
+            Use the ``sqrt(d)`` L1 bound instead of the paper's ``d`` bound.
+
+        The noise stream and record are identical to handing the same
+        coefficients to :meth:`perturb_quadratic` directly — the privacy
+        guarantee does not depend on how the coefficients were aggregated.
+        """
+        form = accumulator.quadratic_form(objective)
+        return self.perturb_quadratic(form, objective.sensitivity(tight=tight_sensitivity))
 
     def perturb_polynomial(
         self, poly: Polynomial, sensitivity: float, max_degree: int | None = None

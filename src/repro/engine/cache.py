@@ -1,0 +1,152 @@
+"""Content-addressed on-disk cache for finalized accumulators.
+
+A budget sweep's only expensive step is the data pass; its product — the
+moment statistics — is a few KB.  :class:`AccumulatorCache` keys that product
+by a content fingerprint (dataset bytes + objective identity + degree +
+block size), so re-running ``figure6``/``figure9`` style sweeps, or the CLI
+``engine`` subcommand, skips recomputation entirely when nothing changed.
+
+Keys are SHA-256 hex digests: any change to the data, the objective's
+configuration, or the canonical block size produces a different key, and a
+hit is guaranteed to reproduce the exact statistics (``.npz`` round-trips
+are bit-faithful).
+
+Caching is a *pre-noise* operation: the statistics are sensitive
+intermediate state, exactly like the raw data, and the cache directory must
+be treated with the same confidentiality.  Nothing differentially private is
+stored here — privacy is only established downstream when Algorithm 1 adds
+noise.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+from pathlib import Path
+from typing import Callable
+
+import numpy as np
+
+from ..core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+    RegressionObjective,
+)
+from .accumulator import DEFAULT_BLOCK_SIZE, MomentAccumulator
+
+__all__ = ["AccumulatorCache", "dataset_fingerprint", "objective_tag"]
+
+
+def dataset_fingerprint(X: np.ndarray, y: np.ndarray) -> str:
+    """SHA-256 over the dataset's shape, dtype and raw bytes."""
+    X = np.ascontiguousarray(np.asarray(X, dtype=float))
+    y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+    digest = hashlib.sha256()
+    digest.update(f"X:{X.shape}:{X.dtype}".encode())
+    digest.update(X.tobytes())
+    digest.update(f"y:{y.shape}:{y.dtype}".encode())
+    digest.update(y.tobytes())
+    return digest.hexdigest()
+
+
+def objective_tag(objective: RegressionObjective) -> str:
+    """A stable string identifying an objective's coefficient map.
+
+    Two objectives with the same tag produce the same database-level
+    coefficients from the same statistics.
+    """
+    if isinstance(objective, LinearRegressionObjective):
+        return f"linear:dim={objective.dim}:degree={objective.degree}"
+    if isinstance(objective, LogisticRegressionObjective):
+        tag = (
+            f"logistic:dim={objective.dim}:degree={objective.degree}"
+            f":approx={objective.approximation}"
+        )
+        if objective.approximation == "chebyshev":
+            tag += f":radius={objective.radius:g}"
+        return tag
+    return f"{type(objective).__name__}:dim={objective.dim}:degree={objective.degree}"
+
+
+class AccumulatorCache:
+    """Content-addressed accumulator store under one root directory.
+
+    Examples
+    --------
+    >>> import tempfile
+    >>> from repro.core.objectives import LinearRegressionObjective
+    >>> X = np.array([[0.3, 0.4], [0.1, 0.2]]); y = np.array([0.5, -0.5])
+    >>> cache = AccumulatorCache(tempfile.mkdtemp())
+    >>> key = cache.make_key(X, y, LinearRegressionObjective(dim=2))
+    >>> acc, hit = cache.get_or_build(key, lambda: MomentAccumulator(2).update(X, y))
+    >>> hit
+    False
+    >>> _, hit = cache.get_or_build(key, lambda: MomentAccumulator(2).update(X, y))
+    >>> hit
+    True
+    """
+
+    def __init__(self, root: str | Path) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def make_key(
+        X: np.ndarray,
+        y: np.ndarray,
+        objective: RegressionObjective,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+    ) -> str:
+        """Content key: dataset fingerprint + objective tag + block size."""
+        digest = hashlib.sha256()
+        digest.update(dataset_fingerprint(X, y).encode())
+        digest.update(objective_tag(objective).encode())
+        digest.update(f"block_size={int(block_size)}".encode())
+        return digest.hexdigest()
+
+    def path_for(self, key: str) -> Path:
+        """Where a key's accumulator lives (whether or not it exists)."""
+        return self.root / f"{key}.npz"
+
+    def get(self, key: str) -> MomentAccumulator | None:
+        """Load a cached accumulator, or ``None`` on a miss."""
+        path = self.path_for(key)
+        if not path.exists():
+            self.misses += 1
+            return None
+        self.hits += 1
+        return MomentAccumulator.load(path)
+
+    def put(self, key: str, accumulator: MomentAccumulator) -> Path:
+        """Store an accumulator under a key; returns the file path.
+
+        The write goes through a temporary file + atomic rename so a
+        concurrent reader never sees a half-written entry.
+        """
+        path = self.path_for(key)
+        # Unique per-writer temporary: concurrent writers to the same key
+        # must never share a tmp file, or the atomic rename publishes a
+        # half-written entry.
+        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp.npz")
+        os.close(fd)
+        tmp = Path(tmp_name)
+        try:
+            accumulator.save(tmp)
+            tmp.replace(path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
+
+    def get_or_build(
+        self, key: str, builder: Callable[[], MomentAccumulator]
+    ) -> tuple[MomentAccumulator, bool]:
+        """Return ``(accumulator, was_hit)``; on a miss, build and store."""
+        cached = self.get(key)
+        if cached is not None:
+            return cached, True
+        built = builder()
+        self.put(key, built)
+        return built, False

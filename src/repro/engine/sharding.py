@@ -1,0 +1,172 @@
+"""Sharded (parallel) accumulation of moment statistics.
+
+:class:`ShardedAccumulator` partitions a dataset across N worker shards,
+accumulates each shard with its own :class:`~repro.engine.accumulator.
+MomentAccumulator`, and tree-merges the partials.  The workers run on a
+thread pool: the per-block matmuls release the GIL inside NumPy's BLAS, so
+threads give real parallelism without pickling the data.
+
+Shard-count invariance
+----------------------
+Shard boundaries are aligned to multiples of the accumulator's canonical
+``block_size`` (see :func:`shard_slices`).  Every shard therefore produces
+exactly the blocks the monolithic accumulator would produce for the same
+rows, and because the final reduction is the order-invariant
+correctly-rounded sum, the merged statistics are **bit-identical** for any
+shard count — parallelism degree can never change a result.
+
+RNG story
+---------
+Accumulation itself is deterministic, but shard-parallel *randomized* work
+(per-shard synthetic data generation, bootstrap resampling, future
+distributed noise generation) needs reproducible per-shard streams that do
+not depend on worker scheduling.  :meth:`ShardedAccumulator.shard_substreams`
+derives one generator per shard through
+:func:`repro.privacy.rng.derive_substream`, keyed by ``(namespace tag,
+caller tag, shard index)`` — the same ``(seed, shard)`` pair always yields
+the same stream regardless of how many draws other shards consumed.
+"""
+
+from __future__ import annotations
+
+import math
+from concurrent.futures import ThreadPoolExecutor
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..exceptions import DataError
+from ..privacy.rng import RngLike, derive_substream
+from .accumulator import DEFAULT_BLOCK_SIZE, MomentAccumulator
+
+__all__ = ["SHARD_STREAM_TAG", "ShardedAccumulator", "shard_slices", "tree_merge"]
+
+#: Namespace tag isolating shard substreams from other derive_substream uses.
+SHARD_STREAM_TAG = 0x5AD
+
+
+def shard_slices(n_rows: int, shards: int, block_size: int = DEFAULT_BLOCK_SIZE) -> list[slice]:
+    """Contiguous, block-aligned row slices covering ``range(n_rows)``.
+
+    Boundaries fall on multiples of ``block_size`` so each shard's canonical
+    block decomposition coincides with the monolithic one (the key to
+    bit-identical shard-count invariance).  Blocks are spread as evenly as
+    possible; with more shards than blocks, trailing slices are empty.
+
+    >>> shard_slices(10, 2, block_size=4)
+    [slice(0, 4, None), slice(4, 10, None)]
+    """
+    n_rows = int(n_rows)
+    shards = int(shards)
+    if n_rows < 0:
+        raise DataError(f"n_rows must be >= 0, got {n_rows}")
+    if shards < 1:
+        raise DataError(f"shards must be >= 1, got {shards}")
+    n_blocks = math.ceil(n_rows / block_size) if n_rows else 0
+    bounds = [i * n_blocks // shards for i in range(shards + 1)]
+    return [
+        slice(min(bounds[i] * block_size, n_rows), min(bounds[i + 1] * block_size, n_rows))
+        for i in range(shards)
+    ]
+
+
+def tree_merge(accumulators: Iterable[MomentAccumulator]) -> MomentAccumulator:
+    """Pairwise-merge accumulators until one remains.
+
+    The reduction result is independent of the merge tree (merge is exactly
+    associative and commutative); the tree shape only matters for the
+    parallel-depth of a future distributed reducer.  Merging happens in
+    place: the even-indexed operands absorb their neighbours — pass copies
+    if the inputs must survive.
+    """
+    level = list(accumulators)
+    if not level:
+        raise DataError("tree_merge needs at least one accumulator")
+    while len(level) > 1:
+        merged = [
+            level[i].merge(level[i + 1]) if i + 1 < len(level) else level[i]
+            for i in range(0, len(level), 2)
+        ]
+        level = merged
+    return level[0]
+
+
+class ShardedAccumulator:
+    """Partition a dataset across N shards and accumulate in parallel.
+
+    Parameters
+    ----------
+    dim:
+        Feature dimensionality ``d``.
+    shards:
+        Worker count N (1 = serial; still uses the same partition logic).
+    block_size:
+        Canonical block size forwarded to each shard's accumulator.
+    validate:
+        Forwarded to each shard's accumulator.
+
+    Examples
+    --------
+    >>> rng = np.random.default_rng(0)
+    >>> X = rng.uniform(0, 0.5, size=(100, 2)); y = rng.uniform(-1, 1, 100)
+    >>> sharded = ShardedAccumulator(dim=2, shards=4, block_size=16)
+    >>> acc = sharded.accumulate(X, y)
+    >>> acc.n_rows
+    100
+    """
+
+    def __init__(
+        self,
+        dim: int,
+        shards: int = 2,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        validate: bool = True,
+    ) -> None:
+        shards = int(shards)
+        if shards < 1:
+            raise DataError(f"shards must be >= 1, got {shards}")
+        self.dim = int(dim)
+        self.shards = shards
+        self.block_size = int(block_size)
+        self.validate = bool(validate)
+
+    def _new_accumulator(self) -> MomentAccumulator:
+        return MomentAccumulator(self.dim, block_size=self.block_size, validate=self.validate)
+
+    def accumulate(self, X: np.ndarray, y: np.ndarray) -> MomentAccumulator:
+        """One-shot sharded accumulation of a full dataset.
+
+        Returns the tree-merged :class:`MomentAccumulator`, bit-identical to
+        a monolithic ``MomentAccumulator(...).update(X, y)`` at the same
+        ``block_size``.
+        """
+        X = np.ascontiguousarray(np.asarray(X, dtype=float))
+        y = np.ascontiguousarray(np.asarray(y, dtype=float).ravel())
+        if X.ndim != 2:
+            raise DataError(f"X must be 2-d, got ndim={X.ndim}")
+        if X.shape[0] != y.shape[0]:
+            raise DataError(f"X has {X.shape[0]} rows but y has {y.shape[0]} entries")
+        slices = shard_slices(X.shape[0], self.shards, self.block_size)
+
+        def work(sl: slice) -> MomentAccumulator:
+            return self._new_accumulator().update(X[sl], y[sl])
+
+        if self.shards == 1:
+            partials = [work(slices[0])]
+        else:
+            with ThreadPoolExecutor(max_workers=self.shards) as pool:
+                partials = list(pool.map(work, slices))
+        return tree_merge(partials)
+
+    def shard_substreams(
+        self, rng: RngLike, tag: Sequence[int] = ()
+    ) -> list[np.random.Generator]:
+        """One deterministic, independent generator per shard.
+
+        The stream of shard ``i`` depends only on ``(rng seed, tag, i)`` —
+        never on worker scheduling or on how many draws other shards made.
+        """
+        return [
+            derive_substream(rng, [SHARD_STREAM_TAG, *[int(t) for t in tag], i])
+            for i in range(self.shards)
+        ]

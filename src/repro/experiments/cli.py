@@ -8,22 +8,33 @@ Usage (installed package)::
     python -m repro figure7 --country us --scale smoke
     python -m repro convergence --task linear
     python -m repro table2
+    python -m repro engine --task linear --epsilons 0.1,1,10 --shards 4
 
 Accuracy figures print the paper-style sweep table; timing figures print the
 per-algorithm fit times; ``figure2``/``figure3`` print the worked examples.
-The ``--scale`` presets trade fidelity for time (see
+``engine`` streams the dataset through the :mod:`repro.engine` sufficient-
+statistics accumulator (optionally sharded and cached via ``--cache-dir``)
+and refits the Functional Mechanism at every requested budget from that one
+pass.  The ``--scale`` presets trade fidelity for time (see
 :mod:`repro.experiments.config`).
 """
 
 from __future__ import annotations
 
 import argparse
+import math
 import sys
+import time
 from typing import Sequence
+
+import numpy as np
 
 from ..analysis.convergence import convergence_study
 from ..data import load_brazil, load_us
-from .config import DEFAULT, FULL, SMOKE, ScalePreset
+from ..engine import AccumulatorCache, EpsilonSweepEngine, ShardedAccumulator
+from ..privacy.rng import derive_substream
+from .config import DEFAULT, DEFAULT_DIMENSIONALITY, FULL, SMOKE, ScalePreset
+from .harness import objective_for, score_from_scores
 from .figures import (
     figure2_objective_example,
     figure3_approximation_example,
@@ -35,6 +46,7 @@ from .figures import (
     figure9_time_budget,
 )
 from .reporting import (
+    format_engine_table,
     format_objective_curve,
     format_sweep_table,
     format_time_table,
@@ -98,6 +110,30 @@ def build_parser() -> argparse.ArgumentParser:
     conv.add_argument("--task", choices=("linear", "logistic"), default="linear")
     conv.add_argument("--epsilon", type=float, default=1.0)
 
+    eng = sub.add_parser(
+        "engine",
+        help="one-pass multi-epsilon FM fits from streamed sufficient statistics",
+    )
+    eng.add_argument("--task", choices=("linear", "logistic"), default="linear")
+    eng.add_argument(
+        "--epsilons", default="0.1,0.2,0.4,0.8,1.6,3.2",
+        help="comma-separated privacy budgets (default: the Table-2 range)",
+    )
+    eng.add_argument("--shards", type=int, default=1, help="parallel ingestion shards")
+    eng.add_argument("--country", choices=("us", "brazil"), default="us")
+    eng.add_argument("--dims", type=int, default=DEFAULT_DIMENSIONALITY)
+    eng.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
+    eng.add_argument("--seed", type=int, default=0)
+    eng.add_argument(
+        "--repeats", type=int, default=1,
+        help="independent draws per epsilon for error bars (1 = no error bars)",
+    )
+    eng.add_argument(
+        "--cache-dir", default=None,
+        help="content-addressed accumulator cache directory (skips the data "
+        "pass when the same dataset/objective was accumulated before)",
+    )
+
     return parser
 
 
@@ -125,9 +161,81 @@ def _run_table2() -> str:
     )
 
 
+#: Substream namespace tag for the engine subcommand's noise draws.
+_ENGINE_STREAM_TAG = 0xE16
+
+
+def _run_engine(args) -> int:
+    """The ``engine`` subcommand: accumulate once, refit every budget."""
+    try:
+        epsilons = tuple(float(v) for v in args.epsilons.split(",") if v.strip())
+    except ValueError:
+        print(f"error: could not parse --epsilons {args.epsilons!r}", file=sys.stderr)
+        return 2
+    if not epsilons or any(not math.isfinite(e) or e <= 0.0 for e in epsilons):
+        print(
+            f"error: --epsilons needs at least one positive budget, "
+            f"got {args.epsilons!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.shards < 1:
+        print(f"error: --shards must be >= 1, got {args.shards}", file=sys.stderr)
+        return 2
+    preset = _PRESETS[args.scale]
+    dataset = _load(args.country, preset)
+    prepared = dataset.regression_task(args.task, dims=args.dims)
+    objective = objective_for(args.task, prepared.dim)
+
+    def build():
+        return ShardedAccumulator(prepared.dim, shards=args.shards).accumulate(
+            prepared.X, prepared.y
+        )
+
+    started = time.perf_counter()
+    cache_hit = False
+    if args.cache_dir:
+        cache = AccumulatorCache(args.cache_dir)
+        key = AccumulatorCache.make_key(prepared.X, prepared.y, objective)
+        accumulator, cache_hit = cache.get_or_build(key, build)
+    else:
+        accumulator = build()
+    pass_seconds = time.perf_counter() - started
+
+    engine = EpsilonSweepEngine(objective, accumulator)
+    sweep = engine.sweep(epsilons, rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG]))
+    scores, norms, solves = [], [], []
+    for point in sweep.points:
+        scores.append(score_from_scores(args.task, prepared.y, prepared.X @ point.omega))
+        norms.append(float(np.linalg.norm(point.omega)))
+        solves.append(point.solve_seconds)
+    stds = None
+    if args.repeats > 1:
+        variance = engine.variance_estimate(
+            epsilons, repeats=args.repeats,
+            rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG, 1]),
+        )
+        stds = [float(np.mean(variance.std[i])) for i in range(len(epsilons))]
+    header = [
+        f"rows={accumulator.n_rows} dim={prepared.dim} "
+        f"blocks={accumulator.num_blocks} shards={args.shards}",
+        f"statistics pass: {pass_seconds:.3f}s"
+        + (" (cache hit — no data pass)" if cache_hit else ""),
+        f"sensitivity Delta={engine.sensitivity:g}; "
+        f"one pass, {len(epsilons)} budgets",
+    ]
+    print(format_engine_table(
+        args.task, epsilons, scores, norms, solves, stds=stds, header_lines=header,
+    ))
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "engine":
+        return _run_engine(args)
 
     if args.command == "table2":
         print(_run_table2())

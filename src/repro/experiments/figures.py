@@ -31,7 +31,7 @@ from .config import (
     SAMPLING_RATES,
     ScalePreset,
 )
-from .harness import EvaluationResult, evaluate_algorithm
+from .harness import EvaluationResult, evaluate_algorithm, evaluate_fm_budget_sweep
 
 __all__ = [
     "ObjectiveCurve",
@@ -237,21 +237,69 @@ def figure5_cardinality(
     )
 
 
+def _budget_sweep(
+    dataset: CensusDataset,
+    task: Task,
+    figure: str,
+    preset: ScalePreset,
+    seed: int,
+    engine: bool,
+) -> SweepResult:
+    """Shared driver for the budget-sweep figures (6 and 9).
+
+    With ``engine=True`` the FM series routes through
+    :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`: its
+    sufficient statistics are accumulated once per (repetition, fold) and
+    refit at every budget, so FM's share of the sweep costs one data pass
+    instead of one per epsilon.  The other algorithms keep the per-point
+    loop (their fits genuinely depend on epsilon-specific passes).
+    """
+    algorithms = _algorithms_for(task)
+    if not engine:
+        return accuracy_sweep(
+            dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
+            preset=preset, seed=seed,
+        )
+    others = accuracy_sweep(
+        dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
+        preset=preset, seed=seed,
+        algorithms=[name for name in algorithms if name != "FM"],
+    )
+    fm = evaluate_fm_budget_sweep(
+        dataset, task, dims=DEFAULT_DIMENSIONALITY, epsilons=PRIVACY_BUDGETS,
+        preset=preset, seed=seed,
+    )
+    series: dict[str, tuple[EvaluationResult, ...]] = {}
+    for name in algorithms:  # preserve the paper's legend order
+        if name == "FM":
+            series[name] = tuple(fm[value] for value in PRIVACY_BUDGETS)
+        else:
+            series[name] = others.series[name]
+    return SweepResult(
+        figure=figure,
+        panel=others.panel,
+        task=task,
+        parameter="epsilon",
+        values=tuple(PRIVACY_BUDGETS),
+        series=series,
+    )
+
+
 def figure6_privacy_budget(
     dataset: CensusDataset,
     task: Task,
     preset: ScalePreset = DEFAULT,
     seed: int = 6,
+    engine: bool = True,
 ) -> SweepResult:
     """Figure 6: accuracy vs privacy budget (epsilon 0.1-3.2).
 
     NoPrivacy and Truncated ignore epsilon, reproducing the paper's flat
-    reference lines.
+    reference lines.  By default FM is computed by the one-pass
+    :mod:`repro.engine` sweep; pass ``engine=False`` for the historical
+    per-point loop.
     """
-    return accuracy_sweep(
-        dataset, task, "epsilon", PRIVACY_BUDGETS, figure="figure6",
-        preset=preset, seed=seed,
-    )
+    return _budget_sweep(dataset, task, "figure6", preset, seed, engine)
 
 
 def figure7_time_dimensionality(
@@ -284,9 +332,12 @@ def figure9_time_budget(
     dataset: CensusDataset,
     preset: ScalePreset = DEFAULT,
     seed: int = 9,
+    engine: bool = True,
 ) -> SweepResult:
-    """Figure 9: computation time vs privacy budget (logistic task)."""
-    return accuracy_sweep(
-        dataset, "logistic", "epsilon", PRIVACY_BUDGETS,
-        figure="figure9", preset=preset, seed=seed,
-    )
+    """Figure 9: computation time vs privacy budget (logistic task).
+
+    With ``engine=True`` (default) FM's times reflect the one-pass engine:
+    per-epsilon marginal solve time plus an amortized share of the single
+    statistics pass.
+    """
+    return _budget_sweep(dataset, "logistic", "figure9", preset, seed, engine)

@@ -135,3 +135,68 @@ class TestPerturbPolynomial:
         noisy, record = mech.perturb_polynomial(poly, 1.0)
         assert noisy.degree == 4
         assert record.coefficients_perturbed == 5
+
+
+class TestZeroCoefficientsStillPerturbed:
+    """Privacy invariant: Algorithm 1 never skips zero-valued coefficients.
+
+    With a dead (all-zero) feature column, the aggregated database-level
+    coefficients contain exact zeros.  The number of Laplace draws must
+    still equal the *full* basis size 1 + d + d(d+1)/2 — skipping vanished
+    coefficients would leak which ones vanished.  This guards the invariant
+    across both objectives and the accumulator-backed entry point.
+    """
+
+    @staticmethod
+    def _data_with_dead_column(n=200, d=3, seed=0):
+        rng = np.random.default_rng(seed)
+        X = rng.uniform(0.0, 1.0 / np.sqrt(d), size=(n, d))
+        X[:, 1] = 0.0  # zero column => zero rows/cols in X^T X and X^T y
+        y_linear = np.clip(X @ np.full(d, 0.5), -1.0, 1.0)
+        y_logistic = (y_linear > np.median(y_linear)).astype(float)
+        return X, y_linear, y_logistic
+
+    def test_linear_record_counts_full_basis(self):
+        X, y, _ = self._data_with_dead_column()
+        d = X.shape[1]
+        obj = LinearRegressionObjective(d)
+        form = obj.aggregate_quadratic(X, y)
+        assert np.all(form.M[:, 1] == 0.0) and form.alpha[1] == 0.0
+        noisy, record = FunctionalMechanism(1.0, rng=0).perturb_quadratic(
+            form, obj.sensitivity()
+        )
+        assert record.coefficients_perturbed == 1 + d + d * (d + 1) // 2
+        # The zero coefficients really received noise.
+        assert np.all(noisy.M[:, 1] != 0.0)
+        assert noisy.alpha[1] != 0.0
+
+    def test_logistic_record_counts_full_basis(self):
+        from repro.core.objectives import LogisticRegressionObjective
+
+        X, _, y = self._data_with_dead_column()
+        d = X.shape[1]
+        obj = LogisticRegressionObjective(d)
+        form = obj.aggregate_quadratic(X, y)
+        assert np.all(form.M[:, 1] == 0.0)
+        _, record = FunctionalMechanism(1.0, rng=0).perturb_quadratic(
+            form, obj.sensitivity()
+        )
+        assert record.coefficients_perturbed == 1 + d + d * (d + 1) // 2
+
+    @pytest.mark.parametrize("task", ["linear", "logistic"])
+    def test_accumulator_path_counts_full_basis(self, task):
+        from repro.core.objectives import LogisticRegressionObjective
+        from repro.engine import MomentAccumulator
+
+        X, y_linear, y_logistic = self._data_with_dead_column()
+        d = X.shape[1]
+        if task == "linear":
+            obj, y = LinearRegressionObjective(d), y_linear
+        else:
+            obj, y = LogisticRegressionObjective(d), y_logistic
+        accumulator = MomentAccumulator(d).update(X, y)
+        noisy, record = FunctionalMechanism(1.0, rng=0).perturb_from_accumulator(
+            accumulator, obj
+        )
+        assert record.coefficients_perturbed == 1 + d + d * (d + 1) // 2
+        assert np.all(noisy.M[:, 1] != 0.0)

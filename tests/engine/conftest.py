@@ -1,0 +1,41 @@
+"""Shared fixtures for the engine test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+def _snapshots_bit_identical(a, b) -> bool:
+    return (
+        a.dim == b.dim
+        and a.n == b.n
+        and np.array_equal(a.S2, b.S2)
+        and np.array_equal(a.S1, b.S1)
+        and np.array_equal(a.Sxy, b.Sxy)
+        and a.Sy == b.Sy
+        and a.Syy == b.Syy
+    )
+
+
+@pytest.fixture
+def bit_identical():
+    """Predicate: two MomentSnapshot instances agree to the bit."""
+    return _snapshots_bit_identical
+
+
+@pytest.fixture
+def stream_data():
+    """(X, y): 5000 normalized rows with targets in [-1, 1]."""
+    rng = np.random.default_rng(2024)
+    d = 6
+    X = rng.uniform(-1.0 / np.sqrt(d), 1.0 / np.sqrt(d), size=(5000, d))
+    y = np.clip(X @ rng.uniform(-1, 1, d) + rng.normal(0, 0.1, 5000), -1.0, 1.0)
+    return X, y
+
+
+@pytest.fixture
+def labels(stream_data):
+    """Boolean labels aligned with stream_data's rows."""
+    _, y = stream_data
+    return (y > 0).astype(float)

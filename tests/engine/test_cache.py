@@ -1,0 +1,96 @@
+"""Tests for the content-addressed accumulator cache."""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+)
+from repro.engine.accumulator import MomentAccumulator
+from repro.engine.cache import AccumulatorCache, dataset_fingerprint, objective_tag
+
+
+@pytest.fixture
+def cache(tmp_path):
+    return AccumulatorCache(tmp_path / "cache")
+
+
+class TestFingerprint:
+    def test_deterministic(self, stream_data):
+        X, y = stream_data
+        assert dataset_fingerprint(X, y) == dataset_fingerprint(X, y)
+
+    def test_sensitive_to_any_value(self, stream_data):
+        X, y = stream_data
+        X2 = X.copy()
+        X2[17, 0] = np.nextafter(X2[17, 0], 1.0)
+        assert dataset_fingerprint(X, y) != dataset_fingerprint(X2, y)
+        y2 = y.copy()
+        y2[-1] = np.nextafter(y2[-1], 1.0)
+        assert dataset_fingerprint(X, y) != dataset_fingerprint(X, y2)
+
+    def test_sensitive_to_shape(self):
+        flat = np.arange(6, dtype=float) / 10.0
+        assert dataset_fingerprint(flat.reshape(2, 3), np.zeros(2)) != dataset_fingerprint(
+            flat.reshape(3, 2), np.zeros(3)
+        )
+
+
+class TestObjectiveTag:
+    def test_distinguishes_objectives(self):
+        tags = {
+            objective_tag(LinearRegressionObjective(5)),
+            objective_tag(LinearRegressionObjective(6)),
+            objective_tag(LogisticRegressionObjective(5)),
+            objective_tag(LogisticRegressionObjective(5, approximation="chebyshev")),
+            objective_tag(LogisticRegressionObjective(5, approximation="chebyshev", radius=2.0)),
+            objective_tag(LogisticRegressionObjective(5, order=4)),
+        }
+        assert len(tags) == 6
+
+
+class TestCacheRoundTrip:
+    def test_miss_then_hit(self, cache, stream_data):
+        X, y = stream_data
+        objective = LinearRegressionObjective(X.shape[1])
+        key = AccumulatorCache.make_key(X, y, objective)
+        builds = []
+
+        def builder():
+            builds.append(1)
+            return MomentAccumulator(X.shape[1]).update(X, y)
+
+        first, hit1 = cache.get_or_build(key, builder)
+        second, hit2 = cache.get_or_build(key, builder)
+        assert (hit1, hit2) == (False, True)
+        assert len(builds) == 1
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_round_trip_statistics_bit_identical(self, cache, stream_data, bit_identical):
+        X, y = stream_data
+        objective = LinearRegressionObjective(X.shape[1])
+        key = AccumulatorCache.make_key(X, y, objective)
+        original = MomentAccumulator(X.shape[1]).update(X, y)
+        cache.put(key, original)
+        loaded = cache.get(key)
+        assert loaded is not None
+        assert bit_identical(loaded.snapshot(), original.snapshot())
+
+    def test_key_changes_with_data_objective_and_blocks(self, stream_data):
+        X, y = stream_data
+        linear = LinearRegressionObjective(X.shape[1])
+        logistic = LogisticRegressionObjective(X.shape[1])
+        base = AccumulatorCache.make_key(X, y, linear)
+        assert AccumulatorCache.make_key(X, y, logistic) != base
+        assert AccumulatorCache.make_key(X, y, linear, block_size=128) != base
+        assert AccumulatorCache.make_key(X[:-1], y[:-1], linear) != base
+
+    def test_get_missing_returns_none(self, cache):
+        assert cache.get("0" * 64) is None
+        assert cache.misses == 1
+
+    def test_root_created(self, tmp_path):
+        root = tmp_path / "a" / "b"
+        AccumulatorCache(root)
+        assert root.is_dir()

@@ -1,0 +1,98 @@
+"""Hypothesis property tests for accumulator merging.
+
+The sharded/distributed ingestion story rests on ``merge`` behaving like
+the abelian-monoid operation it models — and thanks to the canonical-block
++ correctly-rounded-reduction design, the laws hold *exactly* (to the bit),
+not merely within floating-point tolerance.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.accumulator import MomentAccumulator
+
+DIM = 3
+BLOCK = 8
+
+
+def _snapshots_equal(a, b) -> bool:
+    return (
+        a.n == b.n
+        and np.array_equal(a.S2, b.S2)
+        and np.array_equal(a.S1, b.S1)
+        and np.array_equal(a.Sxy, b.Sxy)
+        and a.Sy == b.Sy
+        and a.Syy == b.Syy
+    )
+
+
+@st.composite
+def accumulators(draw):
+    """Random accumulators: random row count, values, and chunking."""
+    n = draw(st.integers(0, 40))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    X = rng.uniform(-1.0 / np.sqrt(DIM), 1.0 / np.sqrt(DIM), size=(n, DIM))
+    y = rng.uniform(-1.0, 1.0, size=n)
+    acc = MomentAccumulator(DIM, block_size=BLOCK)
+    start = 0
+    while start < n:
+        step = draw(st.integers(1, 12))
+        acc.update(X[start : start + step], y[start : start + step])
+        start += step
+    return acc
+
+
+class TestMergeLaws:
+    @given(accumulators(), accumulators())
+    @settings(max_examples=50, deadline=None)
+    def test_commutative_to_the_bit(self, a, b):
+        assert _snapshots_equal((a + b).snapshot(), (b + a).snapshot())
+
+    @given(accumulators(), accumulators(), accumulators())
+    @settings(max_examples=40, deadline=None)
+    def test_associative_to_the_bit(self, a, b, c):
+        left = ((a + b) + c).snapshot()
+        right = (a + (b + c)).snapshot()
+        assert _snapshots_equal(left, right)
+
+    @given(accumulators())
+    @settings(max_examples=30, deadline=None)
+    def test_empty_accumulator_is_identity(self, a):
+        empty = MomentAccumulator(DIM, block_size=BLOCK)
+        assert _snapshots_equal((a + empty).snapshot(), a.snapshot())
+        assert _snapshots_equal((empty + a).snapshot(), a.snapshot())
+
+    @given(accumulators(), accumulators())
+    @settings(max_examples=30, deadline=None)
+    def test_merge_counts_rows(self, a, b):
+        merged = a + b
+        assert merged.n_rows == a.n_rows + b.n_rows
+        assert merged.snapshot().n == a.n_rows + b.n_rows
+
+    @given(accumulators(), accumulators())
+    @settings(max_examples=30, deadline=None)
+    def test_add_leaves_operands_usable(self, a, b):
+        before_a, before_b = a.snapshot(), b.snapshot()
+        _ = a + b
+        assert _snapshots_equal(a.snapshot(), before_a)
+        assert _snapshots_equal(b.snapshot(), before_b)
+
+
+class TestMergeErrors:
+    def test_dim_mismatch(self):
+        from repro.exceptions import DimensionMismatchError
+
+        with pytest.raises(DimensionMismatchError):
+            MomentAccumulator(2).merge(MomentAccumulator(3))
+
+    def test_block_size_mismatch(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            MomentAccumulator(2, block_size=8).merge(MomentAccumulator(2, block_size=16))
+
+    def test_non_accumulator_rejected(self):
+        with pytest.raises(TypeError):
+            MomentAccumulator(2).merge(object())

@@ -1,0 +1,189 @@
+"""Tests for the one-pass multi-epsilon sweep engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import FunctionalMechanism
+from repro.core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+)
+from repro.core.postprocess import get_strategy
+from repro.engine.accumulator import MomentAccumulator
+from repro.engine.sweep import EpsilonSweepEngine
+from repro.exceptions import InvalidBudgetError
+from repro.privacy.budget import PrivacyBudget
+
+EPSILONS = (0.1, 0.2, 0.4, 0.8, 1.6, 3.2, 6.4, 12.8)  # >= 8 sweep points
+
+
+class CountingAccumulator(MomentAccumulator):
+    """Test double counting data passes and statistics reads."""
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self.update_calls = 0
+        self.quadratic_form_calls = 0
+
+    def update(self, X_chunk, y_chunk):
+        self.update_calls += 1
+        return super().update(X_chunk, y_chunk)
+
+    def quadratic_form(self, objective):
+        self.quadratic_form_calls += 1
+        return super().quadratic_form(objective)
+
+
+@pytest.fixture
+def linear_setup(stream_data):
+    X, y = stream_data
+    objective = LinearRegressionObjective(X.shape[1])
+    accumulator = MomentAccumulator(X.shape[1]).update(X, y)
+    return X, y, objective, accumulator
+
+
+class TestOnePass:
+    def test_eight_epsilons_one_data_pass(self, stream_data):
+        X, y = stream_data
+        counting = CountingAccumulator(X.shape[1])
+        counting.update(X, y)
+        assert counting.update_calls == 1
+        engine = EpsilonSweepEngine(
+            LinearRegressionObjective(X.shape[1]), counting
+        )
+        sweep = engine.sweep(EPSILONS, rng=0)
+        assert len(sweep.points) == len(EPSILONS) >= 8
+        # The engine touched the data exactly once — at ingestion — and read
+        # the finalized statistics exactly once, at construction.
+        assert counting.update_calls == 1
+        assert counting.quadratic_form_calls == 1
+
+    def test_variance_estimation_adds_no_passes(self, stream_data):
+        X, y = stream_data
+        counting = CountingAccumulator(X.shape[1]).update(X, y)
+        engine = EpsilonSweepEngine(LinearRegressionObjective(X.shape[1]), counting)
+        engine.variance_estimate(EPSILONS, repeats=5, rng=0)
+        assert counting.update_calls == 1
+        assert counting.quadratic_form_calls == 1
+
+
+class TestLoopEquivalence:
+    """The vectorized sweep must reproduce the per-epsilon loop exactly."""
+
+    @pytest.mark.parametrize("objective_cls", [LinearRegressionObjective, LogisticRegressionObjective])
+    def test_bitwise_equal_to_mechanism_loop(self, stream_data, labels, objective_cls):
+        X, y = stream_data
+        if objective_cls is LogisticRegressionObjective:
+            y = labels
+        objective = objective_cls(X.shape[1])
+        accumulator = MomentAccumulator(X.shape[1]).update(X, y)
+        engine = EpsilonSweepEngine(objective, accumulator)
+
+        sweep = engine.sweep(EPSILONS, rng=np.random.default_rng(7))
+
+        generator = np.random.default_rng(7)
+        strategy = get_strategy("spectral")
+        form = engine.form
+        for point in sweep.points:
+            mechanism = FunctionalMechanism(point.epsilon, rng=generator)
+            noisy, record = mechanism.perturb_quadratic(form, objective.sensitivity())
+            loop_omega = strategy.solve(noisy, record.noise_std).omega
+            np.testing.assert_array_equal(point.omega, loop_omega)
+            assert point.record.noise_scale == record.noise_scale
+            assert point.record.coefficients_perturbed == record.coefficients_perturbed
+
+    def test_sweep_points_are_independent_draws(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        sweep = engine.sweep([1.0, 1.0, 1.0], rng=0)
+        a, b, c = (p.omega for p in sweep.points)
+        assert not np.array_equal(a, b)
+        assert not np.array_equal(b, c)
+
+    def test_seeded_reproducibility(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        one = engine.sweep(EPSILONS, rng=11).coefficients
+        two = engine.sweep(EPSILONS, rng=11).coefficients
+        np.testing.assert_array_equal(one, two)
+
+
+class TestRecordsAndResults:
+    def test_records_carry_correct_scales(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        sweep = engine.sweep(EPSILONS, rng=0)
+        d = objective.dim
+        for point in sweep.points:
+            assert point.record.noise_scale == pytest.approx(
+                objective.sensitivity() / point.epsilon
+            )
+            assert point.record.coefficients_perturbed == 1 + d + d * (d + 1) // 2
+            assert point.solve_seconds >= 0.0
+
+    def test_coefficients_matrix_shape(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        sweep = EpsilonSweepEngine(objective, accumulator).sweep(EPSILONS, rng=0)
+        assert sweep.coefficients.shape == (len(EPSILONS), objective.dim)
+
+    def test_point_at(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        sweep = EpsilonSweepEngine(objective, accumulator).sweep([0.4, 0.8], rng=0)
+        assert sweep.point_at(0.8).epsilon == 0.8
+        with pytest.raises(KeyError):
+            sweep.point_at(7.0)
+
+    def test_more_budget_means_less_noise(self, linear_setup):
+        X, y, objective, accumulator = linear_setup
+        exact = accumulator.quadratic_form(objective).minimize()
+        engine = EpsilonSweepEngine(objective, accumulator)
+        distances = {
+            e: [] for e in (0.1, 100.0)
+        }
+        for seed in range(10):
+            sweep = engine.sweep([0.1, 100.0], rng=seed)
+            for point in sweep.points:
+                distances[point.epsilon].append(
+                    float(np.linalg.norm(point.omega - exact))
+                )
+        assert np.mean(distances[100.0]) < np.mean(distances[0.1])
+
+
+class TestVariance:
+    def test_shapes_and_determinism(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        var = engine.variance_estimate([0.2, 0.8], repeats=12, rng=3)
+        assert var.mean.shape == (2, objective.dim)
+        assert var.std.shape == (2, objective.dim)
+        again = engine.variance_estimate([0.2, 0.8], repeats=12, rng=3)
+        np.testing.assert_array_equal(var.std, again.std)
+
+    def test_spread_shrinks_with_budget(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        var = engine.variance_estimate([0.1, 10.0], repeats=25, rng=0)
+        assert var.std[1].mean() < var.std[0].mean()
+
+    def test_repeats_validated(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        with pytest.raises(InvalidBudgetError):
+            engine.variance_estimate([0.5], repeats=1, rng=0)
+
+
+class TestBudgetAccounting:
+    def test_sweep_charges_sum_of_epsilons(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        budget = PrivacyBudget(100.0)
+        engine = EpsilonSweepEngine(objective, accumulator, budget=budget)
+        engine.sweep(EPSILONS, rng=0)
+        assert budget.spent == pytest.approx(sum(EPSILONS))
+
+    def test_invalid_epsilons_rejected(self, linear_setup):
+        _, _, objective, accumulator = linear_setup
+        engine = EpsilonSweepEngine(objective, accumulator)
+        with pytest.raises(InvalidBudgetError):
+            engine.sweep([], rng=0)
+        with pytest.raises(InvalidBudgetError):
+            engine.sweep([0.5, -1.0], rng=0)

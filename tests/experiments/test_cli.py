@@ -63,3 +63,50 @@ class TestCommands:
     def test_convergence(self, capsys):
         assert main(["convergence", "--task", "linear"]) == 0
         assert "noise/signal" in capsys.readouterr().out
+
+
+class TestEngineCommand:
+    def test_defaults(self):
+        args = build_parser().parse_args(["engine"])
+        assert args.task == "linear"
+        assert args.shards == 1
+        assert args.epsilons == "0.1,0.2,0.4,0.8,1.6,3.2"
+        assert args.cache_dir is None
+
+    def test_linear_sweep_smoke(self, capsys):
+        assert main(["engine", "--task", "linear", "--epsilons", "0.1,1,10",
+                     "--shards", "4", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "one pass, 3 budgets" in out
+        assert "mean square error" in out
+
+    def test_logistic_sweep_with_error_bars(self, capsys):
+        assert main(["engine", "--task", "logistic", "--epsilons", "0.5,2",
+                     "--scale", "smoke", "--repeats", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "misclassification rate" in out
+        assert "coef std" in out
+
+    def test_cache_round_trip(self, capsys, tmp_path):
+        argv = ["engine", "--epsilons", "1.0", "--scale", "smoke",
+                "--cache-dir", str(tmp_path / "cache")]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert "cache hit" not in first
+        assert main(argv) == 0
+        second = capsys.readouterr().out
+        assert "cache hit" in second
+        # Identical statistics + seed => identical metric and ||omega||
+        # (the trailing solve-time column is wall clock, so exclude it).
+        assert first.splitlines()[-2].split()[:3] == second.splitlines()[-2].split()[:3]
+
+    def test_bad_epsilons_exit_code(self, capsys):
+        assert main(["engine", "--epsilons", "abc"]) == 2
+
+    def test_nonpositive_epsilons_exit_code(self, capsys):
+        assert main(["engine", "--epsilons", "0.5,-1"]) == 2
+        assert "positive budget" in capsys.readouterr().err
+
+    def test_invalid_shards_exit_code(self, capsys):
+        assert main(["engine", "--shards", "0"]) == 2
+        assert "--shards" in capsys.readouterr().err

@@ -15,6 +15,10 @@ import repro.core.objectives
 import repro.core.polynomial
 import repro.core.taylor
 import repro.data.transforms
+import repro.engine.accumulator
+import repro.engine.cache
+import repro.engine.sharding
+import repro.engine.sweep
 import repro.privacy.budget
 import repro.regression.features
 import repro.regression.linear
@@ -28,6 +32,10 @@ MODULES = [
     repro.core.polynomial,
     repro.core.taylor,
     repro.data.transforms,
+    repro.engine.accumulator,
+    repro.engine.cache,
+    repro.engine.sharding,
+    repro.engine.sweep,
     repro.privacy.budget,
     repro.regression.features,
     repro.regression.linear,
