@@ -1,0 +1,149 @@
+"""Cell-solver throughput: per-cell vs batched runtime execution.
+
+The Section-7 protocol is a grid of (repetition, fold, epsilon) cells; this
+bench measures how fast the two execution paths clear a figure-6-sized FM
+workload — Table-2 defaults (d = 14, 200k records, 5 folds), two
+repetitions, all six privacy budgets: 60 cells whose training splits each
+cover 160k rows.
+
+* ``percell`` fits every cell independently (the reference oracle): one
+  aggregation pass, one noise draw, one eigendecomposition, one solve per
+  cell.
+* ``batched`` aggregates once per fold, reuses the coefficients across the
+  six budgets, and executes all 60 repairs/solves as one stacked LAPACK
+  call.
+
+Both paths produce bitwise-identical scores (asserted here and owned by
+``tests/runtime/test_equivalence.py``), so the ratio is pure scheduling win.
+The acceptance bar — batched >= 5x cells/sec over per-cell on this workload
+— is asserted by ``test_batched_speedup_floor``, which times directly so it
+also runs under ``--benchmark-disable`` smoke mode; the committed
+``BENCH_harness.json`` at the repo root records the measured baseline.
+
+A report-only masked-Newton comparison (NoPrivacy logistic) rides along:
+its cells are iterative, so batching buys orchestration rather than
+amortization, and the bar is parity, not a multiple.
+"""
+
+import os
+import time
+
+import pytest
+from conftest import save_and_print
+
+from repro.experiments.config import PRIVACY_BUDGETS, ScalePreset
+from repro.runtime import plan_cells, run_plan
+
+#: Figure-6 shape at bench scale: Table-2 defaults, all six budgets.
+PRESET = ScalePreset(name="figure6-cells", max_records=200_000, folds=5, repetitions=2)
+NEWTON_PRESET = ScalePreset(name="newton-cells", max_records=50_000, folds=5, repetitions=2)
+
+#: The acceptance floor for the batched path on the FM workload (the
+#: committed BENCH_harness.json baseline records ~6.4x).  CI smoke lowers
+#: it via HARNESS_CELLS_FLOOR: the ratio's structural ceiling is ~6.5x (six
+#: aggregation passes collapsed to one), so a shared runner's timing noise
+#: or a differently-threaded BLAS can dip a healthy build below 5x, while
+#: any real regression (losing the epsilon-axis amortization) lands near
+#: 1x and still fails a relaxed floor.
+SPEEDUP_FLOOR = float(os.environ.get("HARNESS_CELLS_FLOOR", "5.0"))
+
+
+@pytest.fixture(scope="module")
+def fm_plan(us_census):
+    return plan_cells(
+        "FM", us_census, "linear", dims=14, epsilons=PRIVACY_BUDGETS,
+        preset=PRESET, seed=6,
+    )
+
+
+@pytest.fixture(scope="module")
+def newton_plan(us_census):
+    return plan_cells(
+        "NoPrivacy", us_census, "logistic", dims=14, epsilons=[0.8],
+        preset=NEWTON_PRESET, seed=6,
+    )
+
+
+@pytest.mark.parametrize("mode", ["percell", "batched"])
+def test_fm_cell_throughput(benchmark, results_dir, fm_plan, mode):
+    """Cells/sec and rows/sec of one full figure-6 FM workload."""
+    outcome = benchmark.pedantic(lambda: run_plan(fm_plan, mode=mode), rounds=3, iterations=1)
+    assert outcome.plan.n_cells == len(fm_plan.folds) * len(PRIVACY_BUDGETS)
+    if not benchmark.enabled:
+        return  # --benchmark-disable smoke mode: correctness ran, no stats
+    seconds = benchmark.stats.stats.median
+    cells_per_sec = fm_plan.n_cells / seconds
+    rows_per_sec = fm_plan.n_cells * fm_plan.n_train / seconds
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["cells"] = fm_plan.n_cells
+    benchmark.extra_info["n_train"] = fm_plan.n_train
+    benchmark.extra_info["cells_per_sec"] = cells_per_sec
+    benchmark.extra_info["rows_per_sec"] = rows_per_sec
+    save_and_print(
+        results_dir,
+        f"harness_cells_{mode}",
+        f"{mode}: {cells_per_sec:,.1f} cells/sec, {rows_per_sec:,.0f} rows/sec "
+        f"({fm_plan.n_cells} cells x {fm_plan.n_train:,} train rows, median of 3)",
+    )
+
+
+def _best_of(runs: int, fn) -> tuple[float, object]:
+    """Minimum wall time over ``runs`` calls (robust to scheduler noise)."""
+    best_seconds, result = float("inf"), None
+    for _ in range(runs):
+        started = time.perf_counter()
+        result = fn()
+        best_seconds = min(best_seconds, time.perf_counter() - started)
+    return best_seconds, result
+
+
+def test_batched_speedup_floor(results_dir, fm_plan):
+    """The acceptance bar: batched >= 5x per-cell, scores bit-identical.
+
+    Timed directly (not through the benchmark fixture) so the assertion
+    also guards quick/smoke CI runs under ``--benchmark-disable``.  Both
+    paths are warmed and take their best of three runs, so a noisy shared
+    CI runner neither fails a healthy build nor masks a real regression
+    behind warmup asymmetry.
+    """
+    run_plan(fm_plan, mode="batched")  # warm caches and the allocator
+    run_plan(fm_plan, mode="percell")
+    batched_seconds, batched = _best_of(3, lambda: run_plan(fm_plan, mode="batched"))
+    percell_seconds, percell = _best_of(3, lambda: run_plan(fm_plan, mode="percell"))
+    for epsilon in fm_plan.epsilons:
+        assert batched.scores[epsilon] == percell.scores[epsilon]
+    speedup = percell_seconds / batched_seconds
+    save_and_print(
+        results_dir,
+        "harness_cells_speedup",
+        f"batched vs percell: {speedup:.2f}x cells/sec "
+        f"(percell best-of-3 {percell_seconds:.3f}s, batched best-of-3 "
+        f"{batched_seconds:.3f}s, {fm_plan.n_cells} cells)",
+    )
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"batched runtime regressed: {speedup:.2f}x < {SPEEDUP_FLOOR}x on the "
+        f"figure-6 workload"
+    )
+
+
+def test_newton_cell_parity(results_dir, newton_plan):
+    """Report-only: the masked batched Newton must hold parity, not 5x."""
+    run_plan(newton_plan, mode="batched")
+    started = time.perf_counter()
+    batched = run_plan(newton_plan, mode="batched")
+    batched_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    percell = run_plan(newton_plan, mode="percell")
+    percell_seconds = time.perf_counter() - started
+    assert batched.scores[0.8] == percell.scores[0.8]
+    ratio = percell_seconds / batched_seconds
+    save_and_print(
+        results_dir,
+        "harness_cells_newton",
+        f"masked Newton vs percell: {ratio:.2f}x "
+        f"(percell {percell_seconds:.3f}s, batched {batched_seconds:.3f}s, "
+        f"{newton_plan.n_cells} logistic cells)",
+    )
+    # Generous floor: batching must never cost more than ~2x on one core;
+    # its upside is multi-core stacks and shared orchestration.
+    assert ratio >= 0.5

@@ -36,6 +36,11 @@ Package map
     moment accumulation, N-way parallel ingestion, one-pass multi-epsilon
     sweeps, and a content-addressed accumulator cache
     (``python -m repro engine`` is the CLI entry point).
+``repro.runtime``
+    Batched cell-solver runtime for the repeated-CV protocol: up-front
+    (rep, fold, epsilon) cell planning, stacked LAPACK kernels and a
+    masked batched Newton with bitwise-identical scores, plus pluggable
+    serial/thread/process executors for the non-batchable baselines.
 ``repro.experiments``
     Table-2 parameter grid, cross-validation harness, per-figure drivers.
 ``repro.analysis``
@@ -68,6 +73,7 @@ from .exceptions import (
     UnboundedObjectiveError,
 )
 from .privacy import LaplaceMechanism, PrivacyBudget
+from .runtime import CellPlan, plan_cells, run_plan
 from .regression import (
     FeatureScaler,
     KFold,
@@ -95,6 +101,9 @@ __all__ = [
     "MomentAccumulator",
     "MomentSnapshot",
     "ShardedAccumulator",
+    "CellPlan",
+    "plan_cells",
+    "run_plan",
     "BudgetExhaustedError",
     "DataError",
     "DomainError",

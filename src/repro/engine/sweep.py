@@ -43,10 +43,16 @@ import numpy as np
 from ..core.mechanism import FunctionalMechanism, PerturbationRecord
 from ..core.objectives import RegressionObjective
 from ..core.polynomial import QuadraticForm
-from ..core.postprocess import PostProcessResult, PostProcessingStrategy, get_strategy
+from ..core.postprocess import (
+    PostProcessResult,
+    PostProcessingStrategy,
+    SpectralTrimming,
+    get_strategy,
+)
 from ..exceptions import InvalidBudgetError
 from ..privacy.budget import PrivacyBudget
 from ..privacy.rng import RngLike, ensure_rng
+from ..runtime.kernels import fm_noise_stack, spectral_solve_stack
 
 __all__ = [
     "EpsilonSweepEngine",
@@ -243,16 +249,73 @@ class EpsilonSweepEngine:
         The Laplace draws are vectorized across the sweep axis — one
         ``(n_eps, 1 + d + d^2)`` standardized sample — while each row stays
         an independent Algorithm-1 invocation at its own scale.
+
+        With the default spectral repair, the noise mapping and all repairs
+        and solves additionally run through the stacked runtime kernels
+        (:mod:`repro.runtime.kernels`): one batched eigendecomposition and
+        one batched closed-form solve for the whole sweep, bitwise
+        identical to the per-epsilon loop.  Strategies that may consume
+        extra stream on demand (Lemma-5 rerun) or carry custom solve logic
+        keep the per-point loop.
         """
         values = self._validate_epsilons(epsilons)
         gen = ensure_rng(rng)
         d = self._form.dim
         raw = gen.laplace(0.0, 1.0, size=(len(values), 1 + d + d * d))
+        if self._budget is not None:
+            for epsilon in values:
+                self._budget.spend(epsilon, note=f"EpsilonSweepEngine eps={epsilon:g}")
+        if type(self._strategy) is SpectralTrimming:
+            return self._sweep_batched(values, raw)
+        points = [self._fit_one(epsilon, raw[i], gen) for i, epsilon in enumerate(values)]
+        return EpsilonSweepResult(epsilons=tuple(values), points=tuple(points))
+
+    def _sweep_batched(
+        self, values: list[float], raw: np.ndarray
+    ) -> EpsilonSweepResult:
+        """All sweep points as one stacked perturb-repair-solve."""
+        started = time.perf_counter()
+        d = self._form.dim
+        epsilons = np.asarray(values, dtype=float)
+        scales = self._sensitivity / epsilons
+        noisy_M, noisy_alpha = fm_noise_stack(self._form.M, self._form.alpha, raw, scales)
+        if self._ridge_lambda:
+            noisy_M = noisy_M + self._ridge_lambda * np.eye(d)
+        noise_std = math.sqrt(2.0) * scales
+        solved = spectral_solve_stack(
+            noisy_M,
+            noisy_alpha,
+            noise_std,
+            multiplier=self._strategy.multiplier,
+            eigen_tol=self._strategy.eigen_tol,
+            noise_relative_tol=self._strategy.noise_relative_tol,
+        )
+        share = (time.perf_counter() - started) / len(values)
         points = []
         for i, epsilon in enumerate(values):
-            if self._budget is not None:
-                self._budget.spend(epsilon, note=f"EpsilonSweepEngine eps={epsilon:g}")
-            points.append(self._fit_one(epsilon, raw[i], gen))
+            record = PerturbationRecord(
+                epsilon=epsilon,
+                sensitivity=self._sensitivity,
+                noise_scale=float(scales[i]),
+                noise_std=float(noise_std[i]),
+                coefficients_perturbed=1 + d + d * (d + 1) // 2,
+            )
+            post = PostProcessResult(
+                omega=solved.omega[i],
+                strategy=self._strategy.name,
+                lam=float(solved.lam[i]),
+                trimmed=int(solved.trimmed[i]),
+                repaired=bool(solved.repaired[i]),
+            )
+            points.append(
+                SweepPoint(
+                    epsilon=epsilon,
+                    omega=solved.omega[i],
+                    record=record,
+                    post=post,
+                    solve_seconds=share,
+                )
+            )
         return EpsilonSweepResult(epsilons=tuple(values), points=tuple(points))
 
     def variance_estimate(

@@ -6,6 +6,7 @@ Usage (installed package)::
     python -m repro figure4 --country us --task linear --scale smoke
     python -m repro figure6 --country brazil --task logistic --scale default
     python -m repro figure7 --country us --scale smoke
+    python -m repro figure6 --runtime percell --executor thread
     python -m repro convergence --task linear
     python -m repro table2
     python -m repro engine --task linear --epsilons 0.1,1,10 --shards 4
@@ -17,6 +18,14 @@ statistics accumulator (optionally sharded and cached via ``--cache-dir``)
 and refits the Functional Mechanism at every requested budget from that one
 pass.  The ``--scale`` presets trade fidelity for time (see
 :mod:`repro.experiments.config`).
+
+Sweep figures accept two execution-runtime knobs (see :mod:`repro.runtime`):
+``--runtime batched`` (default) executes every batchable (rep, fold,
+epsilon) cell through stacked LAPACK kernels, while ``--runtime percell``
+forces the per-cell reference path — both produce bitwise-identical scores,
+so the choice only trades wall-clock for auditability.  ``--executor
+serial|thread|process`` selects where the residual non-batchable baseline
+cells (DPME, FP) run.
 """
 
 from __future__ import annotations
@@ -85,6 +94,20 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure3", help="logistic objective vs degree-2 approximation")
 
+    def add_runtime_arguments(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--runtime", choices=("batched", "percell"), default="batched",
+            help="cell execution path: 'batched' stacks all closed-form "
+            "(rep, fold, epsilon) solves into one LAPACK call and iterates "
+            "logistic cells through the masked batched Newton; 'percell' is "
+            "the reference loop. Scores are bitwise identical either way.",
+        )
+        p.add_argument(
+            "--executor", choices=("serial", "thread", "process"), default="serial",
+            help="where per-cell work runs (the non-batchable baselines, or "
+            "everything under --runtime percell)",
+        )
+
     for name, help_text in [
         ("figure4", "accuracy vs dimensionality"),
         ("figure5", "accuracy vs cardinality"),
@@ -95,6 +118,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--task", choices=("linear", "logistic"), default="linear")
         p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
         p.add_argument("--seed", type=int, default=0)
+        add_runtime_arguments(p)
 
     for name, help_text in [
         ("figure7", "computation time vs dimensionality (logistic)"),
@@ -105,6 +129,7 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--country", choices=("us", "brazil"), default="us")
         p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
         p.add_argument("--seed", type=int, default=0)
+        add_runtime_arguments(p)
 
     conv = sub.add_parser("convergence", help="Theorem-2 convergence study")
     conv.add_argument("--task", choices=("linear", "logistic"), default="linear")
@@ -264,14 +289,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     dataset = _load(args.country, preset)
     if args.command in _ACCURACY_FIGURES:
         result = _ACCURACY_FIGURES[args.command](
-            dataset, args.task, preset=preset, seed=args.seed
+            dataset, args.task, preset=preset, seed=args.seed,
+            runtime=args.runtime, executor=args.executor,
         )
         print(format_sweep_table(result))
         flags = summarize_ordering(result)
         print(f"ordering flags: {flags}")
         return 0
     if args.command in _TIMING_FIGURES:
-        result = _TIMING_FIGURES[args.command](dataset, preset=preset, seed=args.seed)
+        result = _TIMING_FIGURES[args.command](
+            dataset, preset=preset, seed=args.seed,
+            runtime=args.runtime, executor=args.executor,
+        )
         print(format_time_table(result))
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -176,10 +176,15 @@ def accuracy_sweep(
     preset: ScalePreset = DEFAULT,
     algorithms: Sequence[str] | None = None,
     seed: int = 0,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Evaluate all panel algorithms across one Table-2 parameter sweep.
 
-    Non-swept parameters sit at their Table-2 defaults.
+    Non-swept parameters sit at their Table-2 defaults.  ``runtime`` and
+    ``executor`` select the cell execution path (see
+    :func:`~repro.experiments.harness.evaluate_algorithm`); scores are
+    bitwise identical across them.
     """
     algorithms = tuple(algorithms or _algorithms_for(task))
     series: dict[str, list[EvaluationResult]] = {name: [] for name in algorithms}
@@ -198,6 +203,8 @@ def accuracy_sweep(
                     preset=preset,
                     sampling_rate=float(rate),
                     seed=seed + 1000 * i,
+                    runtime=runtime,
+                    executor=executor,
                 )
             )
     return SweepResult(
@@ -215,11 +222,13 @@ def figure4_dimensionality(
     task: Task,
     preset: ScalePreset = DEFAULT,
     seed: int = 4,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 4: accuracy vs dataset dimensionality (5, 8, 11, 14)."""
     return accuracy_sweep(
         dataset, task, "dimensionality", DIMENSIONALITIES, figure="figure4",
-        preset=preset, seed=seed,
+        preset=preset, seed=seed, runtime=runtime, executor=executor,
     )
 
 
@@ -229,11 +238,13 @@ def figure5_cardinality(
     preset: ScalePreset = DEFAULT,
     seed: int = 5,
     rates: Sequence[float] = SAMPLING_RATES,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 5: accuracy vs dataset cardinality (sampling rate 0.1-1.0)."""
     return accuracy_sweep(
         dataset, task, "sampling_rate", tuple(rates), figure="figure5",
-        preset=preset, seed=seed,
+        preset=preset, seed=seed, runtime=runtime, executor=executor,
     )
 
 
@@ -244,30 +255,35 @@ def _budget_sweep(
     preset: ScalePreset,
     seed: int,
     engine: bool,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Shared driver for the budget-sweep figures (6 and 9).
 
     With ``engine=True`` the FM series routes through
-    :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`: its
-    sufficient statistics are accumulated once per (repetition, fold) and
-    refit at every budget, so FM's share of the sweep costs one data pass
-    instead of one per epsilon.  The other algorithms keep the per-point
-    loop (their fits genuinely depend on epsilon-specific passes).
+    :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`: one
+    aggregation per (repetition, fold) refit at every budget, so FM's share
+    of the sweep costs one data pass instead of one per epsilon — and under
+    the default batched runtime all of those refits are one stacked solve.
+    The other algorithms keep the per-point loop (their fits genuinely
+    depend on epsilon-specific passes), batched per sweep point.
     """
     algorithms = _algorithms_for(task)
     if not engine:
         return accuracy_sweep(
             dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
-            preset=preset, seed=seed,
+            preset=preset, seed=seed, runtime=runtime, executor=executor,
         )
     others = accuracy_sweep(
         dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
-        preset=preset, seed=seed,
+        preset=preset, seed=seed, runtime=runtime, executor=executor,
         algorithms=[name for name in algorithms if name != "FM"],
     )
     fm = evaluate_fm_budget_sweep(
         dataset, task, dims=DEFAULT_DIMENSIONALITY, epsilons=PRIVACY_BUDGETS,
         preset=preset, seed=seed,
+        runtime="auto" if runtime == "batched" else runtime,
+        executor=executor,
     )
     series: dict[str, tuple[EvaluationResult, ...]] = {}
     for name in algorithms:  # preserve the paper's legend order
@@ -291,6 +307,8 @@ def figure6_privacy_budget(
     preset: ScalePreset = DEFAULT,
     seed: int = 6,
     engine: bool = True,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 6: accuracy vs privacy budget (epsilon 0.1-3.2).
 
@@ -299,18 +317,22 @@ def figure6_privacy_budget(
     :mod:`repro.engine` sweep; pass ``engine=False`` for the historical
     per-point loop.
     """
-    return _budget_sweep(dataset, task, "figure6", preset, seed, engine)
+    return _budget_sweep(dataset, task, "figure6", preset, seed, engine,
+                         runtime=runtime, executor=executor)
 
 
 def figure7_time_dimensionality(
     dataset: CensusDataset,
     preset: ScalePreset = DEFAULT,
     seed: int = 7,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 7: computation time vs dimensionality (logistic task)."""
     result = accuracy_sweep(
         dataset, "logistic", "dimensionality", DIMENSIONALITIES,
-        figure="figure7", preset=preset, seed=seed,
+        figure="figure7", preset=preset, seed=seed, runtime=runtime,
+        executor=executor,
     )
     return result
 
@@ -320,11 +342,14 @@ def figure8_time_cardinality(
     preset: ScalePreset = DEFAULT,
     seed: int = 8,
     rates: Sequence[float] = SAMPLING_RATES,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 8: computation time vs cardinality (logistic task)."""
     return accuracy_sweep(
         dataset, "logistic", "sampling_rate", tuple(rates),
-        figure="figure8", preset=preset, seed=seed,
+        figure="figure8", preset=preset, seed=seed, runtime=runtime,
+        executor=executor,
     )
 
 
@@ -333,6 +358,8 @@ def figure9_time_budget(
     preset: ScalePreset = DEFAULT,
     seed: int = 9,
     engine: bool = True,
+    runtime: str = "batched",
+    executor: str = "serial",
 ) -> SweepResult:
     """Figure 9: computation time vs privacy budget (logistic task).
 
@@ -340,4 +367,5 @@ def figure9_time_budget(
     per-epsilon marginal solve time plus an amortized share of the single
     statistics pass.
     """
-    return _budget_sweep(dataset, "logistic", "figure9", preset, seed, engine)
+    return _budget_sweep(dataset, "logistic", "figure9", preset, seed, engine,
+                         runtime=runtime, executor=executor)

@@ -7,27 +7,37 @@ interface: every (repetition, fold) trains the algorithm on the training
 split, scores the paper's metric on the held-out fold, and also records the
 fit wall-time (feeding Figures 7-9).
 
+Execution routes through :mod:`repro.runtime`: the protocol's cells are
+enumerated up front into a :class:`~repro.runtime.plan.CellPlan` and run
+either through the batched tensor kernels (default — all closed-form cells
+in one stacked LAPACK call, logistic cells through the masked batched
+Newton) or cell by cell as the reference oracle.  Both paths produce
+bitwise-identical scores; ``runtime="percell"`` exists to prove it and to
+time the baseline.
+
 Randomness plumbing: each (repetition, fold, algorithm) cell derives its own
 RNG substream keyed by position, so results are reproducible and algorithms
-see independent noise across cells regardless of execution order.
+see independent noise across cells regardless of execution order — or of
+which runtime path executes them.
 
 Budget sweeps have a dedicated fast path,
 :func:`evaluate_fm_budget_sweep`: because FM's database-level coefficients
 do not depend on epsilon, each (repetition, fold) training split is
-accumulated **once** through :mod:`repro.engine` and refit at every budget —
-O(1 data pass + n_eps solves) instead of O(n_eps) passes.
+aggregated **once** and refit at every budget — O(1 data pass + n_eps
+solves) instead of O(n_eps) passes.  The default routes through the batched
+runtime; ``runtime="engine"`` keeps PR 1's streaming
+:mod:`repro.engine` path (and is implied by ``shards > 1``).
 """
 
 from __future__ import annotations
 
-import hashlib
 import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
 
-from ..baselines.base import Task, make_algorithm
+from ..baselines.base import Task
 from ..core.objectives import (
     LinearRegressionObjective,
     LogisticRegressionObjective,
@@ -38,6 +48,7 @@ from ..exceptions import ExperimentError
 from ..privacy.rng import derive_substream
 from ..regression.metrics import mean_squared_error, misclassification_rate
 from ..regression.preprocessing import KFold
+from ..runtime import CellExecutor, PlanResult, algorithm_stream_key, plan_cells, run_plan
 from .config import DEFAULT, ScalePreset
 
 __all__ = [
@@ -50,14 +61,8 @@ __all__ = [
 ]
 
 
-def _algorithm_stream_key(name: str) -> int:
-    """Stable per-algorithm substream key.
-
-    ``hash(str)`` is salted per process (PYTHONHASHSEED), which would make
-    "reproducible" results differ between runs; a truncated SHA-256 is
-    deterministic everywhere.
-    """
-    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+#: Back-compat alias — the key derivation now lives with the cell planner.
+_algorithm_stream_key = algorithm_stream_key
 
 
 def objective_for(task: Task, dim: int):
@@ -93,7 +98,10 @@ class EvaluationResult:
     std_score:
         Standard deviation over cells.
     mean_fit_seconds:
-        Average wall-clock time of ``fit`` (the paper's "computation time").
+        Average wall-clock time of ``fit`` (the paper's "computation
+        time").  Batched-runtime cells report an equal share of their
+        kernel's fit time (held-out scoring excluded, as in the per-cell
+        clock); per-cell execution reports individual fits.
     cells:
         Number of (repetition, fold) measurements aggregated.
     n_train:
@@ -109,6 +117,22 @@ class EvaluationResult:
     n_train: int
 
 
+def _result_for_epsilon(
+    outcome: PlanResult, algorithm: str, task: Task, epsilon: float
+) -> EvaluationResult:
+    """Aggregate one epsilon's cells into the harness result type."""
+    scores = outcome.scores[epsilon]
+    return EvaluationResult(
+        algorithm=algorithm,
+        task=task,
+        mean_score=float(np.mean(scores)),
+        std_score=float(np.std(scores)),
+        mean_fit_seconds=float(np.mean(outcome.fit_seconds[epsilon])),
+        cells=len(scores),
+        n_train=outcome.n_train,
+    )
+
+
 def evaluate_algorithm(
     algorithm: str,
     dataset: CensusDataset,
@@ -119,6 +143,8 @@ def evaluate_algorithm(
     sampling_rate: float = 1.0,
     seed: int = 0,
     algorithm_kwargs: Mapping | None = None,
+    runtime: str = "batched",
+    executor: str | CellExecutor = "serial",
 ) -> EvaluationResult:
     """Run the full repeated-CV protocol for one algorithm at one sweep point.
 
@@ -140,47 +166,28 @@ def evaluate_algorithm(
         Base seed; all cell substreams derive from it.
     algorithm_kwargs:
         Extra constructor arguments (ablation benches use this).
+    runtime:
+        ``"batched"`` (default) executes supported algorithms through the
+        stacked runtime kernels; ``"percell"`` forces the per-cell
+        reference path.  Scores are bitwise identical either way.
+    executor:
+        Executor for per-cell work (non-batchable baselines, or everything
+        under ``runtime="percell"``): ``"serial"``, ``"thread"`` or
+        ``"process"``.
     """
-    if not 0.0 < sampling_rate <= 1.0:
-        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
-    kwargs = dict(algorithm_kwargs or {})
-    base_n = preset.cardinality(dataset.n)
-    scores: list[float] = []
-    fit_times: list[float] = []
-    n_train = 0
-    for rep in range(preset.repetitions):
-        rep_rng = derive_substream(seed, [_algorithm_stream_key(algorithm), rep])
-        working = dataset
-        if base_n < dataset.n:
-            working = working.take(
-                rep_rng.choice(dataset.n, size=base_n, replace=False)
-            )
-        if sampling_rate < 1.0:
-            working = working.sample(sampling_rate, rng=rep_rng)
-        prepared = working.regression_task(task, dims=dims)
-        folds = KFold(n_splits=preset.folds, rng=rep_rng)
-        for fold_id, (train_idx, test_idx) in enumerate(folds.split(prepared.n)):
-            model = make_algorithm(
-                algorithm,
-                task,
-                epsilon=epsilon,
-                rng=derive_substream(seed, [_algorithm_stream_key(algorithm), rep, fold_id]),
-                **kwargs,
-            )
-            started = time.perf_counter()
-            model.fit(prepared.X[train_idx], prepared.y[train_idx])
-            fit_times.append(time.perf_counter() - started)
-            scores.append(model.score(prepared.X[test_idx], prepared.y[test_idx]))
-            n_train = train_idx.shape[0]
-    return EvaluationResult(
-        algorithm=algorithm,
-        task=task,
-        mean_score=float(np.mean(scores)),
-        std_score=float(np.std(scores)),
-        mean_fit_seconds=float(np.mean(fit_times)),
-        cells=len(scores),
-        n_train=n_train,
+    plan = plan_cells(
+        algorithm,
+        dataset,
+        task,
+        dims=dims,
+        epsilons=[epsilon],
+        preset=preset,
+        sampling_rate=sampling_rate,
+        seed=seed,
+        algorithm_kwargs=algorithm_kwargs,
     )
+    outcome = run_plan(plan, mode=runtime, executor=executor)
+    return _result_for_epsilon(outcome, algorithm, task, float(epsilon))
 
 
 def evaluate_fm_budget_sweep(
@@ -194,37 +201,106 @@ def evaluate_fm_budget_sweep(
     shards: int = 1,
     post_processing: str = "spectral",
     tight_sensitivity: bool = False,
+    runtime: str = "auto",
+    executor: str | CellExecutor = "serial",
 ) -> dict[float, EvaluationResult]:
     """Run FM's repeated-CV protocol at *all* budgets with one pass per cell.
 
     Mirrors :func:`evaluate_algorithm` for the ``"FM"`` algorithm across an
     epsilon vector, but instead of refitting from the raw data per budget,
-    each (repetition, fold) training split feeds a
-    :class:`~repro.engine.MomentAccumulator` exactly once and an
-    :class:`~repro.engine.EpsilonSweepEngine` refits every epsilon from the
-    finalized statistics.  The per-epsilon ``mean_fit_seconds`` records that
-    epsilon's marginal solve time plus an equal share of the (single)
-    accumulation pass.
+    each (repetition, fold) training split is aggregated exactly once and
+    refit at every epsilon from the finalized coefficients.
 
     Unlike the per-point loop path — where every sweep point re-derives its
     own subsample and folds — all epsilons here share each repetition's
     folds; that is precisely what makes one pass possible, and the paper's
     protocol averages over folds either way.
 
-    Parameters mirror :func:`evaluate_algorithm`; additionally ``shards``
-    parallelizes the accumulation pass and ``post_processing`` /
-    ``tight_sensitivity`` configure the mechanism as the FM estimator
-    kwargs would.
+    Parameters mirror :func:`evaluate_algorithm`; additionally:
+
+    shards:
+        Parallel ingestion shards for the streaming-engine path (implies
+        ``runtime="engine"`` when greater than one).
+    post_processing / tight_sensitivity:
+        Mechanism configuration, as the FM estimator kwargs would be.
+    runtime:
+        ``"auto"`` (default) picks the batched runtime, falling back to the
+        streaming engine when ``shards > 1`` or a non-spectral repair is
+        requested; ``"batched"`` / ``"percell"`` force the runtime paths;
+        ``"engine"`` forces the PR-1 streaming-accumulator path.
     """
-    if not 0.0 < sampling_rate <= 1.0:
-        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
     epsilon_values = [float(e) for e in epsilons]
     if not epsilon_values:
         raise ExperimentError("epsilons must be non-empty")
+    if runtime == "auto":
+        runtime = (
+            "engine" if shards != 1 or post_processing != "spectral" else "batched"
+        )
+    elif shards != 1 and runtime != "engine":
+        raise ExperimentError(
+            f"shards={shards} only applies to the streaming-engine path; "
+            f"use runtime='engine' (or 'auto') instead of {runtime!r}"
+        )
+    if runtime == "engine":
+        return _fm_budget_sweep_engine(
+            dataset,
+            task,
+            dims,
+            epsilon_values,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            shards=shards,
+            post_processing=post_processing,
+            tight_sensitivity=tight_sensitivity,
+        )
+    plan = plan_cells(
+        "FM",
+        dataset,
+        task,
+        dims=dims,
+        epsilons=epsilon_values,
+        preset=preset,
+        sampling_rate=sampling_rate,
+        seed=seed,
+        algorithm_kwargs={
+            "post_processing": post_processing,
+            "tight_sensitivity": tight_sensitivity,
+        },
+    )
+    outcome = run_plan(plan, mode=runtime, executor=executor)
+    return {
+        e: _result_for_epsilon(outcome, "FM", task, e) for e in epsilon_values
+    }
+
+
+def _fm_budget_sweep_engine(
+    dataset: CensusDataset,
+    task: Task,
+    dims: int,
+    epsilon_values: list[float],
+    preset: ScalePreset,
+    sampling_rate: float,
+    seed: int,
+    shards: int,
+    post_processing: str,
+    tight_sensitivity: bool,
+) -> dict[float, EvaluationResult]:
+    """The streaming-engine sweep: accumulate once per fold, refit per epsilon.
+
+    Each training split feeds a sharded
+    :class:`~repro.engine.MomentAccumulator` exactly once and an
+    :class:`~repro.engine.EpsilonSweepEngine` refits every epsilon from the
+    finalized statistics.  The per-epsilon ``mean_fit_seconds`` records that
+    epsilon's marginal solve time plus an equal share of the (single)
+    accumulation pass.
+    """
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
     scores: dict[float, list[float]] = {e: [] for e in epsilon_values}
     fit_times: dict[float, list[float]] = {e: [] for e in epsilon_values}
     n_train = 0
-    algorithm_key = _algorithm_stream_key("FM")
+    algorithm_key = algorithm_stream_key("FM")
     base_n = preset.cardinality(dataset.n)
     for rep in range(preset.repetitions):
         rep_rng = derive_substream(seed, [algorithm_key, rep])
@@ -285,6 +361,8 @@ def evaluate_algorithms(
     preset: ScalePreset = DEFAULT,
     sampling_rate: float = 1.0,
     seed: int = 0,
+    runtime: str = "batched",
+    executor: str | CellExecutor = "serial",
 ) -> dict[str, EvaluationResult]:
     """Evaluate several algorithms at one sweep point; keyed by name."""
     return {
@@ -297,6 +375,8 @@ def evaluate_algorithms(
             preset=preset,
             sampling_rate=sampling_rate,
             seed=seed,
+            runtime=runtime,
+            executor=executor,
         )
         for name in algorithms
     }

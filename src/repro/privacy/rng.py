@@ -77,6 +77,17 @@ def derive_substream(rng: RngLike, tag: Sequence[int] | int) -> np.random.Genera
     is an integer seed: the same ``(seed, tag)`` pair always yields the same
     stream.  Used to give each (figure, panel, sweep-point, repetition) cell
     of an experiment a reproducible, addressable stream.
+
+    .. warning::
+        ``numpy.random.SeedSequence`` zero-pads entropy to its 4-word pool,
+        so a tag and the same tag extended by trailing zeros alias the same
+        stream while the combined ``[seed, *tag]`` list fits in the pool:
+        ``derive_substream(s, [a, b])`` equals
+        ``derive_substream(s, [a, b, 0])``.  Callers nesting namespaces
+        (e.g. the harness's ``[key, rep]`` data stream vs ``[key, rep, 0]``
+        fold-0 cell stream) inherit this aliasing; it is pinned by tests
+        because changing the derivation would reshuffle every stream the
+        harness has ever produced.
     """
     if isinstance(tag, (int, np.integer)):
         tag = [int(tag)]

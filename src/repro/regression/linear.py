@@ -25,6 +25,34 @@ from .metrics import mean_squared_error
 __all__ = ["LinearRegression", "RidgeRegression"]
 
 
+def _solve_normal_equations(
+    gram: np.ndarray,
+    moment: np.ndarray,
+    design: np.ndarray,
+    target: np.ndarray,
+    finite_fallback: bool = True,
+) -> np.ndarray:
+    """Solve ``gram @ w = moment`` with an SVD least-squares fallback.
+
+    The fallback fires when the (possibly regularized) Gram matrix is
+    exactly singular — LAPACK raises — or, with ``finite_fallback``, when
+    the solve produced non-finite weights from a numerically degenerate
+    system; either way the minimum-norm least-squares solution on the
+    original design matrix is the answer OLS theory prescribes.  Ridge
+    disables the non-finite rescue: ``lstsq(design, target)`` drops the
+    penalty, so substituting it for a penalized solve would silently
+    change the estimator.
+    """
+    try:
+        weights = np.linalg.solve(gram, moment)
+    except np.linalg.LinAlgError:
+        weights, *_ = np.linalg.lstsq(design, target, rcond=None)
+        return weights
+    if finite_fallback and not np.all(np.isfinite(weights)):
+        weights, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return weights
+
+
 def _validate_xy(X: np.ndarray, y: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
     X = np.asarray(X, dtype=float)
     y = np.asarray(y, dtype=float).ravel()
@@ -99,13 +127,7 @@ class LinearRegression:
             y = y * root
         gram = design.T @ design
         moment = design.T @ y
-        try:
-            weights = np.linalg.solve(gram, moment)
-        except np.linalg.LinAlgError:
-            weights, *_ = np.linalg.lstsq(design, y, rcond=None)
-        if not np.all(np.isfinite(weights)):
-            weights, *_ = np.linalg.lstsq(design, y, rcond=None)
-        self._unpack(weights)
+        self._unpack(_solve_normal_equations(gram, moment, design, y))
         return self
 
     def predict(self, X: np.ndarray) -> np.ndarray:
@@ -171,9 +193,7 @@ class RidgeRegression(LinearRegression):
             penalty[-1, -1] = 0.0  # do not shrink the intercept
         gram = design.T @ design + penalty
         moment = design.T @ y
-        try:
-            weights = np.linalg.solve(gram, moment)
-        except np.linalg.LinAlgError:
-            weights, *_ = np.linalg.lstsq(design, y, rcond=None)
-        self._unpack(weights)
+        self._unpack(
+            _solve_normal_equations(gram, moment, design, y, finite_fallback=False)
+        )
         return self

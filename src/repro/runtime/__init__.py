@@ -1,0 +1,70 @@
+"""Batched cell-solver runtime for the repeated-CV evaluation protocol.
+
+The paper's Section-7 protocol measures every algorithm over hundreds of
+(repetition, fold, epsilon) cells.  This subsystem turns that per-cell loop
+into a three-stage pipeline:
+
+1. :mod:`~repro.runtime.plan` enumerates every cell up front with its
+   deterministic RNG substream (a :class:`CellPlan`),
+2. :mod:`~repro.runtime.kernels` executes all batchable cells as stacked
+   ``(B, d, d)`` LAPACK solves and a masked batched Newton — bitwise
+   identical to the scalar per-cell solves,
+3. :mod:`~repro.runtime.executor` spreads the residual non-batchable
+   baselines over serial / thread / forked-process executors.
+
+:func:`run_plan` ties the stages together and also provides the per-cell
+reference oracle the equivalence tests assert against.
+"""
+
+from .executor import (
+    CellExecutor,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+)
+from .kernels import (
+    NewtonBatchResult,
+    SpectralBatchResult,
+    fm_noise_stack,
+    newton_logistic_stack,
+    normal_equations_solve_stack,
+    posdef_or_pinv_solve_stack,
+    spectral_solve_stack,
+)
+from .plan import (
+    KERNEL_GENERIC,
+    KERNEL_NEWTON,
+    KERNEL_QUADRATIC,
+    CellPlan,
+    PlannedFold,
+    algorithm_stream_key,
+    classify_kernel,
+    plan_cells,
+)
+from .runner import PlanResult, run_plan
+
+__all__ = [
+    "CellExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+    "NewtonBatchResult",
+    "SpectralBatchResult",
+    "fm_noise_stack",
+    "newton_logistic_stack",
+    "normal_equations_solve_stack",
+    "posdef_or_pinv_solve_stack",
+    "spectral_solve_stack",
+    "KERNEL_GENERIC",
+    "KERNEL_NEWTON",
+    "KERNEL_QUADRATIC",
+    "CellPlan",
+    "PlannedFold",
+    "algorithm_stream_key",
+    "classify_kernel",
+    "plan_cells",
+    "PlanResult",
+    "run_plan",
+]

@@ -1,0 +1,134 @@
+"""Pluggable executors for the residual non-batchable cells.
+
+DPME, FP and the other synthetic-data baselines cannot be expressed as
+stacked tensor solves — each fit is its own pipeline of histogram building,
+noisy sampling and iterative optimization.  The runtime therefore runs them
+per cell through an executor:
+
+``SerialExecutor``
+    The reference: cells run in submission order on the calling thread.
+``ThreadExecutor``
+    A thread pool.  NumPy releases the GIL inside BLAS/LAPACK and the
+    random generators are derived per cell (never shared), so cells are
+    data-race free and results are position-assigned — output order is
+    deterministic regardless of completion order.
+``ProcessExecutor``
+    A ``fork``-context process pool sharing the plan's fold views read-only
+    through copy-on-write memory: workers inherit the parent's address
+    space, so the repetition arrays are never pickled or copied.  On
+    platforms without ``fork`` the executor degrades to serial execution.
+
+Determinism contract: executors only change *where* a cell runs.  Each
+cell's RNG substream is derived from its (seed, tag) key, so scores are
+bitwise identical across executors and worker counts.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+from typing import Callable, Sequence
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "CellExecutor",
+    "SerialExecutor",
+    "ThreadExecutor",
+    "ProcessExecutor",
+    "get_executor",
+]
+
+
+class CellExecutor:
+    """Interface: run ``work(item)`` for every item, results in input order."""
+
+    name: str = "abstract"
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        """Execute ``work`` over ``items``; result ``i`` is ``work(items[i])``."""
+        raise NotImplementedError
+
+
+class SerialExecutor(CellExecutor):
+    """Run every cell on the calling thread (the reference executor)."""
+
+    name = "serial"
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        return [work(item) for item in items]
+
+
+class ThreadExecutor(CellExecutor):
+    """Run cells on a thread pool (BLAS releases the GIL)."""
+
+    name = "thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        if len(items) <= 1:
+            return [work(item) for item in items]
+        with concurrent.futures.ThreadPoolExecutor(self.max_workers) as pool:
+            return list(pool.map(work, items))
+
+
+#: Plans registered for copy-on-write sharing with forked workers, keyed by
+#: an opaque token.  Populated by ProcessExecutor *before* the fork so the
+#: children inherit the arrays without pickling them.
+_SHARED_WORK: dict[int, tuple[Callable, Sequence]] = {}
+
+
+def _forked_cell(token_and_index: tuple[int, int]):
+    token, index = token_and_index
+    work, items = _SHARED_WORK[token]
+    return work(items[index])
+
+
+class ProcessExecutor(CellExecutor):
+    """Run cells on a forked process pool with shared read-only fold views."""
+
+    name = "process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        if len(items) <= 1:
+            return [work(item) for item in items]
+        try:
+            context = multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return SerialExecutor().map(work, items)
+        token = id(items)
+        _SHARED_WORK[token] = (work, items)
+        try:
+            with concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            ) as pool:
+                return list(
+                    pool.map(_forked_cell, [(token, i) for i in range(len(items))])
+                )
+        finally:
+            del _SHARED_WORK[token]
+
+
+_EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+
+def get_executor(executor: str | CellExecutor) -> CellExecutor:
+    """Resolve an executor by name (``serial|thread|process``) or pass through."""
+    if isinstance(executor, CellExecutor):
+        return executor
+    try:
+        return _EXECUTORS[executor]()
+    except KeyError:
+        raise ExperimentError(
+            f"unknown executor {executor!r}; expected one of {sorted(_EXECUTORS)}"
+        ) from None

@@ -1,0 +1,284 @@
+"""Cell enumeration for the Section-7 repeated-CV protocol.
+
+A *cell* is one (repetition, fold, epsilon) unit of the paper's evaluation:
+train the algorithm on a fold's training split at one privacy budget and
+score the held-out fold.  The per-cell harness loop materializes each cell
+on demand; :func:`plan_cells` instead enumerates every cell **up front** into
+a :class:`CellPlan`, recording for each fold
+
+* the repetition-level prepared arrays (subsampled, normalized),
+* the train/test index vectors, and
+* the deterministic :func:`~repro.privacy.rng.derive_substream` tag that
+  seeds the cell's noise stream.
+
+Because the plan derives its repetition RNGs, subsampling draws and fold
+permutations with exactly the calls (and call order) of the per-cell loop,
+a plan executed cell-by-cell reproduces the historical harness bit for bit —
+and the batched runtime (:mod:`repro.runtime.runner`) executes the *same*
+plan through stacked LAPACK kernels, which is what makes the two paths
+comparable at the bitwise level rather than just statistically.
+
+Kernel classification
+---------------------
+Each plan is tagged with the kernel class that can execute its cells:
+
+``KERNEL_QUADRATIC``
+    One closed-form d x d solve per cell — FM (order-2, spectral repair),
+    NoPrivacy linear (OLS normal equations), and Truncated.  Batchable as a
+    stacked ``(B, d, d)`` Cholesky/eigendecomposition in one LAPACK call.
+``KERNEL_NEWTON``
+    Iterative logistic MLE (NoPrivacy logistic) — batchable via the masked
+    Newton kernel that iterates every cell simultaneously.
+``KERNEL_GENERIC``
+    Everything else (DPME, FP, histogram variants, FM with rerun repair or
+    higher-order approximations).  These run per cell on a pluggable
+    executor (serial / thread / process) with shared read-only fold views.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..baselines.base import Task
+from ..exceptions import ExperimentError
+from ..privacy.rng import derive_substream
+from ..regression.preprocessing import KFold
+
+if TYPE_CHECKING:  # pragma: no cover - the config import is lazy at runtime
+    # Importing repro.experiments here would close an import cycle
+    # (experiments.harness itself imports this package), so the preset type
+    # is only named for checkers and resolved lazily in plan_cells.
+    from ..experiments.config import ScalePreset
+
+__all__ = [
+    "KERNEL_QUADRATIC",
+    "KERNEL_NEWTON",
+    "KERNEL_GENERIC",
+    "algorithm_stream_key",
+    "classify_kernel",
+    "PlannedFold",
+    "CellPlan",
+    "plan_cells",
+]
+
+KERNEL_QUADRATIC = "quadratic"
+KERNEL_NEWTON = "newton"
+KERNEL_GENERIC = "generic"
+
+
+def algorithm_stream_key(name: str) -> int:
+    """Stable per-algorithm substream key.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED), which would make
+    "reproducible" results differ between runs; a truncated SHA-256 is
+    deterministic everywhere.  The mapping is part of the reproducibility
+    contract: renaming an algorithm reshuffles every noise stream keyed by
+    it, so the values are pinned by tests.
+    """
+    return int.from_bytes(hashlib.sha256(name.encode()).digest()[:4], "big")
+
+
+#: FM constructor arguments the batched quadratic kernel understands, per
+#: task (``approximation``/``order``/``radius`` exist only on the logistic
+#: estimator).  Any other keyword (``fit_intercept``, ``order`` > 2, a
+#: constructed strategy instance, ``budget`` ...) routes the plan to the
+#: generic executor — where an argument the estimator rejects raises the
+#: same ``TypeError`` the per-cell reference path would raise.
+_FM_BATCHABLE_KWARGS = {
+    "linear": {"tight_sensitivity", "post_processing", "ridge_lambda"},
+    "logistic": {
+        "tight_sensitivity",
+        "post_processing",
+        "ridge_lambda",
+        "approximation",
+        "order",
+        "radius",
+    },
+}
+
+_TRUNCATED_BATCHABLE_KWARGS = {"approximation", "radius"}
+
+
+def classify_kernel(algorithm: str, task: Task, kwargs: Mapping) -> str:
+    """Which runtime kernel can execute this algorithm's cells."""
+    name = algorithm.lower()
+    if name == "fm":
+        if not set(kwargs) <= _FM_BATCHABLE_KWARGS.get(task, set()):
+            return KERNEL_GENERIC
+        if kwargs.get("post_processing", "spectral") != "spectral":
+            return KERNEL_GENERIC
+        if int(kwargs.get("order", 2)) != 2:
+            return KERNEL_GENERIC
+        return KERNEL_QUADRATIC
+    if name == "noprivacy":
+        if kwargs:
+            return KERNEL_GENERIC
+        return KERNEL_QUADRATIC if task == "linear" else KERNEL_NEWTON
+    if name == "truncated":
+        if not set(kwargs) <= _TRUNCATED_BATCHABLE_KWARGS:
+            return KERNEL_GENERIC
+        return KERNEL_QUADRATIC
+    return KERNEL_GENERIC
+
+
+@dataclass(frozen=True)
+class PlannedFold:
+    """One (repetition, fold) training/evaluation split of a plan.
+
+    ``X`` and ``y`` are the repetition-level prepared arrays, shared (not
+    copied) by all folds of the repetition; ``train_idx`` / ``test_idx``
+    index into them.  ``stream_tag`` is the :func:`derive_substream` tag of
+    the cell's noise stream — the generator itself is derived lazily so a
+    plan can be executed (and re-executed) without mutating shared state.
+    """
+
+    rep: int
+    fold: int
+    X: np.ndarray
+    y: np.ndarray
+    train_idx: np.ndarray
+    test_idx: np.ndarray
+    stream_tag: tuple[int, ...]
+
+    @property
+    def n_train(self) -> int:
+        """Training rows of this fold."""
+        return int(self.train_idx.shape[0])
+
+    def train_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize ``(X_train, y_train)`` — a fresh fancy-index copy."""
+        return self.X[self.train_idx], self.y[self.train_idx]
+
+    def test_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """Materialize ``(X_test, y_test)``."""
+        return self.X[self.test_idx], self.y[self.test_idx]
+
+
+@dataclass(frozen=True)
+class CellPlan:
+    """Every (rep, fold, epsilon) cell of one algorithm's protocol run.
+
+    Cells are ordered fold-major: all epsilons of fold 0, then fold 1, ...
+    matching the sequential substream consumption of the per-cell reference
+    path (each fold derives one generator; its epsilon cells consume that
+    stream in epsilon order, exactly like
+    :meth:`repro.engine.EpsilonSweepEngine.sweep`).
+    """
+
+    algorithm: str
+    task: Task
+    dims: int
+    dim: int
+    epsilons: tuple[float, ...]
+    preset: "ScalePreset"
+    sampling_rate: float
+    seed: int
+    algorithm_kwargs: Mapping
+    folds: tuple[PlannedFold, ...]
+    kernel: str = field(default=KERNEL_GENERIC)
+
+    @property
+    def n_cells(self) -> int:
+        """Total (rep, fold, epsilon) cells."""
+        return len(self.folds) * len(self.epsilons)
+
+    @property
+    def n_train(self) -> int:
+        """Training size of the last fold (the harness's reported value)."""
+        return self.folds[-1].n_train if self.folds else 0
+
+    def substream(self, fold: PlannedFold) -> np.random.Generator:
+        """Derive the fold's noise generator (fresh on every call)."""
+        return derive_substream(self.seed, list(fold.stream_tag))
+
+    def iter_cells(self) -> Iterator[tuple[PlannedFold, float]]:
+        """Iterate cells fold-major (the canonical execution order)."""
+        for fold in self.folds:
+            for epsilon in self.epsilons:
+                yield fold, epsilon
+
+
+def plan_cells(
+    algorithm: str,
+    dataset,
+    task: Task,
+    dims: int,
+    epsilons: Sequence[float],
+    preset: "ScalePreset | None" = None,
+    sampling_rate: float = 1.0,
+    seed: int = 0,
+    algorithm_kwargs: Mapping | None = None,
+) -> CellPlan:
+    """Enumerate all protocol cells for one algorithm.
+
+    Replicates the per-cell harness loop's randomness plumbing exactly —
+    repetition subsample draw, optional Table-2 sampling draw, then the
+    fold permutation, all from the repetition substream in that order — so
+    executing the plan reproduces the loop bit for bit.
+
+    Parameters mirror :func:`repro.experiments.harness.evaluate_algorithm`,
+    except ``epsilons`` is a vector: a multi-budget plan shares each
+    repetition's subsample and folds across budgets (the one-pass layout of
+    :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`), while a
+    single-budget plan is exactly one harness sweep point.
+
+    Memory: the plan materializes every repetition's prepared arrays up
+    front and keeps them alive for its lifetime — at the shipped presets
+    (<= 2 repetitions) tens of MB; at the paper's FULL protocol (50
+    repetitions of 200k x 14) on the order of a GB.  A lazily
+    materializing plan for FULL-scale runs is a known follow-up
+    (ROADMAP).
+    """
+    if preset is None:
+        from ..experiments.config import DEFAULT as preset_default
+
+        preset = preset_default
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
+    epsilon_values = tuple(float(e) for e in epsilons)
+    if not epsilon_values:
+        raise ExperimentError("epsilons must be non-empty")
+    kwargs = dict(algorithm_kwargs or {})
+    key = algorithm_stream_key(algorithm)
+    base_n = preset.cardinality(dataset.n)
+    folds: list[PlannedFold] = []
+    dim = 0
+    for rep in range(preset.repetitions):
+        rep_rng = derive_substream(seed, [key, rep])
+        working = dataset
+        if base_n < dataset.n:
+            working = working.take(rep_rng.choice(dataset.n, size=base_n, replace=False))
+        if sampling_rate < 1.0:
+            working = working.sample(sampling_rate, rng=rep_rng)
+        prepared = working.regression_task(task, dims=dims)
+        dim = prepared.dim
+        splitter = KFold(n_splits=preset.folds, rng=rep_rng)
+        for fold_id, (train_idx, test_idx) in enumerate(splitter.split(prepared.n)):
+            folds.append(
+                PlannedFold(
+                    rep=rep,
+                    fold=fold_id,
+                    X=prepared.X,
+                    y=prepared.y,
+                    train_idx=train_idx,
+                    test_idx=test_idx,
+                    stream_tag=(key, rep, fold_id),
+                )
+            )
+    return CellPlan(
+        algorithm=algorithm,
+        task=task,
+        dims=int(dims),
+        dim=dim,
+        epsilons=epsilon_values,
+        preset=preset,
+        sampling_rate=float(sampling_rate),
+        seed=int(seed),
+        algorithm_kwargs=kwargs,
+        folds=tuple(folds),
+        kernel=classify_kernel(algorithm, task, kwargs),
+    )

@@ -1,0 +1,372 @@
+"""Execute a :class:`~repro.runtime.plan.CellPlan` — batched or per cell.
+
+Two execution modes over the same plan:
+
+``"percell"``
+    The reference oracle.  Every cell constructs its algorithm through the
+    registry, fits on its fold and scores the held-out split — a faithful
+    transliteration of the historical harness loop, kept as the ground
+    truth the batched path is asserted against.
+``"batched"``
+    Cells are grouped by kernel class and executed as stacked tensor
+    solves: one fold-level statistics pass feeds all epsilon cells, all
+    d x d solves of the plan go through one LAPACK invocation, and logistic
+    cells iterate through the masked batched Newton.  Scores are **bitwise
+    identical** to the per-cell mode (see :mod:`repro.runtime.kernels` for
+    why); only the timing attribution differs — batched cells report an
+    equal share of their kernel's fit time (aggregation + noise + solves,
+    held-out scoring excluded, matching the per-cell fit-only clock)
+    instead of an individual fit time.
+
+Plans whose kernel class is ``generic`` (DPME, FP, ...) run per cell in
+either mode, optionally spread over a :mod:`~repro.runtime.executor`
+(serial / thread / process).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import make_algorithm
+from ..core.objectives import (
+    LinearRegressionObjective,
+    LogisticRegressionObjective,
+    RegressionObjective,
+)
+from ..exceptions import ExperimentError
+from ..regression.linear import _validate_xy as _validate_linear_xy
+from ..regression.logistic import _validate_xy as _validate_logistic_xy
+from ..regression.logistic import sigmoid
+from ..regression.metrics import mean_squared_error, misclassification_rate
+from .executor import CellExecutor, get_executor
+from .kernels import (
+    fm_noise_stack,
+    newton_logistic_stack,
+    normal_equations_solve_stack,
+    posdef_or_pinv_solve_stack,
+    spectral_solve_stack,
+)
+from .plan import KERNEL_GENERIC, KERNEL_NEWTON, KERNEL_QUADRATIC, CellPlan
+
+__all__ = ["PlanResult", "run_plan"]
+
+#: Upper bound on the bytes a single stacked Newton chunk may hold; chunking
+#: only bounds memory — it cannot change any cell's arithmetic.
+_NEWTON_CHUNK_BYTES = 1 << 28
+
+
+@dataclass(frozen=True)
+class PlanResult:
+    """Per-cell scores and fit times of one plan execution.
+
+    ``scores[epsilon]`` and ``fit_seconds[epsilon]`` list the plan's folds
+    in order; aggregation into the harness's ``EvaluationResult`` happens in
+    :mod:`repro.experiments.harness` (which owns that type).
+    """
+
+    plan: CellPlan
+    mode: str
+    scores: dict[float, list[float]]
+    fit_seconds: dict[float, list[float]]
+
+    @property
+    def n_train(self) -> int:
+        """Training size of the last fold (the harness's reported value)."""
+        return self.plan.n_train
+
+
+def _validate_plan_inputs(plan: CellPlan, validate) -> None:
+    """Apply a per-cell input gate once per repetition instead of per cell.
+
+    Folds of a repetition share its prepared arrays (by identity), and
+    k-fold splitting puts every row into some training split, so validating
+    the repetition's full ``(X, y)`` accepts/rejects exactly the datasets
+    the per-cell gate would — at one O(n d) pass per repetition instead of
+    one per cell.
+    """
+    seen: set[int] = set()
+    for fold in plan.folds:
+        if id(fold.X) in seen:
+            continue
+        seen.add(id(fold.X))
+        validate(fold.X, fold.y)
+
+
+def _objective_for_plan(plan: CellPlan) -> RegressionObjective:
+    """The degree-2 objective an FM/Truncated cell of this plan builds."""
+    kwargs = plan.algorithm_kwargs
+    if plan.task == "linear":
+        return LinearRegressionObjective(plan.dim)
+    return LogisticRegressionObjective(
+        plan.dim,
+        approximation=kwargs.get("approximation", "taylor"),
+        order=int(kwargs.get("order", 2)),
+        radius=float(kwargs.get("radius", 1.0)),
+    )
+
+
+def _score_linear(y_test: np.ndarray, z: np.ndarray) -> float:
+    """The linear metric from raw scores, as the per-cell models compute it."""
+    return mean_squared_error(y_test, z)
+
+
+def _score_logistic(y_test: np.ndarray, z: np.ndarray) -> float:
+    """The logistic metric via the 0.5 sigmoid threshold (not ``z > 0``).
+
+    The per-cell models predict ``sigmoid(z) > 0.5``; for subnormal
+    positive ``z`` this differs from ``z > 0`` at the last bit, and the
+    batched path mirrors the models exactly.
+    """
+    return misclassification_rate(y_test, (sigmoid(z) > 0.5).astype(float))
+
+
+def _scores_for_fold(
+    plan: CellPlan, X_test: np.ndarray, y_test: np.ndarray, omegas: np.ndarray
+) -> list[float]:
+    """Score one fold's E released parameters against its held-out split.
+
+    The broadcastified matmul runs one GEMV per parameter on the shared
+    test matrix — bitwise equal to the per-cell ``X_test @ omega``.
+    """
+    z = np.matmul(X_test[None, :, :], omegas[:, :, None])[:, :, 0]
+    score = _score_linear if plan.task == "linear" else _score_logistic
+    return [score(y_test, z[e]) for e in range(omegas.shape[0])]
+
+
+# ----------------------------------------------------------------------
+# Reference oracle
+# ----------------------------------------------------------------------
+def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
+    """Fit and score every cell independently (the reference path).
+
+    Each fold derives one generator, consumed sequentially across the
+    epsilon axis — for a single-budget plan this is exactly the historical
+    harness cell; for a multi-budget plan it matches the documented
+    loop-equivalence of :meth:`repro.engine.EpsilonSweepEngine.sweep`.
+    """
+
+    def work(fold):
+        gen = plan.substream(fold)
+        X_train, y_train = fold.train_arrays()
+        X_test, y_test = fold.test_arrays()
+        cell_scores, cell_times = [], []
+        for epsilon in plan.epsilons:
+            model = make_algorithm(
+                plan.algorithm,
+                plan.task,
+                epsilon=epsilon,
+                rng=gen,
+                **plan.algorithm_kwargs,
+            )
+            started = time.perf_counter()
+            model.fit(X_train, y_train)
+            cell_times.append(time.perf_counter() - started)
+            cell_scores.append(model.score(X_test, y_test))
+        return cell_scores, cell_times
+
+    outcomes = executor.map(work, plan.folds)
+    scores = {e: [] for e in plan.epsilons}
+    fit_seconds = {e: [] for e in plan.epsilons}
+    for cell_scores, cell_times in outcomes:
+        for e, s, t in zip(plan.epsilons, cell_scores, cell_times):
+            scores[e].append(s)
+            fit_seconds[e].append(t)
+    return PlanResult(plan=plan, mode="percell", scores=scores, fit_seconds=fit_seconds)
+
+
+# ----------------------------------------------------------------------
+# Batched kernels
+# ----------------------------------------------------------------------
+def _run_fm_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
+    """All FM cells of the plan as one stacked perturb-repair-solve.
+
+    Returns the per-epsilon scores and the fit wall-time (aggregation +
+    noise mapping + stacked repair/solve, *excluding* held-out scoring, to
+    keep the timing metric comparable with the per-cell path's
+    fit-only clock).
+    """
+    started = time.perf_counter()
+    objective = _objective_for_plan(plan)
+    sensitivity = objective.sensitivity(
+        tight=bool(plan.algorithm_kwargs.get("tight_sensitivity", False))
+    )
+    ridge_lambda = float(plan.algorithm_kwargs.get("ridge_lambda", 0.0))
+    d = plan.dim
+    E = len(plan.epsilons)
+    F = len(plan.folds)
+    epsilons = np.asarray(plan.epsilons, dtype=float)
+    scales = sensitivity / epsilons
+    M_stack = np.empty((F * E, d, d))
+    alpha_stack = np.empty((F * E, d))
+    noise_std = np.empty(F * E)
+    # The same domain gate the per-cell estimator applies: releasing FM
+    # output on data violating the footnote-1 normalization would void the
+    # sensitivity bound (checks only — no arithmetic, so bit-identity with
+    # the per-cell path is unaffected).
+    _validate_plan_inputs(plan, objective.validate)
+    for f, fold in enumerate(plan.folds):
+        X_train, y_train = fold.train_arrays()
+        form = objective.aggregate_quadratic(X_train, y_train)
+        raw = plan.substream(fold).laplace(0.0, 1.0, size=(E, 1 + d + d * d))
+        noisy_M, noisy_alpha = fm_noise_stack(form.M, form.alpha, raw, scales)
+        if ridge_lambda:
+            noisy_M = noisy_M + ridge_lambda * np.eye(d)
+        M_stack[f * E : (f + 1) * E] = noisy_M
+        alpha_stack[f * E : (f + 1) * E] = noisy_alpha
+        noise_std[f * E : (f + 1) * E] = math.sqrt(2.0) * scales
+    solved = spectral_solve_stack(
+        M_stack, alpha_stack, noise_std, compute_repaired=False
+    )
+    fit_seconds = time.perf_counter() - started
+    scores = {e: [] for e in plan.epsilons}
+    for f, fold in enumerate(plan.folds):
+        X_test, y_test = fold.test_arrays()
+        fold_scores = _scores_for_fold(
+            plan, X_test, y_test, solved.omega[f * E : (f + 1) * E]
+        )
+        for e, s in zip(plan.epsilons, fold_scores):
+            scores[e].append(s)
+    return scores, fit_seconds
+
+
+def _run_ols_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
+    """All NoPrivacy-linear cells as one stacked normal-equations solve."""
+    started = time.perf_counter()
+    d = plan.dim
+    F = len(plan.folds)
+    gram = np.empty((F, d, d))
+    moment = np.empty((F, d))
+    _validate_plan_inputs(plan, _validate_linear_xy)  # the per-cell input gate
+    for f, fold in enumerate(plan.folds):
+        design, target = fold.train_arrays()
+        gram[f] = design.T @ design
+        moment[f] = design.T @ target
+
+    def lstsq_fallback(f: int) -> np.ndarray:
+        design, target = plan.folds[f].train_arrays()
+        weights, *_ = np.linalg.lstsq(design, target, rcond=None)
+        return weights
+
+    coefs = normal_equations_solve_stack(gram, moment, lstsq_fallback)
+    fit_seconds = time.perf_counter() - started
+    return _replicated_scores(plan, coefs), fit_seconds
+
+
+def _run_truncated_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
+    """All Truncated cells as one stacked closed-form solve."""
+    started = time.perf_counter()
+    objective = _objective_for_plan(plan)
+    d = plan.dim
+    F = len(plan.folds)
+    M_stack = np.empty((F, d, d))
+    alpha_stack = np.empty((F, d))
+    _validate_plan_inputs(plan, objective.validate)  # Truncated.fit's gate
+    for f, fold in enumerate(plan.folds):
+        X_train, y_train = fold.train_arrays()
+        form = objective.aggregate_quadratic(X_train, y_train)
+        M_stack[f] = form.M
+        alpha_stack[f] = form.alpha
+    coefs = posdef_or_pinv_solve_stack(M_stack, alpha_stack)
+    fit_seconds = time.perf_counter() - started
+    return _replicated_scores(plan, coefs), fit_seconds
+
+
+def _run_newton_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
+    """All NoPrivacy-logistic cells through the masked batched Newton.
+
+    Folds are grouped by training size (stacking needs a shared ``n``) and
+    chunked to bound the stacked copy's memory; neither regrouping nor
+    chunking changes any cell's arithmetic.
+    """
+    started = time.perf_counter()
+    _validate_plan_inputs(plan, _validate_logistic_xy)  # label/shape gate
+    coefs = np.empty((len(plan.folds), plan.dim))
+    by_size: dict[int, list[int]] = {}
+    for f, fold in enumerate(plan.folds):
+        by_size.setdefault(fold.n_train, []).append(f)
+    for n, fold_ids in by_size.items():
+        chunk = max(1, _NEWTON_CHUNK_BYTES // max(1, n * plan.dim * 8))
+        for start in range(0, len(fold_ids), chunk):
+            batch = fold_ids[start : start + chunk]
+            # Gather straight into the stack: np.take(..., out=) writes the
+            # same rows a fancy-index copy would, without the intermediate.
+            X_stack = np.empty((len(batch), n, plan.dim))
+            y_stack = np.empty((len(batch), n))
+            for j, f in enumerate(batch):
+                fold = plan.folds[f]
+                np.take(fold.X, fold.train_idx, axis=0, out=X_stack[j])
+                np.take(fold.y, fold.train_idx, axis=0, out=y_stack[j])
+            # LogisticRegressionModel's solver settings (not NewtonSolver's
+            # bare defaults): 100 iterations at tolerance 1e-8.
+            result = newton_logistic_stack(
+                X_stack, y_stack, max_iterations=100, tolerance=1e-8
+            )
+            for j, f in enumerate(batch):
+                coefs[f] = result.x[j]
+    fit_seconds = time.perf_counter() - started
+    return _replicated_scores(plan, coefs), fit_seconds
+
+
+def _replicated_scores(plan: CellPlan, coefs: np.ndarray) -> dict[float, list[float]]:
+    """Score epsilon-independent fits, replicating across the budget axis.
+
+    Non-private cells draw no noise, so every epsilon cell of a fold scores
+    identically; the per-cell path recomputes the identical arithmetic and
+    the batched path reuses the float.
+    """
+    scores = {e: [] for e in plan.epsilons}
+    for f, fold in enumerate(plan.folds):
+        X_test, y_test = fold.test_arrays()
+        fold_scores = _scores_for_fold(plan, X_test, y_test, coefs[f : f + 1])
+        for e in plan.epsilons:
+            scores[e].append(fold_scores[0])
+    return scores
+
+
+_BATCHED_KERNELS = {
+    ("fm", KERNEL_QUADRATIC): _run_fm_batched,
+    ("noprivacy", KERNEL_QUADRATIC): _run_ols_batched,
+    ("truncated", KERNEL_QUADRATIC): _run_truncated_batched,
+    ("noprivacy", KERNEL_NEWTON): _run_newton_batched,
+}
+
+
+def run_plan(
+    plan: CellPlan,
+    mode: str = "batched",
+    executor: str | CellExecutor = "serial",
+) -> PlanResult:
+    """Execute every cell of a plan.
+
+    Parameters
+    ----------
+    plan:
+        The enumerated cells.
+    mode:
+        ``"batched"`` routes supported kernels through the stacked tensor
+        path (generic plans still run per cell on the executor);
+        ``"percell"`` forces the reference oracle for every cell.
+    executor:
+        Where per-cell work runs — ``"serial"``, ``"thread"``, ``"process"``
+        or a constructed :class:`~repro.runtime.executor.CellExecutor`.
+        Ignored by the batched kernels themselves (their parallelism lives
+        inside BLAS/LAPACK).
+    """
+    resolved = get_executor(executor)
+    if mode == "percell":
+        return _run_percell(plan, resolved)
+    if mode != "batched":
+        raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
+    kernel = _BATCHED_KERNELS.get((plan.algorithm.lower(), plan.kernel))
+    if kernel is None or plan.kernel == KERNEL_GENERIC:
+        return _run_percell(plan, resolved)
+    scores, kernel_fit_seconds = kernel(plan)
+    # Attribute an equal share of the kernel's fit time (scoring excluded,
+    # matching the per-cell path's fit-only clock) to every cell.
+    share = kernel_fit_seconds / max(1, plan.n_cells)
+    fit_seconds = {e: [share] * len(plan.folds) for e in plan.epsilons}
+    return PlanResult(plan=plan, mode="batched", scores=scores, fit_seconds=fit_seconds)

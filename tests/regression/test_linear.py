@@ -140,3 +140,56 @@ class TestRidgeRegression:
 @pytest.fixture
 def rng():
     return np.random.default_rng(3)
+
+
+class TestSolveNormalEquations:
+    """The shared solve-with-fallback helper behind OLS and ridge."""
+
+    def test_well_posed_matches_direct_solve(self, rng):
+        from repro.regression.linear import _solve_normal_equations
+
+        X = rng.normal(size=(60, 3))
+        y = rng.normal(size=60)
+        gram, moment = X.T @ X, X.T @ y
+        weights = _solve_normal_equations(gram, moment, X, y)
+        np.testing.assert_array_equal(weights, np.linalg.solve(gram, moment))
+
+    def test_singular_gram_falls_back_to_lstsq(self):
+        from repro.regression.linear import _solve_normal_equations
+
+        # Duplicated column: the Gram matrix is exactly rank 1.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0]])
+        y = np.array([2.0, 4.0, 6.0])
+        weights = _solve_normal_equations(X.T @ X, X.T @ y, X, y)
+        expected, *_ = np.linalg.lstsq(X, y, rcond=None)
+        np.testing.assert_array_equal(weights, expected)
+        np.testing.assert_allclose(X @ weights, y, atol=1e-10)
+
+    def test_nonfinite_solution_falls_back_to_lstsq(self):
+        from repro.regression.linear import _solve_normal_equations
+
+        # A Gram matrix that LAPACK does not flag singular but that yields
+        # non-finite weights: inf entries survive the solve.
+        gram = np.array([[1.0, 0.0], [0.0, 1.0]])
+        moment = np.array([np.inf, 0.0])
+        X = np.array([[1.0, 0.0], [0.0, 1.0], [1.0, 1.0]])
+        y = np.array([1.0, 2.0, 3.0])
+        weights = _solve_normal_equations(gram, moment, X, y)
+        expected, *_ = np.linalg.lstsq(X, y, rcond=None)
+        np.testing.assert_array_equal(weights, expected)
+
+    def test_ridge_shares_the_fallback(self):
+        # lam=0 ridge on a singular design goes through the same helper.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [5.0, 5.0]])
+        y = np.array([1.0, 2.0, 5.0])
+        model = RidgeRegression(lam=0.0).fit(X, y)
+        expected, *_ = np.linalg.lstsq(X, y, rcond=None)
+        np.testing.assert_allclose(model.coef_, expected, atol=1e-12)
+
+    def test_weighted_singular_design(self):
+        # The histogram baselines hit the fallback with sample weights.
+        X = np.array([[1.0, 1.0], [2.0, 2.0], [3.0, 3.0], [4.0, 4.0]])
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        w = np.array([1.0, 2.0, 1.0, 0.5])
+        model = LinearRegression().fit(X, y, sample_weight=w)
+        np.testing.assert_allclose(model.predict(X), y, atol=1e-10)

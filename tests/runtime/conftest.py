@@ -1,0 +1,17 @@
+"""Shared fixtures for the runtime suite."""
+
+import pytest
+
+from repro.data.census import load_us
+from repro.experiments.config import ScalePreset
+
+
+@pytest.fixture(scope="package")
+def us():
+    return load_us(6000)
+
+
+@pytest.fixture(scope="package")
+def tiny_preset():
+    """A preset small enough for the slow per-cell baselines (DPME, FP)."""
+    return ScalePreset(name="tiny", max_records=900, folds=3, repetitions=1)

@@ -1,0 +1,70 @@
+"""Executors must change where cells run, never what they compute."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.runtime import (
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+    get_executor,
+    plan_cells,
+    run_plan,
+)
+
+
+class TestGetExecutor:
+    def test_by_name(self):
+        assert isinstance(get_executor("serial"), SerialExecutor)
+        assert isinstance(get_executor("thread"), ThreadExecutor)
+        assert isinstance(get_executor("process"), ProcessExecutor)
+
+    def test_passthrough(self):
+        executor = ThreadExecutor(max_workers=2)
+        assert get_executor(executor) is executor
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ExperimentError):
+            get_executor("gpu")
+
+
+class TestExecutorMap:
+    def test_serial_order(self):
+        assert SerialExecutor().map(lambda v: v * 2, [1, 2, 3]) == [2, 4, 6]
+
+    def test_thread_preserves_order(self):
+        items = list(range(32))
+        assert ThreadExecutor(max_workers=4).map(lambda v: v * v, items) == [
+            v * v for v in items
+        ]
+
+    def test_process_preserves_order(self):
+        items = list(range(8))
+        assert ProcessExecutor(max_workers=2).map(_square, items) == [
+            v * v for v in items
+        ]
+
+    def test_single_item_short_circuits(self):
+        assert ProcessExecutor().map(lambda v: v + 1, [41]) == [42]
+
+
+def _square(v):
+    return v * v
+
+
+class TestExecutorScoreParity:
+    @pytest.fixture(scope="class")
+    def plan(self, us, tiny_preset):
+        return plan_cells(
+            "DPME", us, "linear", dims=5, epsilons=[0.8], preset=tiny_preset, seed=2
+        )
+
+    def test_thread_matches_serial(self, plan):
+        serial = run_plan(plan, mode="percell", executor="serial")
+        threaded = run_plan(plan, mode="percell", executor="thread")
+        assert serial.scores[0.8] == threaded.scores[0.8]
+
+    def test_process_matches_serial(self, plan):
+        serial = run_plan(plan, mode="percell", executor="serial")
+        forked = run_plan(plan, mode="percell", executor="process")
+        assert serial.scores[0.8] == forked.scores[0.8]

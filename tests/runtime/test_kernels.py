@@ -1,0 +1,226 @@
+"""Batched kernels vs their scalar per-cell counterparts — bitwise."""
+
+import numpy as np
+import pytest
+
+from repro.core.mechanism import FunctionalMechanism
+from repro.core.polynomial import QuadraticForm
+from repro.core.postprocess import SpectralTrimming
+from repro.regression.logistic import LogisticRegressionModel
+from repro.regression.solvers import NewtonSolver
+from repro.runtime import (
+    fm_noise_stack,
+    newton_logistic_stack,
+    normal_equations_solve_stack,
+    posdef_or_pinv_solve_stack,
+    spectral_solve_stack,
+)
+
+
+def random_noisy_stack(rng, B, d, noise_level):
+    """Random symmetric (M, alpha) stacks around a PSD base."""
+    M = np.empty((B, d, d))
+    alpha = rng.normal(size=(B, d))
+    for i in range(B):
+        base = rng.normal(size=(20, d))
+        noise = rng.normal(scale=noise_level, size=(d, d))
+        M[i] = base.T @ base / 20.0 + (noise + noise.T) / 2.0
+    return M, alpha
+
+
+class TestFmNoiseStack:
+    @pytest.mark.parametrize("d", [1, 3, 7])
+    def test_matches_perturb_quadratic_stream(self, d):
+        """One standardized (E, 1+d+d^2) draw == the sequential mechanism loop."""
+        rng = np.random.default_rng(0)
+        X = rng.uniform(-0.3, 0.3, size=(50, d))
+        y = np.clip(X.sum(axis=1), -1, 1)
+        form = QuadraticForm(M=X.T @ X, alpha=-2.0 * X.T @ y, beta=float(y @ y))
+        epsilons = np.array([0.4, 0.8, 3.2])
+        sensitivity = 2.0 * (1.0 + d) ** 2
+
+        loop_gen = np.random.default_rng(123)
+        loop_forms = [
+            FunctionalMechanism(e, rng=loop_gen).perturb_quadratic(form, sensitivity)[0]
+            for e in epsilons
+        ]
+
+        stack_gen = np.random.default_rng(123)
+        raw = stack_gen.laplace(0.0, 1.0, size=(len(epsilons), 1 + d + d * d))
+        noisy_M, noisy_alpha = fm_noise_stack(
+            form.M, form.alpha, raw, sensitivity / epsilons
+        )
+        for i, reference in enumerate(loop_forms):
+            np.testing.assert_array_equal(noisy_M[i], reference.M)
+            np.testing.assert_array_equal(noisy_alpha[i], reference.alpha)
+
+
+class TestSpectralSolveStack:
+    @pytest.mark.parametrize("noise_level", [0.01, 0.5, 5.0, 100.0])
+    def test_bitwise_equal_to_percell_strategy(self, noise_level):
+        """Low noise exercises the clean solve, high noise the trimmed paths."""
+        rng = np.random.default_rng(7)
+        B, d = 12, 6
+        M, alpha = random_noisy_stack(rng, B, d, noise_level)
+        noise_std = np.full(B, noise_level)
+        strategy = SpectralTrimming()
+        batched = spectral_solve_stack(M, alpha, noise_std)
+        saw_trimmed = False
+        for i in range(B):
+            reference = strategy.solve(
+                QuadraticForm(M=M[i], alpha=alpha[i], beta=0.0), float(noise_std[i])
+            )
+            np.testing.assert_array_equal(batched.omega[i], reference.omega)
+            assert batched.trimmed[i] == reference.trimmed
+            assert batched.lam[i] == reference.lam
+            assert bool(batched.repaired[i]) == reference.repaired
+            saw_trimmed |= reference.trimmed > 0
+        if noise_level >= 5.0:
+            assert saw_trimmed, "high-noise case was expected to trim"
+
+    def test_all_trimmed_returns_origin(self):
+        # Eigenvalues after the lam = 4*std ridge (-10 + 4 = -6) stay below
+        # the 0.5*std trim tolerance, so no curvature survives.
+        B, d = 3, 4
+        M = np.stack([-10.0 * np.eye(d)] * B)
+        alpha = np.ones((B, d))
+        result = spectral_solve_stack(M, alpha, np.full(B, 1.0))
+        np.testing.assert_array_equal(result.omega, np.zeros((B, d)))
+        assert (result.trimmed == d).all()
+        assert result.repaired.all()
+
+    def test_custom_multiplier_matches(self):
+        rng = np.random.default_rng(3)
+        B, d = 5, 4
+        M, alpha = random_noisy_stack(rng, B, d, 1.0)
+        strategy = SpectralTrimming(multiplier=2.0, noise_relative_tol=0.1)
+        batched = spectral_solve_stack(
+            M, alpha, np.full(B, 1.0), multiplier=2.0, noise_relative_tol=0.1
+        )
+        for i in range(B):
+            reference = strategy.solve(QuadraticForm(M=M[i], alpha=alpha[i]), 1.0)
+            np.testing.assert_array_equal(batched.omega[i], reference.omega)
+
+
+class TestPosdefOrPinvSolveStack:
+    def test_mixed_stack(self):
+        rng = np.random.default_rng(11)
+        d = 4
+        base = rng.normal(size=(30, d))
+        posdef = base.T @ base / 30.0 + 0.1 * np.eye(d)
+        singular = np.zeros((d, d))
+        singular[0, 0] = 1.0
+        M = np.stack([posdef, singular])
+        alpha = rng.normal(size=(2, d))
+        omega = posdef_or_pinv_solve_stack(M, alpha)
+        np.testing.assert_array_equal(
+            omega[0], np.linalg.solve(2.0 * posdef, -alpha[0])
+        )
+        np.testing.assert_array_equal(
+            omega[1], np.linalg.pinv(2.0 * singular) @ (-alpha[1])
+        )
+
+
+class TestNormalEquationsSolveStack:
+    def test_clean_stack_matches_percell_solve(self):
+        rng = np.random.default_rng(13)
+        B, n, d = 6, 40, 3
+        X = rng.normal(size=(B, n, d))
+        y = rng.normal(size=(B, n))
+        gram = np.stack([X[i].T @ X[i] for i in range(B)])
+        moment = np.stack([X[i].T @ y[i] for i in range(B)])
+        called = []
+        weights = normal_equations_solve_stack(
+            gram, moment, lambda i: called.append(i)
+        )
+        assert not called
+        for i in range(B):
+            np.testing.assert_array_equal(
+                weights[i], np.linalg.solve(gram[i], moment[i])
+            )
+
+    def test_singular_cell_triggers_only_its_fallback(self):
+        rng = np.random.default_rng(17)
+        n, d = 30, 2
+        X_ok = rng.normal(size=(n, d))
+        X_dup = np.repeat(rng.normal(size=(n, 1)), 2, axis=1)  # rank 1
+        y = rng.normal(size=n)
+        gram = np.stack([X_ok.T @ X_ok, X_dup.T @ X_dup])
+        moment = np.stack([X_ok.T @ y, X_dup.T @ y])
+        designs = [X_ok, X_dup]
+
+        def fallback(i):
+            weights, *_ = np.linalg.lstsq(designs[i], y, rcond=None)
+            return weights
+
+        weights = normal_equations_solve_stack(gram, moment, fallback)
+        np.testing.assert_array_equal(
+            weights[0], np.linalg.solve(gram[0], moment[0])
+        )
+        expected, *_ = np.linalg.lstsq(X_dup, y, rcond=None)
+        np.testing.assert_array_equal(weights[1], expected)
+
+
+class TestNewtonLogisticStack:
+    def _random_cells(self, rng, B, n, d, separable=False):
+        X = rng.uniform(-0.5, 0.5, size=(B, n, d))
+        if separable:
+            y = (X.sum(axis=2) > 0).astype(float)
+        else:
+            logits = X @ rng.normal(size=d)
+            y = (rng.uniform(size=(B, n)) < 1.0 / (1.0 + np.exp(-4 * logits))).astype(
+                float
+            )
+        return X, y
+
+    @pytest.mark.parametrize("separable", [False, True])
+    def test_bitwise_equal_to_percell_model(self, separable):
+        rng = np.random.default_rng(19)
+        B, n, d = 8, 120, 5
+        X, y = self._random_cells(rng, B, n, d, separable=separable)
+        batched = newton_logistic_stack(X, y, max_iterations=100, tolerance=1e-8)
+        for i in range(B):
+            model = LogisticRegressionModel().fit(X[i], y[i])
+            np.testing.assert_array_equal(batched.x[i], model.coef_)
+            reference = model.result_
+            assert batched.iterations[i] == reference.iterations
+            assert bool(batched.converged[i]) == reference.converged
+            assert batched.gradient_norm[i] == reference.gradient_norm
+            assert batched.fun[i] == reference.fun
+
+    def test_matches_raw_newton_solver(self):
+        """Directly against NewtonSolver, not just the model wrapper."""
+        from repro.regression.logistic import (
+            logistic_gradient,
+            logistic_hessian,
+            logistic_loss,
+        )
+
+        rng = np.random.default_rng(23)
+        B, n, d = 4, 80, 3
+        X, y = self._random_cells(rng, B, n, d)
+        batched = newton_logistic_stack(X, y, max_iterations=100, tolerance=1e-8)
+        solver = NewtonSolver(max_iterations=100, tolerance=1e-8)
+        for i in range(B):
+            reference = solver.minimize(
+                lambda w: logistic_loss(w, X[i], y[i]),
+                lambda w: logistic_gradient(w, X[i], y[i]),
+                lambda w: logistic_hessian(w, X[i], y[i]),
+                np.zeros(d),
+            )
+            np.testing.assert_array_equal(batched.x[i], reference.x)
+
+    def test_cell_view(self):
+        rng = np.random.default_rng(29)
+        X, y = self._random_cells(rng, 2, 50, 3)
+        batched = newton_logistic_stack(X, y)
+        cell = batched.cell(0)
+        np.testing.assert_array_equal(cell.x, batched.x[0])
+        assert cell.converged == bool(batched.converged[0])
+
+    def test_single_cell_stack(self):
+        rng = np.random.default_rng(31)
+        X, y = self._random_cells(rng, 1, 60, 4)
+        batched = newton_logistic_stack(X, y)
+        model = LogisticRegressionModel().fit(X[0], y[0])
+        np.testing.assert_array_equal(batched.x[0], model.coef_)
