@@ -1,0 +1,146 @@
+"""Peak-RSS and throughput of the tiled runtime at a FULL-shaped workload.
+
+The ROADMAP flagged PR 2's eager ``plan_cells`` as the FULL-protocol memory
+hazard: 50 repetitions' prepared arrays resident at once.  This bench
+measures what the tiled planner buys, at a FULL-*shaped* workload — the
+paper's 50 repetitions x 5 folds and all six Table-2 budgets, with the
+record count scaled so the bench stays in minutes (override with
+``HARNESS_MEMORY_RECORDS`` / ``HARNESS_MEMORY_REPS``).
+
+Each configuration runs in a **fresh subprocess**: ``ru_maxrss`` is a
+monotonic high-water mark per process, so eager and tiled runs can only be
+compared across process boundaries.  Configurations:
+
+* ``eager``      — PR 2's ``plan_cells`` + ``run_plan`` (every repetition
+  resident for the plan's lifetime);
+* ``tile_size=1``  — the historical one-repetition-at-a-time profile;
+* ``tile_size=4``  — a middling tile;
+* ``tile_size=all`` — one tile spanning every repetition (lazy
+  construction, eager-sized working set: the upper bound of the knob).
+
+The acceptance bar (also enforced by the CI memory-smoke job): peak RSS at
+``tile_size=1`` must stay below ``HARNESS_MEMORY_MAX_FRACTION`` (default
+25%) of the eager plan's peak on the same workload, and every tiling's
+scores must equal the eager scores bit for bit.  Throughput (cells/sec) is
+recorded for each configuration; the committed ``BENCH_harness.json``
+carries the measured baselines next to the PR 2 cell-throughput numbers.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from conftest import save_and_print
+
+#: FULL-shaped protocol: the paper's repetitions/folds/budget grid, scaled
+#: record count.  50 reps x ~11 MB of prepared arrays each puts the eager
+#: plan near 600 MB while one tile stays near a tenth of that.
+RECORDS = int(os.environ.get("HARNESS_MEMORY_RECORDS", "100000"))
+REPS = int(os.environ.get("HARNESS_MEMORY_REPS", "50"))
+MAX_FRACTION = float(os.environ.get("HARNESS_MEMORY_MAX_FRACTION", "0.25"))
+
+CONFIGS = ("eager", "1", "4", "all")
+
+#: Runs one configuration and reports {peak_rss_mb, seconds, cells, digest}.
+#: The digest (sum of all scores) pins cross-configuration bit-identity
+#: without shipping the score vectors through the pipe.
+_CHILD = r"""
+import hashlib, json, resource, struct, sys, time
+records, reps, config = int(sys.argv[1]), int(sys.argv[2]), sys.argv[3]
+from repro.data.census import load_us
+from repro.experiments.config import PRIVACY_BUDGETS, ScalePreset
+from repro.runtime import plan_cells, plan_cells_tiled, run_plan
+
+dataset = load_us(records)
+preset = ScalePreset(name="full-shaped", max_records=None, folds=5, repetitions=reps)
+started = time.perf_counter()
+if config == "eager":
+    plan = plan_cells(
+        "FM", dataset, "linear", dims=14, epsilons=PRIVACY_BUDGETS,
+        preset=preset, seed=6,
+    )
+else:
+    tile_size = None if config == "all" else int(config)
+    plan = plan_cells_tiled(
+        "FM", dataset, "linear", dims=14, epsilons=PRIVACY_BUDGETS,
+        preset=preset, seed=6, tile_size=tile_size,
+    )
+outcome = run_plan(plan, mode="batched")
+seconds = time.perf_counter() - started
+digest = hashlib.sha256()
+for epsilon in PRIVACY_BUDGETS:
+    digest.update(struct.pack(f"<{len(outcome.scores[epsilon])}d", *outcome.scores[epsilon]))
+print(json.dumps({
+    "config": config,
+    "peak_rss_mb": resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0,
+    "seconds": seconds,
+    "cells": plan.n_cells,
+    "cells_per_sec": plan.n_cells / seconds,
+    "score_digest": digest.hexdigest(),
+}))
+"""
+
+
+def _run_config(config: str) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(RECORDS), str(REPS), config],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, f"{config} child failed:\n{result.stderr}"
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def measurements(results_dir) -> dict[str, dict]:
+    """One subprocess measurement per configuration (shared by the tests)."""
+    rows = {config: _run_config(config) for config in CONFIGS}
+    lines = [
+        f"FULL-shaped memory profile ({REPS} reps x 5 folds x "
+        f"{rows['eager']['cells'] // (REPS * 5)} budgets, {RECORDS:,} records)"
+    ]
+    for config, row in rows.items():
+        label = "eager plan" if config == "eager" else f"tile_size={config}"
+        lines.append(
+            f"  {label:>14}: peak RSS {row['peak_rss_mb']:,.0f} MB, "
+            f"{row['cells_per_sec']:,.1f} cells/sec ({row['seconds']:.2f}s)"
+        )
+    ratio = rows["eager"]["peak_rss_mb"] / rows["1"]["peak_rss_mb"]
+    lines.append(f"  eager / tile_size=1 peak-RSS ratio: {ratio:.2f}x")
+    save_and_print(results_dir, "harness_memory", "\n".join(lines))
+    (results_dir / "harness_memory.json").write_text(json.dumps(rows, indent=2) + "\n")
+    return rows
+
+
+def test_scores_identical_across_configs(measurements):
+    """Tiling is a memory knob only: every configuration's scores agree."""
+    digests = {row["score_digest"] for row in measurements.values()}
+    assert len(digests) == 1, measurements
+
+
+def test_tile1_peak_rss_bounded(measurements):
+    """The acceptance bar: tile_size=1 peak RSS < 25% of the eager plan's."""
+    eager = measurements["eager"]["peak_rss_mb"]
+    tiled = measurements["1"]["peak_rss_mb"]
+    assert tiled < MAX_FRACTION * eager, (
+        f"tile_size=1 peak RSS {tiled:.0f} MB is not under "
+        f"{MAX_FRACTION:.0%} of the eager plan's {eager:.0f} MB"
+    )
+
+
+def test_tiling_throughput_overhead_is_bounded(measurements):
+    """Per-tile dispatch must not give back the batched runtime's win.
+
+    tile_size=1 re-derives each repetition's subsample/permutation and
+    solves 30-cell stacks instead of one 1500-cell stack; that overhead
+    must stay small next to the aggregation work that dominates a cell.
+    """
+    eager = measurements["eager"]["cells_per_sec"]
+    tiled = measurements["1"]["cells_per_sec"]
+    assert tiled >= 0.5 * eager, (
+        f"tile_size=1 throughput {tiled:.1f} cells/sec fell below half the "
+        f"eager plan's {eager:.1f}"
+    )

@@ -133,9 +133,14 @@ class EpsilonSweepEngine:
     statistics:
         A finalized :class:`~repro.engine.accumulator.MomentAccumulator` or
         :class:`~repro.engine.accumulator.MomentSnapshot` — anything with a
-        ``quadratic_form(objective)`` method.  The engine touches the data
-        only through it, hence exactly one data pass however many epsilons
-        are swept.
+        ``quadratic_form(objective)`` method — **or** a ready
+        :class:`~repro.core.polynomial.QuadraticForm` (the shared-moment
+        fast path: a caller that already holds a fold's aggregated
+        coefficients, e.g. from the runtime's
+        :class:`~repro.runtime.plan.PreparedDataCache`, constructs sweeps
+        with zero re-aggregation).  The engine touches the data only
+        through it, hence exactly one data pass however many epsilons are
+        swept.
     tight_sensitivity:
         Use the ``sqrt(d)`` L1 bound instead of the paper's ``d`` bound.
     post_processing:
@@ -170,7 +175,14 @@ class EpsilonSweepEngine:
         budget: Optional[PrivacyBudget] = None,
     ) -> None:
         self.objective = objective
-        self._form: QuadraticForm = statistics.quadratic_form(objective)
+        if isinstance(statistics, QuadraticForm):
+            # Shared-moment fast path: the coefficients were aggregated
+            # elsewhere (runtime moment cache, a sibling engine, a stored
+            # snapshot) — copy so later sweeps can't be perturbed through
+            # the caller's reference.
+            self._form: QuadraticForm = statistics.copy()
+        else:
+            self._form = statistics.quadratic_form(objective)
         self._sensitivity = objective.sensitivity(tight=tight_sensitivity)
         self._strategy = get_strategy(post_processing)
         self._ridge_lambda = float(ridge_lambda)

@@ -19,13 +19,17 @@ and refits the Functional Mechanism at every requested budget from that one
 pass.  The ``--scale`` presets trade fidelity for time (see
 :mod:`repro.experiments.config`).
 
-Sweep figures accept two execution-runtime knobs (see :mod:`repro.runtime`):
+Sweep figures accept four execution-runtime knobs (see :mod:`repro.runtime`):
 ``--runtime batched`` (default) executes every batchable (rep, fold,
 epsilon) cell through stacked LAPACK kernels, while ``--runtime percell``
 forces the per-cell reference path — both produce bitwise-identical scores,
 so the choice only trades wall-clock for auditability.  ``--executor
-serial|thread|process`` selects where the residual non-batchable baseline
-cells (DPME, FP) run.
+serial|thread|process`` selects where parallel work runs (the residual
+non-batchable baseline cells, and whole batched tiles under tiling).
+``--tile-size`` bounds peak memory by materializing at most that many
+repetitions' prepared arrays at a time, and ``--stream-version 2`` opts
+into the alias-free substream derivation — both leave scores bitwise
+unchanged except that stream version 2 deliberately reshuffles all noise.
 """
 
 from __future__ import annotations
@@ -104,8 +108,22 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--executor", choices=("serial", "thread", "process"), default="serial",
-            help="where per-cell work runs (the non-batchable baselines, or "
-            "everything under --runtime percell)",
+            help="where parallel work runs: per-cell work (the non-batchable "
+            "baselines, or everything under --runtime percell), and whole "
+            "batched tiles when --tile-size yields more than one tile",
+        )
+        p.add_argument(
+            "--tile-size", type=int, default=None, metavar="REPS",
+            help="bound resident memory by materializing at most REPS "
+            "repetitions' prepared arrays at a time (1 = the historical "
+            "one-rep-at-a-time profile; default: all repetitions at once). "
+            "Scores are bitwise identical at every tiling.",
+        )
+        p.add_argument(
+            "--stream-version", type=int, choices=(1, 2), default=1,
+            help="substream derivation format: 1 (default) is the historical "
+            "derivation; 2 fixes the SeedSequence zero-padding alias and "
+            "reshuffles every noise stream (explicit opt-in)",
         )
 
     for name, help_text in [
@@ -291,6 +309,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         result = _ACCURACY_FIGURES[args.command](
             dataset, args.task, preset=preset, seed=args.seed,
             runtime=args.runtime, executor=args.executor,
+            tile_size=args.tile_size, stream_version=args.stream_version,
         )
         print(format_sweep_table(result))
         flags = summarize_ordering(result)
@@ -300,6 +319,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         result = _TIMING_FIGURES[args.command](
             dataset, preset=preset, seed=args.seed,
             runtime=args.runtime, executor=args.executor,
+            tile_size=args.tile_size, stream_version=args.stream_version,
         )
         print(format_time_table(result))
         return 0

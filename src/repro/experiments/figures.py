@@ -31,7 +31,11 @@ from .config import (
     SAMPLING_RATES,
     ScalePreset,
 )
-from .harness import EvaluationResult, evaluate_algorithm, evaluate_fm_budget_sweep
+from .harness import (
+    EvaluationResult,
+    evaluate_algorithms,
+    evaluate_fm_budget_sweep,
+)
 
 __all__ = [
     "ObjectiveCurve",
@@ -178,13 +182,18 @@ def accuracy_sweep(
     seed: int = 0,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Evaluate all panel algorithms across one Table-2 parameter sweep.
 
-    Non-swept parameters sit at their Table-2 defaults.  ``runtime`` and
-    ``executor`` select the cell execution path (see
-    :func:`~repro.experiments.harness.evaluate_algorithm`); scores are
-    bitwise identical across them.
+    Non-swept parameters sit at their Table-2 defaults.  ``runtime``,
+    ``executor``, ``tile_size`` and ``stream_version`` select the cell
+    execution path (see :func:`~repro.experiments.harness.evaluate_algorithm`);
+    scores are bitwise identical across runtimes, executors and tilings.
+    Each sweep point evaluates its whole algorithm panel as one grouped
+    run, sharing prepared data and merging same-kernel-class solves
+    (:func:`~repro.experiments.harness.evaluate_algorithms`).
     """
     algorithms = tuple(algorithms or _algorithms_for(task))
     series: dict[str, list[EvaluationResult]] = {name: [] for name in algorithms}
@@ -192,21 +201,22 @@ def accuracy_sweep(
         dims = value if parameter == "dimensionality" else DEFAULT_DIMENSIONALITY
         rate = value if parameter == "sampling_rate" else 1.0
         epsilon = value if parameter == "epsilon" else DEFAULT_EPSILON
+        point = evaluate_algorithms(
+            algorithms,
+            dataset,
+            task,
+            dims=int(dims),
+            epsilon=float(epsilon),
+            preset=preset,
+            sampling_rate=float(rate),
+            seed=seed + 1000 * i,
+            runtime=runtime,
+            executor=executor,
+            tile_size=tile_size,
+            stream_version=stream_version,
+        )
         for name in algorithms:
-            series[name].append(
-                evaluate_algorithm(
-                    name,
-                    dataset,
-                    task,
-                    dims=int(dims),
-                    epsilon=float(epsilon),
-                    preset=preset,
-                    sampling_rate=float(rate),
-                    seed=seed + 1000 * i,
-                    runtime=runtime,
-                    executor=executor,
-                )
-            )
+            series[name].append(point[name])
     return SweepResult(
         figure=figure,
         panel=f"{dataset.country.upper()}-{task.capitalize()}",
@@ -224,11 +234,14 @@ def figure4_dimensionality(
     seed: int = 4,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 4: accuracy vs dataset dimensionality (5, 8, 11, 14)."""
     return accuracy_sweep(
         dataset, task, "dimensionality", DIMENSIONALITIES, figure="figure4",
         preset=preset, seed=seed, runtime=runtime, executor=executor,
+        tile_size=tile_size, stream_version=stream_version,
     )
 
 
@@ -240,11 +253,14 @@ def figure5_cardinality(
     rates: Sequence[float] = SAMPLING_RATES,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 5: accuracy vs dataset cardinality (sampling rate 0.1-1.0)."""
     return accuracy_sweep(
         dataset, task, "sampling_rate", tuple(rates), figure="figure5",
         preset=preset, seed=seed, runtime=runtime, executor=executor,
+        tile_size=tile_size, stream_version=stream_version,
     )
 
 
@@ -257,6 +273,8 @@ def _budget_sweep(
     engine: bool,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Shared driver for the budget-sweep figures (6 and 9).
 
@@ -273,17 +291,19 @@ def _budget_sweep(
         return accuracy_sweep(
             dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
             preset=preset, seed=seed, runtime=runtime, executor=executor,
+            tile_size=tile_size, stream_version=stream_version,
         )
     others = accuracy_sweep(
         dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
         preset=preset, seed=seed, runtime=runtime, executor=executor,
+        tile_size=tile_size, stream_version=stream_version,
         algorithms=[name for name in algorithms if name != "FM"],
     )
     fm = evaluate_fm_budget_sweep(
         dataset, task, dims=DEFAULT_DIMENSIONALITY, epsilons=PRIVACY_BUDGETS,
         preset=preset, seed=seed,
         runtime="auto" if runtime == "batched" else runtime,
-        executor=executor,
+        executor=executor, tile_size=tile_size, stream_version=stream_version,
     )
     series: dict[str, tuple[EvaluationResult, ...]] = {}
     for name in algorithms:  # preserve the paper's legend order
@@ -309,6 +329,8 @@ def figure6_privacy_budget(
     engine: bool = True,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 6: accuracy vs privacy budget (epsilon 0.1-3.2).
 
@@ -318,7 +340,8 @@ def figure6_privacy_budget(
     per-point loop.
     """
     return _budget_sweep(dataset, task, "figure6", preset, seed, engine,
-                         runtime=runtime, executor=executor)
+                         runtime=runtime, executor=executor,
+                         tile_size=tile_size, stream_version=stream_version)
 
 
 def figure7_time_dimensionality(
@@ -327,14 +350,15 @@ def figure7_time_dimensionality(
     seed: int = 7,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 7: computation time vs dimensionality (logistic task)."""
-    result = accuracy_sweep(
+    return accuracy_sweep(
         dataset, "logistic", "dimensionality", DIMENSIONALITIES,
         figure="figure7", preset=preset, seed=seed, runtime=runtime,
-        executor=executor,
+        executor=executor, tile_size=tile_size, stream_version=stream_version,
     )
-    return result
 
 
 def figure8_time_cardinality(
@@ -344,12 +368,14 @@ def figure8_time_cardinality(
     rates: Sequence[float] = SAMPLING_RATES,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 8: computation time vs cardinality (logistic task)."""
     return accuracy_sweep(
         dataset, "logistic", "sampling_rate", tuple(rates),
         figure="figure8", preset=preset, seed=seed, runtime=runtime,
-        executor=executor,
+        executor=executor, tile_size=tile_size, stream_version=stream_version,
     )
 
 
@@ -360,6 +386,8 @@ def figure9_time_budget(
     engine: bool = True,
     runtime: str = "batched",
     executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> SweepResult:
     """Figure 9: computation time vs privacy budget (logistic task).
 
@@ -368,4 +396,5 @@ def figure9_time_budget(
     statistics pass.
     """
     return _budget_sweep(dataset, "logistic", "figure9", preset, seed, engine,
-                         runtime=runtime, executor=executor)
+                         runtime=runtime, executor=executor,
+                         tile_size=tile_size, stream_version=stream_version)

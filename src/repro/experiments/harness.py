@@ -8,12 +8,17 @@ split, scores the paper's metric on the held-out fold, and also records the
 fit wall-time (feeding Figures 7-9).
 
 Execution routes through :mod:`repro.runtime`: the protocol's cells are
-enumerated up front into a :class:`~repro.runtime.plan.CellPlan` and run
-either through the batched tensor kernels (default — all closed-form cells
-in one stacked LAPACK call, logistic cells through the masked batched
-Newton) or cell by cell as the reference oracle.  Both paths produce
-bitwise-identical scores; ``runtime="percell"`` exists to prove it and to
-time the baseline.
+enumerated into a :class:`~repro.runtime.plan.CellPlan` (eager) or — with
+``tile_size`` set — a lazily materializing
+:class:`~repro.runtime.plan.TiledPlan` that bounds resident memory to a few
+repetitions at a time, and run either through the batched tensor kernels
+(default — all closed-form cells in one stacked LAPACK call, logistic cells
+through the masked batched Newton) or cell by cell as the reference oracle.
+All paths produce bitwise-identical scores at any tiling and on any
+executor; ``runtime="percell"`` exists to prove it and to time the
+baseline.  :func:`evaluate_algorithms` additionally runs a whole algorithm
+panel as one group — shared prepared-data cache, merged cross-algorithm
+stacked solves — still bit-identical to evaluating each algorithm alone.
 
 Randomness plumbing: each (repetition, fold, algorithm) cell derives its own
 RNG substream keyed by position, so results are reproducible and algorithms
@@ -48,7 +53,16 @@ from ..exceptions import ExperimentError
 from ..privacy.rng import derive_substream
 from ..regression.metrics import mean_squared_error, misclassification_rate
 from ..regression.preprocessing import KFold
-from ..runtime import CellExecutor, PlanResult, algorithm_stream_key, plan_cells, run_plan
+from ..runtime import (
+    CellExecutor,
+    PlanResult,
+    PreparedDataCache,
+    algorithm_stream_key,
+    plan_cells,
+    plan_cells_tiled,
+    run_plan,
+    run_plan_group,
+)
 from .config import DEFAULT, ScalePreset
 
 __all__ = [
@@ -145,6 +159,8 @@ def evaluate_algorithm(
     algorithm_kwargs: Mapping | None = None,
     runtime: str = "batched",
     executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> EvaluationResult:
     """Run the full repeated-CV protocol for one algorithm at one sweep point.
 
@@ -171,21 +187,48 @@ def evaluate_algorithm(
         stacked runtime kernels; ``"percell"`` forces the per-cell
         reference path.  Scores are bitwise identical either way.
     executor:
-        Executor for per-cell work (non-batchable baselines, or everything
-        under ``runtime="percell"``): ``"serial"``, ``"thread"`` or
-        ``"process"``.
+        Executor for parallel work: ``"serial"``, ``"thread"`` or
+        ``"process"``.  Spreads per-cell work (non-batchable baselines, or
+        everything under ``runtime="percell"``), and with ``tile_size``
+        set and multiple tiles, whole batched tiles.
+    tile_size:
+        ``None`` (default) plans eagerly — all repetitions' prepared
+        arrays resident at once, as before.  An integer bounds the
+        resident set to that many repetitions per tile (``1`` restores the
+        historical one-rep-at-a-time memory profile).  Scores are bitwise
+        identical at every tiling.
+    stream_version:
+        :func:`~repro.privacy.rng.derive_substream` format; the default 1
+        is the historical derivation, 2 opts into the fixed (alias-free)
+        derivation and reshuffles every noise stream.
     """
-    plan = plan_cells(
-        algorithm,
-        dataset,
-        task,
-        dims=dims,
-        epsilons=[epsilon],
-        preset=preset,
-        sampling_rate=sampling_rate,
-        seed=seed,
-        algorithm_kwargs=algorithm_kwargs,
-    )
+    if tile_size is None:
+        plan = plan_cells(
+            algorithm,
+            dataset,
+            task,
+            dims=dims,
+            epsilons=[epsilon],
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            algorithm_kwargs=algorithm_kwargs,
+            stream_version=stream_version,
+        )
+    else:
+        plan = plan_cells_tiled(
+            algorithm,
+            dataset,
+            task,
+            dims=dims,
+            epsilons=[epsilon],
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            algorithm_kwargs=algorithm_kwargs,
+            tile_size=tile_size,
+            stream_version=stream_version,
+        )
     outcome = run_plan(plan, mode=runtime, executor=executor)
     return _result_for_epsilon(outcome, algorithm, task, float(epsilon))
 
@@ -203,6 +246,8 @@ def evaluate_fm_budget_sweep(
     tight_sensitivity: bool = False,
     runtime: str = "auto",
     executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> dict[float, EvaluationResult]:
     """Run FM's repeated-CV protocol at *all* budgets with one pass per cell.
 
@@ -228,6 +273,10 @@ def evaluate_fm_budget_sweep(
         streaming engine when ``shards > 1`` or a non-spectral repair is
         requested; ``"batched"`` / ``"percell"`` force the runtime paths;
         ``"engine"`` forces the PR-1 streaming-accumulator path.
+    tile_size / stream_version:
+        As in :func:`evaluate_algorithm`.  ``tile_size`` applies to the
+        runtime paths (the engine path already streams one repetition at a
+        time and ignores it).
     """
     epsilon_values = [float(e) for e in epsilons]
     if not epsilon_values:
@@ -253,21 +302,39 @@ def evaluate_fm_budget_sweep(
             shards=shards,
             post_processing=post_processing,
             tight_sensitivity=tight_sensitivity,
+            stream_version=stream_version,
         )
-    plan = plan_cells(
-        "FM",
-        dataset,
-        task,
-        dims=dims,
-        epsilons=epsilon_values,
-        preset=preset,
-        sampling_rate=sampling_rate,
-        seed=seed,
-        algorithm_kwargs={
-            "post_processing": post_processing,
-            "tight_sensitivity": tight_sensitivity,
-        },
-    )
+    fm_kwargs = {
+        "post_processing": post_processing,
+        "tight_sensitivity": tight_sensitivity,
+    }
+    if tile_size is None:
+        plan = plan_cells(
+            "FM",
+            dataset,
+            task,
+            dims=dims,
+            epsilons=epsilon_values,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            algorithm_kwargs=fm_kwargs,
+            stream_version=stream_version,
+        )
+    else:
+        plan = plan_cells_tiled(
+            "FM",
+            dataset,
+            task,
+            dims=dims,
+            epsilons=epsilon_values,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            algorithm_kwargs=fm_kwargs,
+            tile_size=tile_size,
+            stream_version=stream_version,
+        )
     outcome = run_plan(plan, mode=runtime, executor=executor)
     return {
         e: _result_for_epsilon(outcome, "FM", task, e) for e in epsilon_values
@@ -285,6 +352,7 @@ def _fm_budget_sweep_engine(
     shards: int,
     post_processing: str,
     tight_sensitivity: bool,
+    stream_version: int = 1,
 ) -> dict[float, EvaluationResult]:
     """The streaming-engine sweep: accumulate once per fold, refit per epsilon.
 
@@ -303,7 +371,9 @@ def _fm_budget_sweep_engine(
     algorithm_key = algorithm_stream_key("FM")
     base_n = preset.cardinality(dataset.n)
     for rep in range(preset.repetitions):
-        rep_rng = derive_substream(seed, [algorithm_key, rep])
+        rep_rng = derive_substream(
+            seed, [algorithm_key, rep], stream_version=stream_version
+        )
         working = dataset
         if base_n < dataset.n:
             working = working.take(rep_rng.choice(dataset.n, size=base_n, replace=False))
@@ -327,7 +397,11 @@ def _fm_budget_sweep_engine(
             )
             sweep = engine.sweep(
                 epsilon_values,
-                rng=derive_substream(seed, [algorithm_key, rep, fold_id]),
+                rng=derive_substream(
+                    seed,
+                    [algorithm_key, rep, fold_id],
+                    stream_version=stream_version,
+                ),
             )
             X_test, y_test = prepared.X[test_idx], prepared.y[test_idx]
             for point in sweep.points:
@@ -363,20 +437,48 @@ def evaluate_algorithms(
     seed: int = 0,
     runtime: str = "batched",
     executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
 ) -> dict[str, EvaluationResult]:
-    """Evaluate several algorithms at one sweep point; keyed by name."""
-    return {
-        name: evaluate_algorithm(
+    """Evaluate several algorithms at one sweep point; keyed by name.
+
+    All algorithms plan over one shared
+    :class:`~repro.runtime.PreparedDataCache` — each repetition's prepared
+    arrays (and, where training splits coincide, their Gram/moment blocks)
+    materialize once for the whole panel instead of once per algorithm —
+    and execute as one :func:`~repro.runtime.run_plan_group`, which merges
+    the quadratic algorithms' closed-form solves into one stacked LAPACK
+    call.  Results are bitwise identical to looping
+    :func:`evaluate_algorithm` per name (asserted by the runtime suite);
+    only the wall-clock and peak memory differ.
+
+    The grouped path always plans **tiled**: a group holds every
+    algorithm's plan at once, so eager planning would multiply the peak
+    resident set by the panel size whenever repetitions cannot share
+    prepared arrays (any subsampled preset or sampling rate < 1).  With
+    ``tile_size=None`` (default) residency is bounded at one repetition
+    per algorithm — the minimal-memory schedule; pass a larger
+    ``tile_size`` to trade memory for fewer, larger dispatches.
+    """
+    cache = PreparedDataCache()
+    plans = [
+        plan_cells_tiled(
             name,
             dataset,
-            task,
+            task=task,
             dims=dims,
-            epsilon=epsilon,
+            epsilons=[epsilon],
             preset=preset,
             sampling_rate=sampling_rate,
             seed=seed,
-            runtime=runtime,
-            executor=executor,
+            tile_size=1 if tile_size is None else tile_size,
+            stream_version=stream_version,
+            prepared_cache=cache,
         )
         for name in algorithms
+    ]
+    outcomes = run_plan_group(plans, mode=runtime, executor=executor)
+    return {
+        name: _result_for_epsilon(outcome, name, task, float(epsilon))
+        for name, outcome in zip(algorithms, outcomes)
     }

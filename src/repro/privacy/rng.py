@@ -14,9 +14,23 @@ from typing import Sequence, Union
 
 import numpy as np
 
-__all__ = ["RngLike", "ensure_rng", "spawn", "derive_substream"]
+__all__ = [
+    "RngLike",
+    "STREAM_VERSIONS",
+    "ensure_rng",
+    "spawn",
+    "derive_substream",
+]
 
 RngLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+#: Supported stream-derivation formats (see :func:`derive_substream`).
+STREAM_VERSIONS = (1, 2)
+
+#: Domain separator appended (together with the tag length) by the
+#: version-2 derivation.  The value is arbitrary but pinned: changing it
+#: reshuffles every version-2 stream.
+_V2_DOMAIN_WORD = 0x5D5EC0DE
 
 
 def ensure_rng(rng: RngLike = None) -> np.random.Generator:
@@ -70,7 +84,11 @@ def spawn(rng: RngLike, count: int) -> list[np.random.Generator]:
     return [np.random.default_rng(child) for child in seq.spawn(count)]
 
 
-def derive_substream(rng: RngLike, tag: Sequence[int] | int) -> np.random.Generator:
+def derive_substream(
+    rng: RngLike,
+    tag: Sequence[int] | int,
+    stream_version: int = 1,
+) -> np.random.Generator:
     """Derive a child generator keyed by ``tag``.
 
     Unlike :func:`spawn`, this does not consume draws from the parent when it
@@ -78,20 +96,42 @@ def derive_substream(rng: RngLike, tag: Sequence[int] | int) -> np.random.Genera
     stream.  Used to give each (figure, panel, sweep-point, repetition) cell
     of an experiment a reproducible, addressable stream.
 
+    ``stream_version`` selects the derivation format:
+
+    ``1`` (default)
+        The historical format: entropy is ``[seed, *tag]`` verbatim.  Every
+        stream the harness has ever published uses it, so it stays the
+        default indefinitely.
+    ``2``
+        Appends ``[len(tag), 0x5D5EC0DE]`` (tag length + a fixed domain
+        separator) to the entropy, which removes the zero-padding alias
+        described below: ``[a, b]`` and ``[a, b, 0]`` derive different
+        entropy lists (``[s, a, b, 2, D]`` vs ``[s, a, b, 0, 3, D]``) and
+        therefore independent streams.  Opting in reshuffles every stream,
+        so it must be an explicit, recorded decision (the runtime plumbs it
+        as ``stream_version=`` end to end).
+
     .. warning::
-        ``numpy.random.SeedSequence`` zero-pads entropy to its 4-word pool,
-        so a tag and the same tag extended by trailing zeros alias the same
-        stream while the combined ``[seed, *tag]`` list fits in the pool:
-        ``derive_substream(s, [a, b])`` equals
+        Under version 1, ``numpy.random.SeedSequence`` zero-pads entropy to
+        its 4-word pool, so a tag and the same tag extended by trailing
+        zeros alias the same stream while the combined ``[seed, *tag]``
+        list fits in the pool: ``derive_substream(s, [a, b])`` equals
         ``derive_substream(s, [a, b, 0])``.  Callers nesting namespaces
         (e.g. the harness's ``[key, rep]`` data stream vs ``[key, rep, 0]``
         fold-0 cell stream) inherit this aliasing; it is pinned by tests
         because changing the derivation would reshuffle every stream the
-        harness has ever produced.
+        harness has ever produced.  Version 2 is the fix, behind the
+        explicit opt-in.
     """
+    if stream_version not in STREAM_VERSIONS:
+        raise ValueError(
+            f"stream_version must be one of {STREAM_VERSIONS}, got {stream_version!r}"
+        )
     if isinstance(tag, (int, np.integer)):
         tag = [int(tag)]
     tag_list = [int(t) for t in tag]
+    if stream_version == 2:
+        tag_list = [*tag_list, len(tag_list), _V2_DOMAIN_WORD]
     if isinstance(rng, (int, np.integer)):
         seq = np.random.SeedSequence([int(rng), *tag_list])
         return np.random.default_rng(seq)

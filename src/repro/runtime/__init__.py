@@ -4,16 +4,22 @@ The paper's Section-7 protocol measures every algorithm over hundreds of
 (repetition, fold, epsilon) cells.  This subsystem turns that per-cell loop
 into a three-stage pipeline:
 
-1. :mod:`~repro.runtime.plan` enumerates every cell up front with its
-   deterministic RNG substream (a :class:`CellPlan`),
+1. :mod:`~repro.runtime.plan` enumerates every cell with its deterministic
+   RNG substream — eagerly (a :class:`CellPlan`) or lazily in bounded
+   repetition tiles (a :class:`TiledPlan`), with a shared
+   :class:`PreparedDataCache` reusing prepared arrays and moment blocks
+   across algorithms, repetitions and budgets,
 2. :mod:`~repro.runtime.kernels` executes all batchable cells as stacked
    ``(B, d, d)`` LAPACK solves and a masked batched Newton — bitwise
    identical to the scalar per-cell solves,
 3. :mod:`~repro.runtime.executor` spreads the residual non-batchable
-   baselines over serial / thread / forked-process executors.
+   baselines — and, for tiled plans, whole batched tiles — over serial /
+   thread / forked-process executors.
 
-:func:`run_plan` ties the stages together and also provides the per-cell
-reference oracle the equivalence tests assert against.
+:func:`run_plan` ties the stages together (and provides the per-cell
+reference oracle the equivalence tests assert against);
+:func:`run_plan_group` executes several algorithms' plans with merged
+cross-algorithm stacked solves.
 """
 
 from .executor import (
@@ -26,11 +32,14 @@ from .executor import (
 from .kernels import (
     NewtonBatchResult,
     SpectralBatchResult,
+    SpectralTrimState,
     fm_noise_stack,
     newton_logistic_stack,
     normal_equations_solve_stack,
     posdef_or_pinv_solve_stack,
+    posdef_split_stack,
     spectral_solve_stack,
+    spectral_trim_stack,
 )
 from .plan import (
     KERNEL_GENERIC,
@@ -38,11 +47,14 @@ from .plan import (
     KERNEL_QUADRATIC,
     CellPlan,
     PlannedFold,
+    PreparedDataCache,
+    TiledPlan,
     algorithm_stream_key,
     classify_kernel,
     plan_cells,
+    plan_cells_tiled,
 )
-from .runner import PlanResult, run_plan
+from .runner import PlanResult, run_plan, run_plan_group
 
 __all__ = [
     "CellExecutor",
@@ -52,19 +64,26 @@ __all__ = [
     "get_executor",
     "NewtonBatchResult",
     "SpectralBatchResult",
+    "SpectralTrimState",
     "fm_noise_stack",
     "newton_logistic_stack",
     "normal_equations_solve_stack",
     "posdef_or_pinv_solve_stack",
+    "posdef_split_stack",
     "spectral_solve_stack",
+    "spectral_trim_stack",
     "KERNEL_GENERIC",
     "KERNEL_NEWTON",
     "KERNEL_QUADRATIC",
     "CellPlan",
     "PlannedFold",
+    "PreparedDataCache",
+    "TiledPlan",
     "algorithm_stream_key",
     "classify_kernel",
     "plan_cells",
+    "plan_cells_tiled",
     "PlanResult",
     "run_plan",
+    "run_plan_group",
 ]

@@ -1,31 +1,44 @@
-"""Pluggable executors for the residual non-batchable cells.
+"""Pluggable executors for per-cell work and whole batched tiles.
 
 DPME, FP and the other synthetic-data baselines cannot be expressed as
 stacked tensor solves — each fit is its own pipeline of histogram building,
 noisy sampling and iterative optimization.  The runtime therefore runs them
-per cell through an executor:
+per cell through an executor.  Since the tiled runtime
+(:class:`~repro.runtime.plan.TiledPlan`), the same executors also dispatch
+**whole batched tiles**: the work item is then a tile index, the work
+function materializes that tile's prepared arrays and runs its stacked
+kernels, and only the lightweight per-cell score/time lists travel back.
 
 ``SerialExecutor``
-    The reference: cells run in submission order on the calling thread.
+    The reference: items run in submission order on the calling thread.
 ``ThreadExecutor``
     A thread pool.  NumPy releases the GIL inside BLAS/LAPACK and the
     random generators are derived per cell (never shared), so cells are
     data-race free and results are position-assigned — output order is
     deterministic regardless of completion order.
 ``ProcessExecutor``
-    A ``fork``-context process pool sharing the plan's fold views read-only
+    A ``fork``-context process pool sharing the parent's arrays read-only
     through copy-on-write memory: workers inherit the parent's address
-    space, so the repetition arrays are never pickled or copied.  On
-    platforms without ``fork`` the executor degrades to serial execution.
+    space, so neither the plan's fold views (per-cell dispatch) nor the
+    raw dataset a tile materializes from (tile dispatch) are ever pickled
+    or copied.  For tile dispatch this is what bounds the parent's peak
+    memory: each forked worker materializes *its own* tile from the
+    COW-shared dataset and returns only scores, so at most
+    ``min(n_tiles, max_workers)`` tiles are resident machine-wide and the
+    parent holds none.  On platforms without ``fork`` the executor
+    degrades to serial execution.
 
-Determinism contract: executors only change *where* a cell runs.  Each
-cell's RNG substream is derived from its (seed, tag) key, so scores are
-bitwise identical across executors and worker counts.
+Determinism contract: executors only change *where* an item runs.  Each
+cell's RNG substream is derived from its (seed, tag) key, results are
+assigned by input position (``map`` output order == input order, which is
+what makes the runner's tile-ordered reduction deterministic), so scores
+are bitwise identical across executors and worker counts.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import itertools
 import multiprocessing
 import os
 from typing import Callable, Sequence
@@ -52,7 +65,11 @@ class CellExecutor:
 
 
 class SerialExecutor(CellExecutor):
-    """Run every cell on the calling thread (the reference executor)."""
+    """Run every item on the calling thread (the reference executor).
+
+    For tile dispatch this is also the minimal-memory schedule: tiles
+    materialize strictly one at a time.
+    """
 
     name = "serial"
 
@@ -61,7 +78,13 @@ class SerialExecutor(CellExecutor):
 
 
 class ThreadExecutor(CellExecutor):
-    """Run cells on a thread pool (BLAS releases the GIL)."""
+    """Run items on a thread pool (BLAS releases the GIL).
+
+    Tile dispatch note: concurrent tiles may consult a shared
+    :class:`~repro.runtime.plan.PreparedDataCache`; its entries are
+    idempotent (a racing rebuild stores the identical value), so the race
+    is benign and scores stay deterministic.
+    """
 
     name = "thread"
 
@@ -75,10 +98,13 @@ class ThreadExecutor(CellExecutor):
             return list(pool.map(work, items))
 
 
-#: Plans registered for copy-on-write sharing with forked workers, keyed by
-#: an opaque token.  Populated by ProcessExecutor *before* the fork so the
-#: children inherit the arrays without pickling them.
+#: Work registered for copy-on-write sharing with forked workers, keyed by
+#: a monotonically increasing token (never recycled, unlike ``id`` — two
+#: overlapping maps can therefore never alias each other's work).
+#: Populated by ProcessExecutor *before* the fork so the children inherit
+#: the callable and its captured arrays without pickling them.
 _SHARED_WORK: dict[int, tuple[Callable, Sequence]] = {}
+_SHARED_TOKENS = itertools.count()
 
 
 def _forked_cell(token_and_index: tuple[int, int]):
@@ -88,7 +114,15 @@ def _forked_cell(token_and_index: tuple[int, int]):
 
 
 class ProcessExecutor(CellExecutor):
-    """Run cells on a forked process pool with shared read-only fold views."""
+    """Run items on a forked process pool with shared read-only views.
+
+    Only the ``(token, index)`` pairs and each item's **result** cross the
+    process boundary; the work callable and anything it closes over (fold
+    views, a :class:`~repro.runtime.plan.TiledPlan` and its dataset) stay
+    in the parent's address space and reach workers via copy-on-write.
+    Results must therefore be kept lightweight — the tiled runner returns
+    score/time lists, never prepared arrays.
+    """
 
     name = "process"
 
@@ -102,7 +136,7 @@ class ProcessExecutor(CellExecutor):
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return SerialExecutor().map(work, items)
-        token = id(items)
+        token = next(_SHARED_TOKENS)
         _SHARED_WORK[token] = (work, items)
         try:
             with concurrent.futures.ProcessPoolExecutor(

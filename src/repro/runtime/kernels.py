@@ -39,11 +39,14 @@ from ..regression.solvers import NewtonSolver, SolverResult
 
 __all__ = [
     "fm_noise_stack",
+    "spectral_trim_stack",
     "spectral_solve_stack",
+    "posdef_split_stack",
     "posdef_or_pinv_solve_stack",
     "normal_equations_solve_stack",
     "newton_logistic_stack",
     "SpectralBatchResult",
+    "SpectralTrimState",
     "NewtonBatchResult",
 ]
 
@@ -110,6 +113,79 @@ class SpectralBatchResult:
     repaired: np.ndarray | None
 
 
+@dataclass(frozen=True)
+class SpectralTrimState:
+    """Spectral repair with the full-rank closed-form solves still pending.
+
+    ``omega`` already holds the subspace-preimage solutions of the trimmed
+    cells; cells flagged by ``full`` await the stacked
+    ``solve(2 * regularized, -alpha)``.  Splitting the repair from the final
+    solve lets the group runner merge that solve across several plans'
+    stacks (one LAPACK call for the whole algorithm panel) — merging is
+    bit-safe because the ``solve`` gufunc factors each stacked matrix
+    independently.
+    """
+
+    omega: np.ndarray
+    full: np.ndarray
+    regularized: np.ndarray
+    lam: np.ndarray
+    trimmed: np.ndarray
+    repaired: np.ndarray | None
+
+
+def spectral_trim_stack(
+    M: np.ndarray,
+    alpha: np.ndarray,
+    noise_std: np.ndarray,
+    multiplier: float = 4.0,
+    eigen_tol: float = _EIGEN_TOL,
+    noise_relative_tol: float = 0.5,
+    compute_repaired: bool = True,
+) -> SpectralTrimState:
+    """The repair half of :func:`spectral_solve_stack` (no full-rank solve).
+
+    Performs the ridge, the batched ``eigh``, the trim decision, and the
+    minimum-norm subspace preimage for trimmed cells, leaving the untrimmed
+    cells' closed-form solves to the caller (directly, or merged with other
+    stacks).
+    """
+    B, d = alpha.shape
+    noise_std = np.asarray(noise_std, dtype=float)
+    lam = multiplier * noise_std
+    regularized = M + lam[:, None, None] * np.eye(d)
+    eigenvalues, eigenvectors = np.linalg.eigh(regularized)
+    tol = np.maximum(eigen_tol, noise_relative_tol * noise_std)
+    keep = eigenvalues > tol[:, None]
+    trimmed = np.count_nonzero(~keep, axis=1)
+    omega = np.empty((B, d), dtype=float)
+    full = trimmed == 0
+    for i in np.flatnonzero(~full):
+        kept = keep[i]
+        if not kept.any():
+            omega[i] = np.zeros(d)
+            continue
+        Q_kept = eigenvectors[i][:, kept].T
+        retained = eigenvalues[i][kept]
+        V = -0.5 * (Q_kept @ alpha[i]) / retained
+        omega[i] = Q_kept.T @ V
+    repaired = None
+    if compute_repaired:
+        # `repaired` mirrors the per-cell flag: trimming happened, or the
+        # ridge was needed to make the raw noisy matrix positive definite.
+        raw_eigenvalues = np.linalg.eigvalsh(M)
+        raw_posdef = raw_eigenvalues.min(axis=1) > eigen_tol
+        repaired = ~(full & raw_posdef)
+    return SpectralTrimState(
+        omega=omega,
+        full=full,
+        regularized=regularized,
+        lam=lam,
+        trimmed=trimmed,
+        repaired=repaired,
+    )
+
+
 def spectral_solve_stack(
     M: np.ndarray,
     alpha: np.ndarray,
@@ -132,35 +208,39 @@ def spectral_solve_stack(
     callers that consume just ``omega`` (the score-only harness path)
     should skip it; it costs a second full batched ``eigvalsh``.
     """
+    state = spectral_trim_stack(
+        M,
+        alpha,
+        noise_std,
+        multiplier=multiplier,
+        eigen_tol=eigen_tol,
+        noise_relative_tol=noise_relative_tol,
+        compute_repaired=compute_repaired,
+    )
+    if state.full.any():
+        state.omega[state.full] = np.linalg.solve(
+            2.0 * state.regularized[state.full], -alpha[state.full, :, None]
+        )[..., 0]
+    return SpectralBatchResult(
+        omega=state.omega, lam=state.lam, trimmed=state.trimmed, repaired=state.repaired
+    )
+
+
+def posdef_split_stack(M: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """The split half of :func:`posdef_or_pinv_solve_stack`.
+
+    Returns ``(omega, posdef)`` where singular cells are already resolved
+    through the pseudo-inverse and positive-definite cells (flagged by the
+    mask) await the stacked ``solve(2M, -alpha)`` — directly or merged with
+    other plans' solve stacks.
+    """
     B, d = alpha.shape
-    noise_std = np.asarray(noise_std, dtype=float)
-    lam = multiplier * noise_std
-    regularized = M + lam[:, None, None] * np.eye(d)
-    eigenvalues, eigenvectors = np.linalg.eigh(regularized)
-    tol = np.maximum(eigen_tol, noise_relative_tol * noise_std)
-    keep = eigenvalues > tol[:, None]
-    trimmed = np.count_nonzero(~keep, axis=1)
+    eigenvalues = np.linalg.eigvalsh(M)
+    posdef = eigenvalues.min(axis=1) > 0.0
     omega = np.empty((B, d), dtype=float)
-    full = trimmed == 0
-    if full.any():
-        omega[full] = np.linalg.solve(2.0 * regularized[full], -alpha[full, :, None])[..., 0]
-    for i in np.flatnonzero(~full):
-        kept = keep[i]
-        if not kept.any():
-            omega[i] = np.zeros(d)
-            continue
-        Q_kept = eigenvectors[i][:, kept].T
-        retained = eigenvalues[i][kept]
-        V = -0.5 * (Q_kept @ alpha[i]) / retained
-        omega[i] = Q_kept.T @ V
-    repaired = None
-    if compute_repaired:
-        # `repaired` mirrors the per-cell flag: trimming happened, or the
-        # ridge was needed to make the raw noisy matrix positive definite.
-        raw_eigenvalues = np.linalg.eigvalsh(M)
-        raw_posdef = raw_eigenvalues.min(axis=1) > eigen_tol
-        repaired = ~(full & raw_posdef)
-    return SpectralBatchResult(omega=omega, lam=lam, trimmed=trimmed, repaired=repaired)
+    for i in np.flatnonzero(~posdef):
+        omega[i] = np.linalg.pinv(2.0 * M[i]) @ (-alpha[i])
+    return omega, posdef
 
 
 def posdef_or_pinv_solve_stack(M: np.ndarray, alpha: np.ndarray) -> np.ndarray:
@@ -171,14 +251,9 @@ def posdef_or_pinv_solve_stack(M: np.ndarray, alpha: np.ndarray) -> np.ndarray:
     eigenvalue, like :meth:`QuadraticForm.minimize`), else the minimum-norm
     stationary point through the pseudo-inverse.
     """
-    B, d = alpha.shape
-    eigenvalues = np.linalg.eigvalsh(M)
-    posdef = eigenvalues.min(axis=1) > 0.0
-    omega = np.empty((B, d), dtype=float)
+    omega, posdef = posdef_split_stack(M, alpha)
     if posdef.any():
         omega[posdef] = np.linalg.solve(2.0 * M[posdef], -alpha[posdef, :, None])[..., 0]
-    for i in np.flatnonzero(~posdef):
-        omega[i] = np.linalg.pinv(2.0 * M[i]) @ (-alpha[i])
     return omega
 
 

@@ -3,20 +3,53 @@
 A *cell* is one (repetition, fold, epsilon) unit of the paper's evaluation:
 train the algorithm on a fold's training split at one privacy budget and
 score the held-out fold.  The per-cell harness loop materializes each cell
-on demand; :func:`plan_cells` instead enumerates every cell **up front** into
-a :class:`CellPlan`, recording for each fold
+on demand; this module offers two plan shapes over the same cells:
+
+:class:`CellPlan` (via :func:`plan_cells`)
+    Every cell enumerated **up front**, with all repetitions' prepared
+    arrays resident.  Fastest to execute, but at the paper's FULL 50-rep
+    protocol the resident arrays approach a gigabyte.
+:class:`TiledPlan` (via :func:`plan_cells_tiled`)
+    The same cells, materialized **lazily** in bounded *tiles* of at most
+    ``tile_size`` repetitions: each tile is a :class:`CellPlan` covering a
+    contiguous repetition range, built only when the runner asks for it.
+    At ``tile_size=1`` this restores the historical one-repetition-at-a-time
+    memory profile.  Because every repetition derives its RNG substream
+    independently from ``(seed, [key, rep])`` — no repetition's draws depend
+    on another's — a tile reproduces exactly the calls (and call order) the
+    eager plan makes for those repetitions, so any tiling is bitwise
+    identical to the untiled plan and to the per-cell reference loop.
+
+Both planners record for each fold
 
 * the repetition-level prepared arrays (subsampled, normalized),
 * the train/test index vectors, and
 * the deterministic :func:`~repro.privacy.rng.derive_substream` tag that
   seeds the cell's noise stream.
 
-Because the plan derives its repetition RNGs, subsampling draws and fold
+Because a plan derives its repetition RNGs, subsampling draws and fold
 permutations with exactly the calls (and call order) of the per-cell loop,
 a plan executed cell-by-cell reproduces the historical harness bit for bit —
 and the batched runtime (:mod:`repro.runtime.runner`) executes the *same*
 plan through stacked LAPACK kernels, which is what makes the two paths
 comparable at the bitwise level rather than just statistically.
+
+Prepared-data reuse
+-------------------
+A :class:`PreparedDataCache` can be shared by several plans (the harness's
+``evaluate_algorithms`` shares one across every algorithm of a panel, and a
+:class:`TiledPlan` shares one across its tiles).  It provides two reuses,
+both bit-exact because they only share *identical* values:
+
+* **prepared repetition arrays** — whenever a repetition's working dataset
+  is the raw dataset itself (no preset subsample, sampling rate 1.0 — which
+  is exactly the paper's FULL protocol), ``regression_task`` is a pure
+  function of ``(dataset, task, dims)``, so one normalized array pair
+  serves every repetition of every algorithm;
+* **moment blocks** — the quadratic sufficient statistics
+  (Gram/moment/objective coefficients) of a training split, keyed by the
+  split's identity, shared across all epsilons and across any plans that
+  aggregate the same split with the same objective.
 
 Kernel classification
 ---------------------
@@ -38,8 +71,9 @@ Each plan is tagged with the kernel class that can execute its cells:
 from __future__ import annotations
 
 import hashlib
+import weakref
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Iterator, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Iterator, Mapping, Sequence
 
 import numpy as np
 
@@ -60,9 +94,12 @@ __all__ = [
     "KERNEL_GENERIC",
     "algorithm_stream_key",
     "classify_kernel",
+    "PreparedDataCache",
     "PlannedFold",
     "CellPlan",
+    "TiledPlan",
     "plan_cells",
+    "plan_cells_tiled",
 ]
 
 KERNEL_QUADRATIC = "quadratic"
@@ -125,6 +162,98 @@ def classify_kernel(algorithm: str, task: Task, kwargs: Mapping) -> str:
     return KERNEL_GENERIC
 
 
+# ----------------------------------------------------------------------
+# Prepared-data reuse
+# ----------------------------------------------------------------------
+class PreparedDataCache:
+    """Shares prepared arrays and moment blocks across plans, bit-exactly.
+
+    Two independent caches live here:
+
+    * ``task_arrays`` — the normalized ``regression_task`` output, keyed by
+      ``(dataset identity, task, dims)``.  Only consulted when a
+      repetition's working dataset *is* the raw dataset (no preset
+      subsample, sampling rate 1.0), where preparation is a pure function
+      of the key; every repetition of every algorithm then shares one
+      array pair instead of each materializing its own copy.
+    * ``moment_blocks`` — per-training-split sufficient statistics (the
+      quadratic kernels' Gram/moment/objective blocks), keyed by the split
+      arrays' identity, a digest of the index vector, and an
+      objective/aggregation signature.  Values are cached through weak
+      references to the split arrays, so the cache never extends a tile's
+      lifetime — once a tile's arrays are dropped, its moment entries
+      become reclaimable too.
+
+    Sharing is safe for bit-identity because a hit returns the *identical*
+    values the miss path would compute: the cache changes how often the
+    arithmetic runs, never what it computes.
+    """
+
+    def __init__(self) -> None:
+        # id-keyed entries carry a weakref to their source object; the
+        # stored ref is checked against the live object so a recycled id
+        # can never serve stale data.
+        self._tasks: dict[tuple, tuple[weakref.ref, object]] = {}
+        self._moments: dict[tuple, tuple[weakref.ref, weakref.ref, object]] = {}
+
+    def task_arrays(self, dataset, task: Task, dims: int):
+        """The shared ``regression_task`` result for the identity case."""
+        key = (id(dataset), task, int(dims))
+        hit = self._tasks.get(key)
+        if hit is not None:
+            dataset_ref, prepared = hit
+            if dataset_ref() is dataset:
+                return prepared
+        prepared = dataset.regression_task(task, dims=dims)
+        self._tasks[key] = (weakref.ref(dataset), prepared)
+        return prepared
+
+    @staticmethod
+    def split_digest(train_idx: np.ndarray) -> bytes:
+        """A compact content key for one training-index vector."""
+        return hashlib.sha256(np.ascontiguousarray(train_idx).tobytes()).digest()
+
+    def moment_blocks(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        train_idx: np.ndarray,
+        signature: str,
+        build: Callable[[], object],
+    ):
+        """Build-or-reuse one training split's sufficient statistics.
+
+        ``signature`` names the aggregation (objective class + parameters);
+        ``build`` computes the blocks on a miss.  The returned object is
+        shared by reference — callers must treat it as read-only.
+        """
+        key = (id(X), id(y), self.split_digest(train_idx), signature)
+        hit = self._moments.get(key)
+        if hit is not None:
+            x_ref, y_ref, value = hit
+            if x_ref() is X and y_ref() is y:
+                return value
+        value = build()
+        self._moments[key] = (weakref.ref(X), weakref.ref(y), value)
+        if len(self._moments) % 256 == 0:
+            self._prune()
+        return value
+
+    def _prune(self) -> None:
+        """Drop moment entries whose arrays have been garbage collected.
+
+        Iterates over a snapshot and deletes with ``pop``: concurrent tile
+        threads may insert into the cache mid-prune, and iterating the live
+        dict would raise ``RuntimeError: dictionary changed size``.
+        """
+        for key, (x_ref, y_ref, _) in list(self._moments.items()):
+            if x_ref() is None or y_ref() is None:
+                self._moments.pop(key, None)
+
+
+# ----------------------------------------------------------------------
+# Plans
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class PlannedFold:
     """One (repetition, fold) training/evaluation split of a plan.
@@ -180,6 +309,8 @@ class CellPlan:
     algorithm_kwargs: Mapping
     folds: tuple[PlannedFold, ...]
     kernel: str = field(default=KERNEL_GENERIC)
+    stream_version: int = field(default=1)
+    cache: "PreparedDataCache | None" = field(default=None, repr=False, compare=False)
 
     @property
     def n_cells(self) -> int:
@@ -193,13 +324,86 @@ class CellPlan:
 
     def substream(self, fold: PlannedFold) -> np.random.Generator:
         """Derive the fold's noise generator (fresh on every call)."""
-        return derive_substream(self.seed, list(fold.stream_tag))
+        return derive_substream(
+            self.seed, list(fold.stream_tag), stream_version=self.stream_version
+        )
 
     def iter_cells(self) -> Iterator[tuple[PlannedFold, float]]:
         """Iterate cells fold-major (the canonical execution order)."""
         for fold in self.folds:
             for epsilon in self.epsilons:
                 yield fold, epsilon
+
+
+def _plan_one_rep(
+    algorithm_key: int,
+    dataset,
+    task: Task,
+    dims: int,
+    preset: "ScalePreset",
+    sampling_rate: float,
+    seed: int,
+    rep: int,
+    stream_version: int,
+    cache: PreparedDataCache | None,
+) -> tuple[list[PlannedFold], int]:
+    """Materialize one repetition's folds, replicating the loop's RNG order.
+
+    The repetition substream is consumed exactly as the per-cell harness
+    loop consumes it: the preset subsample draw, then the optional Table-2
+    sampling draw, then the fold permutation.  When neither draw fires the
+    working dataset *is* the raw dataset and the prepared arrays come from
+    the shared cache (identical values, one materialization).
+    """
+    rep_rng = derive_substream(
+        seed, [algorithm_key, rep], stream_version=stream_version
+    )
+    base_n = preset.cardinality(dataset.n)
+    working = dataset
+    identity = True
+    if base_n < dataset.n:
+        working = working.take(rep_rng.choice(dataset.n, size=base_n, replace=False))
+        identity = False
+    if sampling_rate < 1.0:
+        working = working.sample(sampling_rate, rng=rep_rng)
+        identity = False
+    if identity and cache is not None:
+        prepared = cache.task_arrays(dataset, task, dims)
+    else:
+        prepared = working.regression_task(task, dims=dims)
+    splitter = KFold(n_splits=preset.folds, rng=rep_rng)
+    folds = [
+        PlannedFold(
+            rep=rep,
+            fold=fold_id,
+            X=prepared.X,
+            y=prepared.y,
+            train_idx=train_idx,
+            test_idx=test_idx,
+            stream_tag=(algorithm_key, rep, fold_id),
+        )
+        for fold_id, (train_idx, test_idx) in enumerate(splitter.split(prepared.n))
+    ]
+    return folds, prepared.dim
+
+
+def _validated_protocol(
+    epsilons: Sequence[float],
+    sampling_rate: float,
+    preset: "ScalePreset | None",
+    algorithm_kwargs: Mapping | None,
+) -> tuple[tuple[float, ...], "ScalePreset", dict]:
+    """Shared input validation for both plan shapes."""
+    if preset is None:
+        from ..experiments.config import DEFAULT as preset_default
+
+        preset = preset_default
+    if not 0.0 < sampling_rate <= 1.0:
+        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
+    epsilon_values = tuple(float(e) for e in epsilons)
+    if not epsilon_values:
+        raise ExperimentError("epsilons must be non-empty")
+    return epsilon_values, preset, dict(algorithm_kwargs or {})
 
 
 def plan_cells(
@@ -212,8 +416,10 @@ def plan_cells(
     sampling_rate: float = 1.0,
     seed: int = 0,
     algorithm_kwargs: Mapping | None = None,
+    stream_version: int = 1,
+    prepared_cache: PreparedDataCache | None = None,
 ) -> CellPlan:
-    """Enumerate all protocol cells for one algorithm.
+    """Enumerate all protocol cells for one algorithm, eagerly.
 
     Replicates the per-cell harness loop's randomness plumbing exactly —
     repetition subsample draw, optional Table-2 sampling draw, then the
@@ -225,50 +431,29 @@ def plan_cells(
     repetition's subsample and folds across budgets (the one-pass layout of
     :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`), while a
     single-budget plan is exactly one harness sweep point.
+    ``stream_version`` selects the :func:`derive_substream` format (the
+    default, 1, is the historical derivation); ``prepared_cache`` opts into
+    cross-plan prepared-data reuse.
 
     Memory: the plan materializes every repetition's prepared arrays up
     front and keeps them alive for its lifetime — at the shipped presets
     (<= 2 repetitions) tens of MB; at the paper's FULL protocol (50
-    repetitions of 200k x 14) on the order of a GB.  A lazily
-    materializing plan for FULL-scale runs is a known follow-up
-    (ROADMAP).
+    repetitions of 200k x 14) on the order of a GB unless a shared cache
+    collapses the identity case.  :func:`plan_cells_tiled` bounds the
+    resident set instead.
     """
-    if preset is None:
-        from ..experiments.config import DEFAULT as preset_default
-
-        preset = preset_default
-    if not 0.0 < sampling_rate <= 1.0:
-        raise ExperimentError(f"sampling_rate must be in (0, 1], got {sampling_rate!r}")
-    epsilon_values = tuple(float(e) for e in epsilons)
-    if not epsilon_values:
-        raise ExperimentError("epsilons must be non-empty")
-    kwargs = dict(algorithm_kwargs or {})
+    epsilon_values, preset, kwargs = _validated_protocol(
+        epsilons, sampling_rate, preset, algorithm_kwargs
+    )
     key = algorithm_stream_key(algorithm)
-    base_n = preset.cardinality(dataset.n)
     folds: list[PlannedFold] = []
     dim = 0
     for rep in range(preset.repetitions):
-        rep_rng = derive_substream(seed, [key, rep])
-        working = dataset
-        if base_n < dataset.n:
-            working = working.take(rep_rng.choice(dataset.n, size=base_n, replace=False))
-        if sampling_rate < 1.0:
-            working = working.sample(sampling_rate, rng=rep_rng)
-        prepared = working.regression_task(task, dims=dims)
-        dim = prepared.dim
-        splitter = KFold(n_splits=preset.folds, rng=rep_rng)
-        for fold_id, (train_idx, test_idx) in enumerate(splitter.split(prepared.n)):
-            folds.append(
-                PlannedFold(
-                    rep=rep,
-                    fold=fold_id,
-                    X=prepared.X,
-                    y=prepared.y,
-                    train_idx=train_idx,
-                    test_idx=test_idx,
-                    stream_tag=(key, rep, fold_id),
-                )
-            )
+        rep_folds, dim = _plan_one_rep(
+            key, dataset, task, dims, preset, sampling_rate, seed, rep,
+            stream_version, prepared_cache,
+        )
+        folds.extend(rep_folds)
     return CellPlan(
         algorithm=algorithm,
         task=task,
@@ -281,4 +466,169 @@ def plan_cells(
         algorithm_kwargs=kwargs,
         folds=tuple(folds),
         kernel=classify_kernel(algorithm, task, kwargs),
+        stream_version=int(stream_version),
+        cache=prepared_cache,
+    )
+
+
+@dataclass
+class TiledPlan:
+    """A lazily materializing plan over bounded repetition tiles.
+
+    Tile ``t`` covers repetitions ``[t * tile_size, (t + 1) * tile_size)``
+    and materializes, on demand, a :class:`CellPlan` holding only those
+    repetitions' prepared arrays.  Executing tiles in index order and
+    concatenating their per-fold score lists reproduces the eager plan's
+    output exactly: repetition substreams are mutually independent
+    (``derive_substream`` is keyed, not sequential) and fold order within a
+    tile equals the eager plan's order for the same repetitions.
+
+    A shared :class:`PreparedDataCache` (created automatically when none is
+    passed) spans the tiles, so the identity case — the FULL protocol —
+    prepares its arrays once for all tiles and algorithms.
+
+    Instances are mutable only in their bookkeeping: ``tile`` records the
+    last materialized tile's ``dim`` and final-fold training size so the
+    runner can report them without keeping any tile alive.
+    """
+
+    algorithm: str
+    dataset: object
+    task: Task
+    dims: int
+    epsilons: tuple[float, ...]
+    preset: "ScalePreset"
+    sampling_rate: float
+    seed: int
+    algorithm_kwargs: Mapping
+    kernel: str
+    tile_size: int
+    stream_version: int = 1
+    cache: PreparedDataCache | None = None
+    _last_dim: int = field(default=0, repr=False)
+    _last_n_train: int = field(default=0, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.tile_size < 1:
+            raise ExperimentError(f"tile_size must be >= 1, got {self.tile_size}")
+        if self.cache is None:
+            self.cache = PreparedDataCache()
+
+    # ------------------------------------------------------------------
+    @property
+    def n_reps(self) -> int:
+        """Total repetitions of the protocol."""
+        return self.preset.repetitions
+
+    @property
+    def n_tiles(self) -> int:
+        """Number of tiles covering all repetitions."""
+        return -(-self.n_reps // self.tile_size)
+
+    @property
+    def n_cells(self) -> int:
+        """Total (rep, fold, epsilon) cells across all tiles."""
+        return self.n_reps * self.preset.folds * len(self.epsilons)
+
+    @property
+    def n_train(self) -> int:
+        """Training size of the last materialized tile's final fold."""
+        return self._last_n_train
+
+    @property
+    def dim(self) -> int:
+        """Feature dimension, known once any tile has materialized."""
+        return self._last_dim
+
+    def tile_reps(self, index: int) -> range:
+        """The repetition range of tile ``index``."""
+        if not 0 <= index < self.n_tiles:
+            raise ExperimentError(
+                f"tile index {index} out of range [0, {self.n_tiles})"
+            )
+        start = index * self.tile_size
+        return range(start, min(start + self.tile_size, self.n_reps))
+
+    def tile(self, index: int) -> CellPlan:
+        """Materialize tile ``index`` as a :class:`CellPlan`.
+
+        The returned plan's folds carry their *protocol* repetition
+        indices, so stream tags (and therefore every noise draw) are
+        independent of the tiling.
+        """
+        key = algorithm_stream_key(self.algorithm)
+        folds: list[PlannedFold] = []
+        dim = 0
+        for rep in self.tile_reps(index):
+            rep_folds, dim = _plan_one_rep(
+                key, self.dataset, self.task, self.dims, self.preset,
+                self.sampling_rate, self.seed, rep, self.stream_version,
+                self.cache,
+            )
+            folds.extend(rep_folds)
+        self._last_dim = dim
+        self._last_n_train = folds[-1].n_train if folds else 0
+        return CellPlan(
+            algorithm=self.algorithm,
+            task=self.task,
+            dims=int(self.dims),
+            dim=dim,
+            epsilons=self.epsilons,
+            preset=self.preset,
+            sampling_rate=self.sampling_rate,
+            seed=self.seed,
+            algorithm_kwargs=self.algorithm_kwargs,
+            folds=tuple(folds),
+            kernel=self.kernel,
+            stream_version=self.stream_version,
+            cache=self.cache,
+        )
+
+    def tiles(self) -> Iterator[CellPlan]:
+        """Materialize tiles one at a time, in index order."""
+        for index in range(self.n_tiles):
+            yield self.tile(index)
+
+
+def plan_cells_tiled(
+    algorithm: str,
+    dataset,
+    task: Task,
+    dims: int,
+    epsilons: Sequence[float],
+    preset: "ScalePreset | None" = None,
+    sampling_rate: float = 1.0,
+    seed: int = 0,
+    algorithm_kwargs: Mapping | None = None,
+    tile_size: int | None = None,
+    stream_version: int = 1,
+    prepared_cache: PreparedDataCache | None = None,
+) -> TiledPlan:
+    """Plan all protocol cells as a lazily materializing :class:`TiledPlan`.
+
+    ``tile_size`` bounds how many repetitions' prepared arrays are resident
+    at once (``None`` means all repetitions in one tile — the eager plan's
+    working set, with lazy construction).  Any tiling executes to bitwise
+    identical scores; the knob only trades peak memory against per-tile
+    dispatch overhead.
+    """
+    epsilon_values, preset, kwargs = _validated_protocol(
+        epsilons, sampling_rate, preset, algorithm_kwargs
+    )
+    if tile_size is None:
+        tile_size = preset.repetitions
+    return TiledPlan(
+        algorithm=algorithm,
+        dataset=dataset,
+        task=task,
+        dims=int(dims),
+        epsilons=epsilon_values,
+        preset=preset,
+        sampling_rate=float(sampling_rate),
+        seed=int(seed),
+        algorithm_kwargs=kwargs,
+        kernel=classify_kernel(algorithm, task, kwargs),
+        tile_size=int(tile_size),
+        stream_version=int(stream_version),
+        cache=prepared_cache,
     )

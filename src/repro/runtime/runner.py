@@ -1,6 +1,6 @@
-"""Execute a :class:`~repro.runtime.plan.CellPlan` — batched or per cell.
+"""Execute cell plans — batched, tiled, grouped, or per cell.
 
-Two execution modes over the same plan:
+Two execution modes over the same cells:
 
 ``"percell"``
     The reference oracle.  Every cell constructs its algorithm through the
@@ -18,6 +18,24 @@ Two execution modes over the same plan:
     held-out scoring excluded, matching the per-cell fit-only clock)
     instead of an individual fit time.
 
+Three plan shapes feed those modes:
+
+* a :class:`~repro.runtime.plan.CellPlan` runs through :func:`run_plan`
+  exactly as in the eager runtime;
+* a :class:`~repro.runtime.plan.TiledPlan` materializes bounded repetition
+  tiles on demand — each tile executes as its own stacked batch, and with a
+  thread/process executor whole tiles are dispatched in parallel (the
+  forked workers materialize their tiles from the copy-on-write-shared raw
+  dataset, so the parent never holds more than its own tile).  Tile results
+  reduce in tile order, which makes any tiling and any executor bitwise
+  identical to the untiled serial run;
+* :func:`run_plan_group` executes several algorithms' plans as one group:
+  plans share a :class:`~repro.runtime.plan.PreparedDataCache`, and the
+  quadratic-kernel plans' final closed-form solves are **merged into one
+  stacked LAPACK call across algorithms** — bit-safe because the ``solve``
+  gufunc factors each stacked matrix independently, so a cell's solution
+  does not depend on which other cells share its batch.
+
 Plans whose kernel class is ``generic`` (DPME, FP, ...) run per cell in
 either mode, optionally spread over a :mod:`~repro.runtime.executor`
 (serial / thread / process).
@@ -27,7 +45,8 @@ from __future__ import annotations
 
 import math
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Sequence
 
 import numpy as np
 
@@ -42,17 +61,22 @@ from ..regression.linear import _validate_xy as _validate_linear_xy
 from ..regression.logistic import _validate_xy as _validate_logistic_xy
 from ..regression.logistic import sigmoid
 from ..regression.metrics import mean_squared_error, misclassification_rate
-from .executor import CellExecutor, get_executor
+from .executor import CellExecutor, SerialExecutor, get_executor
 from .kernels import (
     fm_noise_stack,
     newton_logistic_stack,
-    normal_equations_solve_stack,
-    posdef_or_pinv_solve_stack,
-    spectral_solve_stack,
+    posdef_split_stack,
+    spectral_trim_stack,
 )
-from .plan import KERNEL_GENERIC, KERNEL_NEWTON, KERNEL_QUADRATIC, CellPlan
+from .plan import (
+    KERNEL_GENERIC,
+    KERNEL_NEWTON,
+    KERNEL_QUADRATIC,
+    CellPlan,
+    TiledPlan,
+)
 
-__all__ = ["PlanResult", "run_plan"]
+__all__ = ["PlanResult", "run_plan", "run_plan_group"]
 
 #: Upper bound on the bytes a single stacked Newton chunk may hold; chunking
 #: only bounds memory — it cannot change any cell's arithmetic.
@@ -64,19 +88,21 @@ class PlanResult:
     """Per-cell scores and fit times of one plan execution.
 
     ``scores[epsilon]`` and ``fit_seconds[epsilon]`` list the plan's folds
-    in order; aggregation into the harness's ``EvaluationResult`` happens in
-    :mod:`repro.experiments.harness` (which owns that type).
+    in order (for a tiled plan: protocol repetition order — tile reduction
+    preserves it); aggregation into the harness's ``EvaluationResult``
+    happens in :mod:`repro.experiments.harness` (which owns that type).
     """
 
-    plan: CellPlan
+    plan: "CellPlan | TiledPlan"
     mode: str
     scores: dict[float, list[float]]
     fit_seconds: dict[float, list[float]]
+    last_n_train: int = field(default=-1)
 
     @property
     def n_train(self) -> int:
         """Training size of the last fold (the harness's reported value)."""
-        return self.plan.n_train
+        return self.last_n_train if self.last_n_train >= 0 else self.plan.n_train
 
 
 def _validate_plan_inputs(plan: CellPlan, validate) -> None:
@@ -86,7 +112,8 @@ def _validate_plan_inputs(plan: CellPlan, validate) -> None:
     k-fold splitting puts every row into some training split, so validating
     the repetition's full ``(X, y)`` accepts/rejects exactly the datasets
     the per-cell gate would — at one O(n d) pass per repetition instead of
-    one per cell.
+    one per cell.  (With a shared prepared-data cache, repetitions sharing
+    one array validate once total — still the same accept/reject.)
     """
     seen: set[int] = set()
     for fold in plan.folds:
@@ -106,6 +133,47 @@ def _objective_for_plan(plan: CellPlan) -> RegressionObjective:
         approximation=kwargs.get("approximation", "taylor"),
         order=int(kwargs.get("order", 2)),
         radius=float(kwargs.get("radius", 1.0)),
+    )
+
+
+def _moment_signature(plan: CellPlan, kind: str) -> str:
+    """Cache key naming one plan's fold-level aggregation."""
+    if kind == "ols":
+        return f"ols:{plan.dim}"
+    if plan.task == "linear":
+        return f"quad:linear:{plan.dim}"
+    kwargs = plan.algorithm_kwargs
+    return (
+        f"quad:logistic:{kwargs.get('approximation', 'taylor')}:"
+        f"{int(kwargs.get('order', 2))}:{float(kwargs.get('radius', 1.0))}:{plan.dim}"
+    )
+
+
+def _fold_quadratic_form(plan: CellPlan, objective: RegressionObjective, fold):
+    """One fold's degree-2 aggregation, shared through the plan's cache."""
+
+    def build():
+        X_train, y_train = fold.train_arrays()
+        return objective.aggregate_quadratic(X_train, y_train)
+
+    if plan.cache is None:
+        return build()
+    return plan.cache.moment_blocks(
+        fold.X, fold.y, fold.train_idx, _moment_signature(plan, "quad"), build
+    )
+
+
+def _fold_gram_moment(plan: CellPlan, fold) -> tuple[np.ndarray, np.ndarray]:
+    """One fold's OLS normal-equations blocks, shared through the cache."""
+
+    def build():
+        design, target = fold.train_arrays()
+        return design.T @ design, design.T @ target
+
+    if plan.cache is None:
+        return build()
+    return plan.cache.moment_blocks(
+        fold.X, fold.y, fold.train_idx, _moment_signature(plan, "ols"), build
     )
 
 
@@ -179,17 +247,40 @@ def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
 
 
 # ----------------------------------------------------------------------
-# Batched kernels
+# Quadratic kernels as mergeable solve requests
 # ----------------------------------------------------------------------
-def _run_fm_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
-    """All FM cells of the plan as one stacked perturb-repair-solve.
+#: (algorithm, kernel) -> quadratic request kind.
+_QUAD_KINDS = {
+    ("fm", KERNEL_QUADRATIC): "fm",
+    ("noprivacy", KERNEL_QUADRATIC): "ols",
+    ("truncated", KERNEL_QUADRATIC): "truncated",
+}
 
-    Returns the per-epsilon scores and the fit wall-time (aggregation +
-    noise mapping + stacked repair/solve, *excluding* held-out scoring, to
-    keep the timing metric comparable with the per-cell path's
-    fit-only clock).
+
+@dataclass
+class _QuadRequest:
+    """One plan's quadratic cells, reduced to pending ``solve(A, b)`` rows.
+
+    ``omega`` is the plan's full output buffer; cells resolved outside the
+    closed-form solve (spectral-trimmed subspace preimages, pseudo-inverse
+    fallbacks) are already written.  Rows listed in ``pending`` await
+    ``np.linalg.solve(A, b)`` — either per plan or merged with other
+    requests of the same dimension into one stacked LAPACK call, which is
+    bitwise equivalent because the gufunc factors each matrix on its own.
     """
-    started = time.perf_counter()
+
+    plan: CellPlan
+    kind: str
+    omega: np.ndarray
+    pending: np.ndarray
+    A: np.ndarray
+    b: np.ndarray
+    prep_seconds: float = 0.0
+    solve_seconds: float = 0.0
+
+
+def _prepare_fm(plan: CellPlan) -> _QuadRequest:
+    """All FM cells of one plan as a stacked perturb-repair request."""
     objective = _objective_for_plan(plan)
     sensitivity = objective.sensitivity(
         tight=bool(plan.algorithm_kwargs.get("tight_sensitivity", False))
@@ -209,8 +300,7 @@ def _run_fm_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
     # the per-cell path is unaffected).
     _validate_plan_inputs(plan, objective.validate)
     for f, fold in enumerate(plan.folds):
-        X_train, y_train = fold.train_arrays()
-        form = objective.aggregate_quadratic(X_train, y_train)
+        form = _fold_quadratic_form(plan, objective, fold)
         raw = plan.substream(fold).laplace(0.0, 1.0, size=(E, 1 + d + d * d))
         noisy_M, noisy_alpha = fm_noise_stack(form.M, form.alpha, raw, scales)
         if ridge_lambda:
@@ -218,47 +308,38 @@ def _run_fm_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
         M_stack[f * E : (f + 1) * E] = noisy_M
         alpha_stack[f * E : (f + 1) * E] = noisy_alpha
         noise_std[f * E : (f + 1) * E] = math.sqrt(2.0) * scales
-    solved = spectral_solve_stack(
-        M_stack, alpha_stack, noise_std, compute_repaired=False
+    state = spectral_trim_stack(M_stack, alpha_stack, noise_std, compute_repaired=False)
+    return _QuadRequest(
+        plan=plan,
+        kind="fm",
+        omega=state.omega,
+        pending=np.flatnonzero(state.full),
+        A=2.0 * state.regularized[state.full],
+        b=-alpha_stack[state.full],
     )
-    fit_seconds = time.perf_counter() - started
-    scores = {e: [] for e in plan.epsilons}
-    for f, fold in enumerate(plan.folds):
-        X_test, y_test = fold.test_arrays()
-        fold_scores = _scores_for_fold(
-            plan, X_test, y_test, solved.omega[f * E : (f + 1) * E]
-        )
-        for e, s in zip(plan.epsilons, fold_scores):
-            scores[e].append(s)
-    return scores, fit_seconds
 
 
-def _run_ols_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
-    """All NoPrivacy-linear cells as one stacked normal-equations solve."""
-    started = time.perf_counter()
+def _prepare_ols(plan: CellPlan) -> _QuadRequest:
+    """All NoPrivacy-linear cells as a stacked normal-equations request."""
     d = plan.dim
     F = len(plan.folds)
     gram = np.empty((F, d, d))
     moment = np.empty((F, d))
     _validate_plan_inputs(plan, _validate_linear_xy)  # the per-cell input gate
     for f, fold in enumerate(plan.folds):
-        design, target = fold.train_arrays()
-        gram[f] = design.T @ design
-        moment[f] = design.T @ target
-
-    def lstsq_fallback(f: int) -> np.ndarray:
-        design, target = plan.folds[f].train_arrays()
-        weights, *_ = np.linalg.lstsq(design, target, rcond=None)
-        return weights
-
-    coefs = normal_equations_solve_stack(gram, moment, lstsq_fallback)
-    fit_seconds = time.perf_counter() - started
-    return _replicated_scores(plan, coefs), fit_seconds
+        gram[f], moment[f] = _fold_gram_moment(plan, fold)
+    return _QuadRequest(
+        plan=plan,
+        kind="ols",
+        omega=np.empty((F, d)),
+        pending=np.arange(F),
+        A=gram,
+        b=moment,
+    )
 
 
-def _run_truncated_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
-    """All Truncated cells as one stacked closed-form solve."""
-    started = time.perf_counter()
+def _prepare_truncated(plan: CellPlan) -> _QuadRequest:
+    """All Truncated cells as a stacked closed-form request."""
     objective = _objective_for_plan(plan)
     d = plan.dim
     F = len(plan.folds)
@@ -266,15 +347,153 @@ def _run_truncated_batched(plan: CellPlan) -> tuple[dict[float, list[float]], fl
     alpha_stack = np.empty((F, d))
     _validate_plan_inputs(plan, objective.validate)  # Truncated.fit's gate
     for f, fold in enumerate(plan.folds):
-        X_train, y_train = fold.train_arrays()
-        form = objective.aggregate_quadratic(X_train, y_train)
+        form = _fold_quadratic_form(plan, objective, fold)
         M_stack[f] = form.M
         alpha_stack[f] = form.alpha
-    coefs = posdef_or_pinv_solve_stack(M_stack, alpha_stack)
-    fit_seconds = time.perf_counter() - started
-    return _replicated_scores(plan, coefs), fit_seconds
+    omega, posdef = posdef_split_stack(M_stack, alpha_stack)
+    return _QuadRequest(
+        plan=plan,
+        kind="truncated",
+        omega=omega,
+        pending=np.flatnonzero(posdef),
+        A=2.0 * M_stack[posdef],
+        b=-alpha_stack[posdef],
+    )
 
 
+_QUAD_PREPARERS = {"fm": _prepare_fm, "ols": _prepare_ols, "truncated": _prepare_truncated}
+
+
+def _ols_lstsq(plan: CellPlan, f: int) -> np.ndarray:
+    """The reference path's singular-Gram fallback for one OLS fold."""
+    design, target = plan.folds[f].train_arrays()
+    weights, *_ = np.linalg.lstsq(design, target, rcond=None)
+    return weights
+
+
+def _apply_ols_fallback(request: _QuadRequest) -> None:
+    """Replace non-finite OLS solutions by the per-fold lstsq fallback."""
+    failed = ~np.all(np.isfinite(request.omega), axis=1)
+    for f in np.flatnonzero(failed):
+        request.omega[f] = _ols_lstsq(request.plan, f)
+
+
+def _solve_request_alone(request: _QuadRequest) -> None:
+    """One request's pending solve with its kind's own failure semantics."""
+    if request.pending.size == 0:
+        return
+    if request.kind == "ols":
+        # Replicates the reference OLS behaviour: try the whole stack, and
+        # on a singular cell retry cell by cell (bitwise identical for the
+        # non-singular cells either way), lstsq fallback afterwards.
+        F = request.pending.size
+        try:
+            request.omega[:] = np.linalg.solve(request.A, request.b[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            for i in range(F):
+                try:
+                    request.omega[i] = np.linalg.solve(request.A[i], request.b[i])
+                except np.linalg.LinAlgError:
+                    request.omega[i] = np.nan
+        _apply_ols_fallback(request)
+        return
+    # fm / truncated pending cells are positive definite by construction
+    # (eigenvalue-checked), so a LinAlgError here propagates exactly as the
+    # per-plan stacked kernels would propagate it.
+    request.omega[request.pending] = np.linalg.solve(
+        request.A, request.b[..., None]
+    )[..., 0]
+
+
+def _solve_requests(requests: Sequence[_QuadRequest]) -> None:
+    """Solve all requests' pending systems, merged per dimension.
+
+    Requests sharing a feature dimension concatenate their ``(A, b)``
+    stacks into **one** ``np.linalg.solve`` call — one LAPACK invocation
+    for the whole algorithm panel.  If any cell in a merged stack is
+    singular the gufunc raises without saying which, so the group falls
+    back to per-request solves, each with its own reference semantics
+    (non-singular requests are bitwise unaffected by the retry).
+    """
+    by_dim: dict[int, list[_QuadRequest]] = {}
+    for request in requests:
+        if request.pending.size:
+            by_dim.setdefault(request.omega.shape[1], []).append(request)
+    for group in by_dim.values():
+        started = time.perf_counter()
+        if len(group) == 1:
+            _solve_request_alone(group[0])
+            group[0].solve_seconds = time.perf_counter() - started
+            continue
+        A = np.concatenate([r.A for r in group])
+        b = np.concatenate([r.b for r in group])
+        try:
+            solved = np.linalg.solve(A, b[..., None])[..., 0]
+        except np.linalg.LinAlgError:
+            for request in group:
+                request.solve_seconds = 0.0
+                solo_start = time.perf_counter()
+                _solve_request_alone(request)
+                request.solve_seconds = time.perf_counter() - solo_start
+            continue
+        offset = 0
+        merged_seconds = time.perf_counter() - started
+        total = sum(r.pending.size for r in group)
+        for request in group:
+            request.omega[request.pending] = solved[
+                offset : offset + request.pending.size
+            ]
+            offset += request.pending.size
+            if request.kind == "ols":
+                _apply_ols_fallback(request)
+            # Attribute the merged call proportionally to contributed rows.
+            request.solve_seconds = merged_seconds * request.pending.size / total
+
+
+def _finalize_quadratic(request: _QuadRequest) -> dict[float, list[float]]:
+    """Held-out scoring of one solved request (excluded from fit timing)."""
+    plan = request.plan
+    if request.kind != "fm":
+        return _replicated_scores(plan, request.omega)
+    E = len(plan.epsilons)
+    scores = {e: [] for e in plan.epsilons}
+    for f, fold in enumerate(plan.folds):
+        X_test, y_test = fold.test_arrays()
+        fold_scores = _scores_for_fold(
+            plan, X_test, y_test, request.omega[f * E : (f + 1) * E]
+        )
+        for e, s in zip(plan.epsilons, fold_scores):
+            scores[e].append(s)
+    return scores
+
+
+def _run_quadratic_plans(plans: Sequence[CellPlan]) -> list[PlanResult]:
+    """Execute several quadratic-kernel plans with one merged solve pass."""
+    requests: list[_QuadRequest] = []
+    for plan in plans:
+        started = time.perf_counter()
+        request = _QUAD_PREPARERS[_QUAD_KINDS[(plan.algorithm.lower(), plan.kernel)]](plan)
+        request.prep_seconds = time.perf_counter() - started
+        requests.append(request)
+    _solve_requests(requests)
+    results = []
+    for request in requests:
+        plan = request.plan
+        scores = _finalize_quadratic(request)
+        # Attribute an equal share of the plan's kernel time (aggregation +
+        # noise + its share of the merged solve; scoring excluded, matching
+        # the per-cell path's fit-only clock) to every cell.
+        share = (request.prep_seconds + request.solve_seconds) / max(1, plan.n_cells)
+        fit_seconds = {e: [share] * len(plan.folds) for e in plan.epsilons}
+        results.append(
+            PlanResult(plan=plan, mode="batched", scores=scores, fit_seconds=fit_seconds)
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+# Masked batched Newton
+# ----------------------------------------------------------------------
 def _run_newton_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float]:
     """All NoPrivacy-logistic cells through the masked batched Newton.
 
@@ -327,16 +546,26 @@ def _replicated_scores(plan: CellPlan, coefs: np.ndarray) -> dict[float, list[fl
     return scores
 
 
-_BATCHED_KERNELS = {
-    ("fm", KERNEL_QUADRATIC): _run_fm_batched,
-    ("noprivacy", KERNEL_QUADRATIC): _run_ols_batched,
-    ("truncated", KERNEL_QUADRATIC): _run_truncated_batched,
-    ("noprivacy", KERNEL_NEWTON): _run_newton_batched,
-}
+# ----------------------------------------------------------------------
+# Entry points
+# ----------------------------------------------------------------------
+def _run_batched_single(plan: CellPlan, executor: CellExecutor) -> PlanResult:
+    """Batched-mode dispatch for one eager plan."""
+    key = (plan.algorithm.lower(), plan.kernel)
+    if key in _QUAD_KINDS:
+        return _run_quadratic_plans([plan])[0]
+    if plan.kernel == KERNEL_NEWTON and key == ("noprivacy", KERNEL_NEWTON):
+        scores, kernel_fit_seconds = _run_newton_batched(plan)
+        share = kernel_fit_seconds / max(1, plan.n_cells)
+        fit_seconds = {e: [share] * len(plan.folds) for e in plan.epsilons}
+        return PlanResult(
+            plan=plan, mode="batched", scores=scores, fit_seconds=fit_seconds
+        )
+    return _run_percell(plan, executor)
 
 
 def run_plan(
-    plan: CellPlan,
+    plan: CellPlan | TiledPlan,
     mode: str = "batched",
     executor: str | CellExecutor = "serial",
 ) -> PlanResult:
@@ -345,28 +574,143 @@ def run_plan(
     Parameters
     ----------
     plan:
-        The enumerated cells.
+        The enumerated cells — an eager :class:`CellPlan` or a lazily
+        materializing :class:`TiledPlan` (whose tiles are executed in
+        index order, or dispatched whole across a thread/process executor;
+        results are bitwise identical either way).
     mode:
         ``"batched"`` routes supported kernels through the stacked tensor
         path (generic plans still run per cell on the executor);
         ``"percell"`` forces the reference oracle for every cell.
     executor:
-        Where per-cell work runs — ``"serial"``, ``"thread"``, ``"process"``
+        Where parallel work runs — ``"serial"``, ``"thread"``, ``"process"``
         or a constructed :class:`~repro.runtime.executor.CellExecutor`.
-        Ignored by the batched kernels themselves (their parallelism lives
-        inside BLAS/LAPACK).
+        For an eager plan this spreads per-cell work (non-batchable
+        baselines, or everything under ``"percell"``); for a tiled plan
+        with more than one tile it dispatches whole tiles.
     """
+    if isinstance(plan, TiledPlan):
+        return run_plan_group([plan], mode=mode, executor=executor)[0]
     resolved = get_executor(executor)
     if mode == "percell":
         return _run_percell(plan, resolved)
     if mode != "batched":
         raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
-    kernel = _BATCHED_KERNELS.get((plan.algorithm.lower(), plan.kernel))
-    if kernel is None or plan.kernel == KERNEL_GENERIC:
-        return _run_percell(plan, resolved)
-    scores, kernel_fit_seconds = kernel(plan)
-    # Attribute an equal share of the kernel's fit time (scoring excluded,
-    # matching the per-cell path's fit-only clock) to every cell.
-    share = kernel_fit_seconds / max(1, plan.n_cells)
-    fit_seconds = {e: [share] * len(plan.folds) for e in plan.epsilons}
-    return PlanResult(plan=plan, mode="batched", scores=scores, fit_seconds=fit_seconds)
+    return _run_batched_single(plan, resolved)
+
+
+def run_plan_group(
+    plans: Sequence[CellPlan | TiledPlan],
+    mode: str = "batched",
+    executor: str | CellExecutor = "serial",
+) -> list[PlanResult]:
+    """Execute several algorithms' plans as one group, results in order.
+
+    Grouping buys two things over looping :func:`run_plan`:
+
+    * plans constructed over one shared
+      :class:`~repro.runtime.plan.PreparedDataCache` reuse prepared arrays
+      and fold-level moment blocks wherever their splits coincide, and
+    * all quadratic-kernel plans' pending closed-form solves merge into one
+      stacked LAPACK call per feature dimension (see
+      :func:`_solve_requests`) — bitwise identical to solving each plan
+      alone.
+
+    Tiled plans must share their tiling (same repetitions and
+    ``tile_size``); tile ``t`` of every plan executes together, and with a
+    thread/process executor whole tiles run in parallel while results
+    reduce in tile order, keeping output independent of scheduling.
+    """
+    plans = list(plans)
+    if not plans:
+        return []
+    if mode not in ("batched", "percell"):
+        raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
+    resolved = get_executor(executor)
+    if all(isinstance(p, CellPlan) for p in plans):
+        return _run_group_eager(plans, mode, resolved)
+    if all(isinstance(p, TiledPlan) for p in plans):
+        return _run_group_tiled(plans, mode, resolved)
+    raise ExperimentError("cannot mix eager CellPlans and TiledPlans in one group")
+
+
+def _run_group_eager(
+    plans: list[CellPlan], mode: str, executor: CellExecutor
+) -> list[PlanResult]:
+    """Group execution over fully materialized plans."""
+    if mode == "percell":
+        return [_run_percell(plan, executor) for plan in plans]
+    if mode != "batched":
+        raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
+    results: list[PlanResult | None] = [None] * len(plans)
+    quad_indices = [
+        i
+        for i, plan in enumerate(plans)
+        if (plan.algorithm.lower(), plan.kernel) in _QUAD_KINDS
+    ]
+    if quad_indices:
+        merged = _run_quadratic_plans([plans[i] for i in quad_indices])
+        for i, outcome in zip(quad_indices, merged):
+            results[i] = outcome
+    for i, plan in enumerate(plans):
+        if results[i] is None:
+            results[i] = _run_batched_single(plan, executor)
+    return results  # type: ignore[return-value]
+
+
+def _run_group_tiled(
+    tiled: list[TiledPlan], mode: str, executor: CellExecutor
+) -> list[PlanResult]:
+    """Tile-by-tile group execution with deterministic tile-ordered reduction.
+
+    Each tile materializes every plan's repetitions for that tile, executes
+    them as an eager group (merged solves included) and returns only the
+    lightweight score/time lists — the prepared arrays never leave the
+    tile's scope (or, under the process executor, the forked worker).  With
+    more than one tile, whole tiles dispatch across the executor: workers
+    materialize their tiles from the copy-on-write-shared raw dataset, so
+    peak resident memory is ``min(n_tiles, workers)`` tiles rather than the
+    whole protocol.  With a single tile, the executor instead spreads
+    per-cell work inside the tile, preserving the eager path's cell-level
+    parallelism.
+    """
+    boundaries = {(plan.n_reps, plan.tile_size) for plan in tiled}
+    if len(boundaries) > 1:
+        raise ExperimentError(
+            f"grouped tiled plans must share their tiling, got {sorted(boundaries)}"
+        )
+    n_tiles = tiled[0].n_tiles
+    inner = executor if n_tiles == 1 else SerialExecutor()
+
+    def tile_work(index: int) -> list[tuple[dict, dict, int]]:
+        tile_plans = [plan.tile(index) for plan in tiled]
+        tile_results = _run_group_eager(tile_plans, mode, inner)
+        return [
+            (outcome.scores, outcome.fit_seconds, tile_plan.n_train)
+            for outcome, tile_plan in zip(tile_results, tile_plans)
+        ]
+
+    tile_outcomes = executor.map(tile_work, list(range(n_tiles)))
+    scores: list[dict[float, list[float]]] = [
+        {e: [] for e in plan.epsilons} for plan in tiled
+    ]
+    fit_seconds: list[dict[float, list[float]]] = [
+        {e: [] for e in plan.epsilons} for plan in tiled
+    ]
+    last_n_train = [0] * len(tiled)
+    for tile_outcome in tile_outcomes:  # executor.map preserves tile order
+        for j, (tile_scores, tile_times, n_train) in enumerate(tile_outcome):
+            for e in tiled[j].epsilons:
+                scores[j][e].extend(tile_scores[e])
+                fit_seconds[j][e].extend(tile_times[e])
+            last_n_train[j] = n_train
+    return [
+        PlanResult(
+            plan=plan,
+            mode=mode,
+            scores=scores[j],
+            fit_seconds=fit_seconds[j],
+            last_n_train=last_n_train[j],
+        )
+        for j, plan in enumerate(tiled)
+    ]

@@ -129,3 +129,67 @@ class TestSubstreamIndependence:
         a = derive_substream(0, [key, 0, 0]).integers(0, 2**63)
         b = derive_substream(1, [key, 0, 0]).integers(0, 2**63)
         assert a != b
+
+
+class TestStreamVersions:
+    """Both derivation formats are pinned; version 2 kills the alias.
+
+    Version 1 is the historical derivation behind every published stream;
+    version 2 appends a length/domain-separator word so trailing-zero tags
+    stop aliasing.  Each version's streams must never move — the pins below
+    fail loudly if either derivation changes.
+    """
+
+    def test_version1_is_the_default_and_unchanged(self):
+        key = algorithm_stream_key("FM")
+        default = derive_substream(0, [key, 3]).integers(0, 2**63)
+        explicit = derive_substream(0, [key, 3], stream_version=1).integers(0, 2**63)
+        assert default == explicit
+
+    def test_version2_breaks_the_fold0_alias(self):
+        """The quirk version 2 exists to fix: rep stream != fold-0 stream."""
+        key = algorithm_stream_key("FM")
+        a = derive_substream(0, [key, 3], stream_version=2).integers(0, 2**63)
+        b = derive_substream(0, [key, 3, 0], stream_version=2).integers(0, 2**63)
+        assert a != b
+
+    def test_version2_no_collisions_across_cells(self):
+        """Version 2 keeps the cross-cell independence version 1 had."""
+        draws = {}
+        for name in ALGORITHMS:
+            key = algorithm_stream_key(name)
+            for rep in range(FULL.repetitions):
+                for fold in range(FULL.folds):
+                    gen = derive_substream(0, [key, rep, fold], stream_version=2)
+                    value = int(gen.integers(0, 2**63))
+                    assert value not in draws, (name, rep, fold)
+                    draws[value] = (name, rep, fold)
+        # ... and adds the rep-stream disjointness version 1 lacked at fold 0.
+        for name in ALGORITHMS:
+            key = algorithm_stream_key(name)
+            for rep in range(FULL.repetitions):
+                gen = derive_substream(0, [key, rep], stream_version=2)
+                assert int(gen.integers(0, 2**63)) not in draws, (name, rep)
+
+    def test_both_versions_pinned(self):
+        """First draws of both derivations MUST NOT change.
+
+        A version-1 drift silently reshuffles every published stream; a
+        version-2 drift reshuffles anything opted into the fix.  Either
+        must be an explicit new stream_version, not an edit.
+        """
+        v1 = derive_substream(0, [1, 2], stream_version=1).integers(0, 2**63)
+        v2 = derive_substream(0, [1, 2], stream_version=2).integers(0, 2**63)
+        assert v1 == 8132279761646769457
+        assert v2 == 4791994034454347323
+
+    def test_versions_are_reproducible_and_distinct(self):
+        a = derive_substream(7, [5, 6], stream_version=2).laplace(0.0, 1.0, size=4)
+        b = derive_substream(7, [5, 6], stream_version=2).laplace(0.0, 1.0, size=4)
+        np.testing.assert_array_equal(a, b)
+        c = derive_substream(7, [5, 6], stream_version=1).laplace(0.0, 1.0, size=4)
+        assert not np.array_equal(a, c)
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(ValueError):
+            derive_substream(0, [1], stream_version=3)
