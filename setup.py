@@ -16,6 +16,9 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
+    # The committed golden-oracle digest store ships with the package so
+    # `python -m repro verify --tier 3` works from an installed wheel.
+    package_data={"repro.verify": ["golden_digests.json"]},
     python_requires=">=3.10",
     install_requires=["numpy>=1.22"],
 )

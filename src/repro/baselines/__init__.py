@@ -18,7 +18,9 @@ ObjectivePerturbation   yes   Chaudhuri et al., JMLR 2011 (comparator)
 from .base import (
     BaselineRegressor,
     Task,
+    algorithm_is_private,
     algorithm_names,
+    canonical_algorithm_name,
     make_algorithm,
     register_algorithm,
 )
@@ -39,7 +41,9 @@ from .truncated import Truncated
 __all__ = [
     "BaselineRegressor",
     "Task",
+    "algorithm_is_private",
     "algorithm_names",
+    "canonical_algorithm_name",
     "make_algorithm",
     "register_algorithm",
     "DPME",

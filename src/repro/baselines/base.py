@@ -20,7 +20,15 @@ from ..exceptions import ExperimentError, NotFittedError
 from ..privacy.rng import RngLike
 from ..regression.metrics import mean_squared_error, misclassification_rate
 
-__all__ = ["Task", "BaselineRegressor", "register_algorithm", "make_algorithm", "algorithm_names"]
+__all__ = [
+    "Task",
+    "BaselineRegressor",
+    "register_algorithm",
+    "make_algorithm",
+    "algorithm_names",
+    "algorithm_is_private",
+    "canonical_algorithm_name",
+]
 
 Task = Literal["linear", "logistic"]
 
@@ -85,6 +93,15 @@ def register_algorithm(name: str):
     return decorator
 
 
+def _lookup(name: str) -> type:
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
+        ) from None
+
+
 def make_algorithm(
     name: str,
     task: Task,
@@ -99,12 +116,7 @@ def make_algorithm(
     sweeps epsilon uniformly and the paper's Figures 6 show NoPrivacy as a
     flat line).
     """
-    try:
-        cls = _REGISTRY[name.lower()]
-    except KeyError:
-        raise ExperimentError(
-            f"unknown algorithm {name!r}; registered: {sorted(_REGISTRY)}"
-        ) from None
+    cls = _lookup(name)
     if cls.is_private:
         if epsilon is None:
             raise ExperimentError(f"algorithm {name!r} is private and requires epsilon")
@@ -115,3 +127,17 @@ def make_algorithm(
 def algorithm_names() -> list[str]:
     """Registered algorithm names (lower-case keys)."""
     return sorted(_REGISTRY)
+
+
+def algorithm_is_private(name: str) -> bool:
+    """Whether a registered algorithm claims epsilon-differential privacy.
+
+    Used by the conformance auditor (:mod:`repro.verify.conformance`) to
+    enumerate which registry entries carry a guarantee worth auditing.
+    """
+    return bool(_lookup(name).is_private)
+
+
+def canonical_algorithm_name(name: str) -> str:
+    """The display-cased registry name (e.g. ``"fm" -> "FM"``)."""
+    return _lookup(name).name

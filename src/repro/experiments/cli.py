@@ -10,6 +10,9 @@ Usage (installed package)::
     python -m repro convergence --task linear
     python -m repro table2
     python -m repro engine --task linear --epsilons 0.1,1,10 --shards 4
+    python -m repro verify --tier 1
+    python -m repro verify --tier 2 --epsilon 1.0
+    python -m repro verify --tier 3 --regen-golden
 
 Accuracy figures print the paper-style sweep table; timing figures print the
 per-algorithm fit times; ``figure2``/``figure3`` print the worked examples.
@@ -30,6 +33,13 @@ non-batchable baseline cells, and whole batched tiles under tiling).
 repetitions' prepared arrays at a time, and ``--stream-version 2`` opts
 into the alias-free substream derivation — both leave scores bitwise
 unchanged except that stream version 2 deliberately reshuffles all noise.
+
+``verify`` runs the :mod:`repro.verify` conformance subsystem: ``--tier 1``
+is the fast gate (sensitivity certificates, auditor teeth, golden-store
+sanity), ``--tier 2`` statistically audits FM and every privacy-claiming
+baseline with certified lower bounds on the measured privacy loss, and
+``--tier 3`` checks the golden-oracle digest matrix across every runtime/
+executor/tiling/stream-version combination.
 """
 
 from __future__ import annotations
@@ -46,6 +56,7 @@ from ..analysis.convergence import convergence_study
 from ..data import load_brazil, load_us
 from ..engine import AccumulatorCache, EpsilonSweepEngine, ShardedAccumulator
 from ..privacy.rng import derive_substream
+from ..verify.cli import add_verify_arguments, run_verify
 from .config import DEFAULT, DEFAULT_DIMENSIONALITY, FULL, SMOKE, ScalePreset
 from .harness import objective_for, score_from_scores
 from .figures import (
@@ -177,6 +188,12 @@ def build_parser() -> argparse.ArgumentParser:
         "pass when the same dataset/objective was accumulated before)",
     )
 
+    verify = sub.add_parser(
+        "verify",
+        help="tiered DP-conformance and golden-oracle verification",
+    )
+    add_verify_arguments(verify)
+
     return parser
 
 
@@ -279,6 +296,9 @@ def main(argv: Sequence[str] | None = None) -> int:
 
     if args.command == "engine":
         return _run_engine(args)
+
+    if args.command == "verify":
+        return run_verify(args)
 
     if args.command == "table2":
         print(_run_table2())

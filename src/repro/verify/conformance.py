@@ -1,0 +1,537 @@
+"""Registry-driven mechanism conformance auditing.
+
+:mod:`repro.privacy.audit` measures the privacy loss of one hand-wired
+mechanism; this module generalizes it into a harness that audits *every*
+privacy-claiming algorithm in the baselines registry through one uniform
+pipeline:
+
+1. a :class:`MechanismSpec` names the mechanism, how to build its black-box
+   release callable at a given ``(task, epsilon)``, and how many trials a
+   meaningful audit needs (per-fit cost varies by orders of magnitude
+   between FM and the histogram baselines);
+2. the release is run ``trials`` times on each side of a validated
+   :class:`~repro.verify.neighbors.NeighborPair`;
+3. the outputs are compared over one-sided threshold events, producing both
+   the plug-in ``epsilon_hat`` of :func:`~repro.privacy.audit.
+   estimate_privacy_loss` *and* a sample-split, simultaneous
+   Clopper–Pearson confidence **lower bound** on the true loss (events
+   chosen on one half of the trials, counts certified on the held-out
+   half, Bonferroni across the chosen events) — the quantity a violation
+   verdict can rest on: with probability ``confidence`` a correct
+   ``epsilon``-DP mechanism satisfies ``epsilon_lower <= epsilon``, no
+   slack factor needed.
+
+The module also ships :func:`faulty_fm_release` — three deliberately
+broken FM variants (noise scaled ``Delta/(2 epsilon)``, a dropped Laplace
+draw, an understated sensitivity) — used by the test suite and the tier-1
+CLI to prove the auditor flags real bugs, not just that it stays quiet on
+correct code.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.base import (
+    Task,
+    algorithm_is_private,
+    algorithm_names,
+    canonical_algorithm_name,
+    make_algorithm,
+)
+from ..core.mechanism import FunctionalMechanism
+from ..exceptions import ExperimentError
+from ..experiments.harness import objective_for
+from ..privacy.audit import estimate_privacy_loss
+from ..privacy.rng import RngLike, ensure_rng
+from .bounds import log_ratio_lower_bound
+from .neighbors import NeighborPair, worst_case_pair
+
+__all__ = [
+    "Release",
+    "MechanismSpec",
+    "ConformanceReport",
+    "register_mechanism",
+    "conformance_registry",
+    "audit_release",
+    "audit_spec",
+    "audit_all",
+    "faulty_fm_release",
+]
+
+#: A black-box mechanism release: packed database -> one scalar output.
+Release = Callable[[np.ndarray, np.random.Generator], float]
+
+#: How many of the most extreme selection-half events are carried forward
+#: to certification per (side, direction).  Larger values widen the
+#: Bonferroni correction without finding meaningfully sharper events (the
+#: supremum lives in a contiguous threshold region).
+_TOP_EVENTS = 16
+
+
+def _unpack(db: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    return db[:, :-1], db[:, -1]
+
+
+@dataclass(frozen=True)
+class MechanismSpec:
+    """How to audit one privacy-claiming mechanism.
+
+    Attributes
+    ----------
+    name:
+        Registry display name (e.g. ``"FM"``).
+    tasks:
+        Tasks the mechanism supports; the first is the audit default.
+    build_release:
+        ``(task, epsilon) -> release`` factory.  The release must be
+        stateless across calls apart from the generator it is handed.
+    default_trials:
+        Trials per database giving a usable estimate at this mechanism's
+        per-fit cost (cheap coefficient releases afford more than full
+        histogram pipelines).
+    dim:
+        Dimensionality of the audit databases (1 keeps fits fast and the
+        released scalar maximally sensitive to the replaced tuple).
+    calibrated_epsilon:
+        Optional ``(pair, task, epsilon) -> float``: the largest loss a
+        *correctly calibrated* implementation can exhibit on this pair's
+        audited release.  The Lemma-1 ``Delta`` is an upper bound over the
+        whole domain, so on any concrete pair a correct mechanism realizes
+        only a fraction of the budget (at ``d = 1`` the worst pair moves
+        the released coefficient by ``Delta / 2`` exactly — which means a
+        factor-of-two noise bug lands *at* the nominal envelope and is
+        black-box undetectable against it).  Declaring the pair-calibrated
+        loss makes the audit sharp: a correct mechanism stays under it,
+        the classic ``Delta / (2 epsilon)`` slip certifiably exceeds it.
+        ``None`` falls back to the plain DP envelope (all the registry can
+        honestly claim for black-box baselines).
+    """
+
+    name: str
+    tasks: tuple[Task, ...]
+    build_release: Callable[[Task, float], Release]
+    default_trials: int = 20_000
+    dim: int = 1
+    calibrated_epsilon: Callable[[NeighborPair, Task, float], float] | None = None
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """Outcome of one mechanism audit on one neighboring pair.
+
+    ``epsilon_lower`` is the certified part: a sample-split, simultaneous
+    (Bonferroni over the certified events) Clopper–Pearson lower
+    confidence bound on the true privacy loss.  ``epsilon_hat`` is the
+    plug-in point estimate, reported for context — it carries estimation
+    noise and may exceed the nominal budget without indicating a bug.
+
+    ``calibrated_epsilon <= nominal_epsilon`` is the spec-declared loss a
+    correct implementation can exhibit on *this* pair (the DP envelope
+    when the spec declares nothing); :attr:`passed` gates on it, which is
+    what lets the auditor flag calibration bugs whose inflated loss still
+    hides inside the analytic bound's domain-wide slack.
+    """
+
+    mechanism: str
+    task: Task
+    pair: str
+    nominal_epsilon: float
+    calibrated_epsilon: float
+    epsilon_hat: float
+    epsilon_lower: float
+    confidence: float
+    trials: int
+    events: int
+
+    @property
+    def passed(self) -> bool:
+        """Certified loss within what a correct implementation can show."""
+        return self.epsilon_lower <= self.calibrated_epsilon
+
+    @property
+    def flagged(self) -> bool:
+        """The harness's verdict: certified excess loss on this pair."""
+        return not self.passed
+
+    @property
+    def violation(self) -> bool:
+        """Certified violation of the *DP guarantee itself*: even the
+        lower bound exceeds the nominal budget."""
+        return self.epsilon_lower > self.nominal_epsilon
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+_SPECS: dict[str, MechanismSpec] = {}
+
+
+def register_mechanism(spec: MechanismSpec, overwrite: bool = False) -> MechanismSpec:
+    """Add a mechanism to the conformance registry (keyed lower-case)."""
+    key = spec.name.lower()
+    if key in _SPECS and not overwrite:
+        raise ExperimentError(f"mechanism {spec.name!r} is already registered")
+    _SPECS[key] = spec
+    return spec
+
+
+def conformance_registry() -> dict[str, MechanismSpec]:
+    """Name -> spec for every auditable (privacy-claiming) mechanism."""
+    return {spec.name: spec for spec in _SPECS.values()}
+
+
+def _fm_coefficient_release(task: Task, epsilon: float) -> Release:
+    """FM audited at its sharpest point: the raw noisy linear coefficient.
+
+    Releasing a coefficient before any post-processing gives the audit the
+    cleanest view of Algorithm 1's calibration; the minimizer released by
+    the full estimator is post-processing of the same noisy vector.
+    """
+
+    def release(db: np.ndarray, gen: np.random.Generator) -> float:
+        X, y = _unpack(db)
+        objective = objective_for(task, X.shape[1])
+        mechanism = FunctionalMechanism(epsilon, rng=gen)
+        noisy, _ = mechanism.perturb_quadratic(
+            objective.aggregate_quadratic(X, y), objective.sensitivity()
+        )
+        return float(noisy.alpha[0])
+
+    return release
+
+
+def _baseline_release(name: str, task: Task, epsilon: float) -> Release:
+    """Generic black-box release: fit the registered algorithm, output
+    its first model coefficient."""
+
+    def release(db: np.ndarray, gen: np.random.Generator) -> float:
+        X, y = _unpack(db)
+        model = make_algorithm(name, task, epsilon=epsilon, rng=gen)
+        model.fit(X, y)
+        return float(np.atleast_1d(model.coef_)[0])
+
+    return release
+
+
+def _fm_pair_calibration(pair: NeighborPair, task: Task, epsilon: float) -> float:
+    """The exact loss ceiling of a correct FM on one pair's audited release.
+
+    The released coordinate is ``alpha[0]`` carrying ``Lap(Delta /
+    epsilon)`` noise; a location-shifted Laplace's max log-ratio is
+    ``|shift| / scale``, so a correct implementation exhibits at most
+    ``|alpha_a[0] - alpha_b[0]| * epsilon / Delta`` — a *fraction* of the
+    nominal budget on any concrete pair.
+    """
+    objective = objective_for(task, pair.dim)
+    alpha_a = objective.aggregate_quadratic(pair.X_a, pair.y_a).alpha
+    alpha_b = objective.aggregate_quadratic(pair.X_b, pair.y_b).alpha
+    shift = abs(float(alpha_a[0] - alpha_b[0]))
+    return shift * float(epsilon) / objective.sensitivity()
+
+
+def _register_default_specs() -> None:
+    register_mechanism(
+        MechanismSpec(
+            name="FM",
+            tasks=("linear", "logistic"),
+            build_release=_fm_coefficient_release,
+            default_trials=20_000,
+            calibrated_epsilon=_fm_pair_calibration,
+        )
+    )
+    # Per-fit cost calibrates the trial budget: the histogram pipelines
+    # (DPME, FP) rebuild a grid + synthetic dataset + regression per trial.
+    trial_budget = {"dpme": 3_000, "fp": 3_000}
+    for key in algorithm_names():
+        if key == "fm" or not algorithm_is_private(key):
+            continue
+        name = canonical_algorithm_name(key)
+        register_mechanism(
+            MechanismSpec(
+                name=name,
+                tasks=("linear", "logistic"),
+                build_release=(
+                    lambda task, epsilon, _name=name: _baseline_release(
+                        _name, task, epsilon
+                    )
+                ),
+                default_trials=trial_budget.get(key, 8_000),
+            )
+        )
+
+
+_register_default_specs()
+
+
+# ----------------------------------------------------------------------
+# The auditor
+# ----------------------------------------------------------------------
+def _certified_lower_bound(
+    samples_a: np.ndarray,
+    samples_b: np.ndarray,
+    confidence: float,
+    num_bins: int,
+    min_count: int,
+) -> tuple[float, int]:
+    """Simultaneous CP lower bound on the max log-ratio over threshold events.
+
+    Sample-split for honest coverage: the *selection* halves of the two
+    sample arrays choose the threshold events (pooled quantiles, the same
+    one-sided families as :func:`~repro.privacy.audit.
+    estimate_privacy_loss`, ranked by plug-in log-ratio in each
+    direction); the held-out *certification* halves supply the counts the
+    Clopper–Pearson bounds invert.  Conditional on the selection half, the
+    certified events are a fixed family, so the Bonferroni correction over
+    them yields a valid simultaneous guarantee — choosing and bounding
+    events on the same draws would not.
+
+    Returns ``(max lower bound, events certified)``.
+    """
+    a = np.asarray(samples_a, dtype=float).ravel()
+    b = np.asarray(samples_b, dtype=float).ravel()
+    sel_a, cert_a = a[: a.size // 2], np.sort(a[a.size // 2 :])
+    sel_b, cert_b = b[: b.size // 2], np.sort(b[b.size // 2 :])
+    pooled = np.sort(np.concatenate([sel_a, sel_b]))
+    if pooled[0] == pooled[-1]:
+        return 0.0, 1
+    quantiles = np.linspace(0.0, 1.0, num_bins + 2)[1:-1]
+    thresholds = np.unique(np.quantile(pooled, quantiles))
+    sel_a, sel_b = np.sort(sel_a), np.sort(sel_b)
+    sel_min_count = max(min_count // 2, 1)
+
+    # One candidate = (side, threshold, direction), chosen on the
+    # selection halves only.
+    candidates: list[tuple[str, float, bool]] = []
+    for side in ("le", "ge"):
+        if side == "le":
+            count_a = np.searchsorted(sel_a, thresholds, side="right")
+            count_b = np.searchsorted(sel_b, thresholds, side="right")
+        else:
+            count_a = sel_a.size - np.searchsorted(sel_a, thresholds, side="left")
+            count_b = sel_b.size - np.searchsorted(sel_b, thresholds, side="left")
+        mask = np.maximum(count_a, count_b) >= sel_min_count
+        if not mask.any():
+            continue
+        masked_thresholds = thresholds[mask]
+        p_a = (count_a[mask] + 0.5) / (sel_a.size + 1.0)
+        p_b = (count_b[mask] + 0.5) / (sel_b.size + 1.0)
+        plug_in = np.log(p_a) - np.log(p_b)
+        for idx in np.argsort(plug_in)[::-1][:_TOP_EVENTS]:
+            candidates.append((side, float(masked_thresholds[idx]), True))
+        for idx in np.argsort(plug_in)[:_TOP_EVENTS]:
+            candidates.append((side, float(masked_thresholds[idx]), False))
+    if not candidates:
+        return 0.0, 1
+
+    def cert_count(sorted_samples: np.ndarray, side: str, threshold: float) -> int:
+        if side == "le":
+            return int(np.searchsorted(sorted_samples, threshold, side="right"))
+        return int(
+            sorted_samples.size - np.searchsorted(sorted_samples, threshold, side="left")
+        )
+
+    alpha = 1.0 - confidence
+    event_confidence = 1.0 - alpha / len(candidates)
+    best = 0.0
+    for side, threshold, a_over_b in candidates:
+        k_a = cert_count(cert_a, side, threshold)
+        k_b = cert_count(cert_b, side, threshold)
+        if a_over_b:
+            bound = log_ratio_lower_bound(
+                k_a, cert_a.size, k_b, cert_b.size, confidence=event_confidence
+            )
+        else:
+            bound = log_ratio_lower_bound(
+                k_b, cert_b.size, k_a, cert_a.size, confidence=event_confidence
+            )
+        best = max(best, bound)
+    return best, len(candidates)
+
+
+def audit_release(
+    release: Release,
+    pair: NeighborPair,
+    nominal_epsilon: float,
+    trials: int,
+    confidence: float = 0.95,
+    num_bins: int = 200,
+    min_count: int = 50,
+    rng: RngLike = None,
+    mechanism: str = "custom",
+    calibrated_epsilon: float | None = None,
+) -> ConformanceReport:
+    """Audit one black-box release on one validated neighboring pair.
+
+    ``calibrated_epsilon`` tightens the pass criterion to the loss a
+    correct implementation can exhibit on this pair (see
+    :class:`MechanismSpec`); ``None`` gates on the DP envelope.
+    """
+    if trials < 2 * min_count:
+        raise ExperimentError(
+            f"trials={trials} is below the minimum event mass "
+            f"(2 * min_count = {2 * min_count})"
+        )
+    pair.validate()
+    gen = ensure_rng(rng)
+    db_a, db_b = pair.packed()
+
+    def collect(db: np.ndarray) -> np.ndarray:
+        out = np.empty(trials, dtype=float)
+        for i in range(trials):
+            out[i] = float(release(db, gen))
+        return out
+
+    samples_a = collect(db_a)
+    samples_b = collect(db_b)
+    epsilon_hat, _ = estimate_privacy_loss(samples_a, samples_b, num_bins=num_bins)
+    epsilon_lower, events = _certified_lower_bound(
+        samples_a, samples_b, confidence, num_bins, min_count
+    )
+    nominal = float(nominal_epsilon)
+    calibrated = nominal if calibrated_epsilon is None else float(calibrated_epsilon)
+    return ConformanceReport(
+        mechanism=mechanism,
+        task=pair.task,
+        pair=pair.name,
+        nominal_epsilon=nominal,
+        calibrated_epsilon=min(calibrated, nominal),
+        epsilon_hat=epsilon_hat,
+        epsilon_lower=epsilon_lower,
+        confidence=confidence,
+        trials=trials,
+        events=events,
+    )
+
+
+def audit_spec(
+    spec: MechanismSpec,
+    epsilon: float = 1.0,
+    task: Task | None = None,
+    trials: int | None = None,
+    confidence: float = 0.95,
+    pairs: Sequence[NeighborPair] | None = None,
+    rng: RngLike = 0,
+) -> ConformanceReport:
+    """Audit one registered mechanism; returns the sharpest pair's report.
+
+    When several pairs are audited, the per-pair confidence is Bonferroni-
+    corrected so the returned (max) lower bound stays simultaneously valid
+    at ``confidence``.
+    """
+    task = task or spec.tasks[0]
+    if task not in spec.tasks:
+        raise ExperimentError(
+            f"mechanism {spec.name!r} supports tasks {spec.tasks}, got {task!r}"
+        )
+    trials = spec.default_trials if trials is None else int(trials)
+    if pairs is None:
+        pairs = [worst_case_pair(task, spec.dim)]
+    pair_confidence = 1.0 - (1.0 - confidence) / len(pairs)
+    release = spec.build_release(task, float(epsilon))
+    gen = ensure_rng(rng)
+    reports = [
+        audit_release(
+            release,
+            pair,
+            nominal_epsilon=epsilon,
+            trials=trials,
+            confidence=pair_confidence,
+            rng=gen,
+            mechanism=spec.name,
+            calibrated_epsilon=(
+                None
+                if spec.calibrated_epsilon is None
+                else spec.calibrated_epsilon(pair, task, float(epsilon))
+            ),
+        )
+        for pair in pairs
+    ]
+    return max(reports, key=lambda r: r.epsilon_lower - r.calibrated_epsilon)
+
+
+def audit_all(
+    epsilon: float = 1.0,
+    task: Task = "linear",
+    trials: int | None = None,
+    confidence: float = 0.95,
+    mechanisms: Sequence[str] | None = None,
+    rng: RngLike = 0,
+) -> list[ConformanceReport]:
+    """Audit every registered mechanism (or a named subset) on one task.
+
+    ``trials=None`` uses each spec's own budget; an explicit value applies
+    uniformly (the CLI's ``--trials``).  Reports come back in registry
+    order, one per mechanism.
+    """
+    registry = conformance_registry()
+    if mechanisms is not None:
+        lookup = {name.lower(): name for name in registry}
+        missing = [m for m in mechanisms if m.lower() not in lookup]
+        if missing:
+            raise ExperimentError(
+                f"unknown mechanisms {missing}; auditable: {sorted(registry)}"
+            )
+        names = [lookup[m.lower()] for m in mechanisms]
+    else:
+        names = sorted(registry)
+    gen = ensure_rng(rng)
+    return [
+        audit_spec(
+            registry[name],
+            epsilon=epsilon,
+            task=task,
+            trials=trials,
+            confidence=confidence,
+            rng=gen,
+        )
+        for name in names
+    ]
+
+
+# ----------------------------------------------------------------------
+# Known-bug injection: the auditor's teeth
+# ----------------------------------------------------------------------
+#: The seeded DP violations the harness must catch (satellite requirement):
+#: each is a realistic implementation slip, not a strawman.
+FAULT_KINDS = ("half_noise", "dropped_draw", "wrong_sensitivity")
+
+
+def faulty_fm_release(
+    kind: str, epsilon: float, task: Task = "linear", dim: int = 1
+) -> Release:
+    """A deliberately broken FM release for auditor self-validation.
+
+    ``half_noise``
+        Noise scaled ``Delta / (2 epsilon)`` — the classic factor-of-two
+        calibration slip; the true loss doubles.
+    ``dropped_draw``
+        The audited coefficient's Laplace draw never happens: the exact
+        aggregated value is released (a deterministic leak; neighboring
+        databases produce disjoint outputs).
+    ``wrong_sensitivity``
+        Calibrates to ``2 d`` instead of Lemma 1's ``2 (d + 1)^2`` — the
+        "forgot to square" slip; at ``d = 1`` noise is 4x too small.
+    """
+    if kind not in FAULT_KINDS:
+        raise ExperimentError(f"kind must be one of {FAULT_KINDS}, got {kind!r}")
+
+    def release(db: np.ndarray, gen: np.random.Generator) -> float:
+        X, y = _unpack(db)
+        objective = objective_for(task, X.shape[1])
+        form = objective.aggregate_quadratic(X, y)
+        if kind == "dropped_draw":
+            return float(form.alpha[0])
+        delta = objective.sensitivity()
+        if kind == "half_noise":
+            delta = delta / 2.0
+        else:  # wrong_sensitivity
+            delta = 2.0 * X.shape[1]
+        mechanism = FunctionalMechanism(epsilon, rng=gen)
+        noisy, _ = mechanism.perturb_quadratic(form, delta)
+        return float(noisy.alpha[0])
+
+    return release

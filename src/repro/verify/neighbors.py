@@ -1,0 +1,185 @@
+"""Neighboring-dataset generators for the conformance auditor.
+
+Differential privacy quantifies over *neighboring databases* — same
+cardinality, one tuple replaced.  An audit is only as sharp as the pair it
+examines: a replacement that leaves every released coefficient unchanged
+measures nothing (e.g. ``(x, y) -> (-x, -y)`` for linear regression, which
+preserves all degree-2 monomials).  This module produces pairs that are
+
+* **domain-valid** — every tuple satisfies the objective's declared
+  footnote-1 domain (``||x||_2 <= 1``, task target range), checked by
+  :meth:`NeighborPair.validate`, so the audited mechanism's sensitivity
+  bound genuinely applies;
+* **adversarial** — the canonical :func:`worst_case_pair` moves a released
+  coefficient by (close to) the per-coordinate maximum, so a calibration
+  bug inflates the measured loss as far as the trial budget allows;
+* **diverse** — :func:`neighbor_pairs` appends reproducible random pairs,
+  guarding against a mechanism that happens to behave on the worst case
+  but leaks elsewhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..baselines.base import Task
+from ..exceptions import DataError
+from ..experiments.harness import objective_for
+from ..privacy.rng import RngLike, ensure_rng
+
+__all__ = ["NeighborPair", "worst_case_pair", "random_neighbor_pair", "neighbor_pairs"]
+
+
+@dataclass(frozen=True)
+class NeighborPair:
+    """Two databases at Hamming distance one, plus provenance.
+
+    ``packed()`` returns each database as a single ``(n, d + 1)`` array
+    (features then target column) — the layout the black-box mechanism
+    callables consume.
+    """
+
+    name: str
+    task: Task
+    X_a: np.ndarray
+    y_a: np.ndarray
+    X_b: np.ndarray
+    y_b: np.ndarray
+
+    @property
+    def dim(self) -> int:
+        return int(self.X_a.shape[1])
+
+    def packed(self) -> tuple[np.ndarray, np.ndarray]:
+        """The two databases as packed ``(n, d + 1)`` arrays."""
+        return (
+            np.hstack([self.X_a, self.y_a[:, None]]),
+            np.hstack([self.X_b, self.y_b[:, None]]),
+        )
+
+    def differing_rows(self) -> np.ndarray:
+        """Indices of rows where the two databases disagree."""
+        db_a, db_b = self.packed()
+        return np.flatnonzero(np.any(db_a != db_b, axis=1))
+
+    def validate(self) -> None:
+        """Assert the neighbor relation and the task's domain assumptions.
+
+        Raises
+        ------
+        DataError
+            If the databases differ in shape or in more/fewer than exactly
+            one row.
+        DomainError
+            If either database violates the objective's declared domain
+            (propagated from :meth:`RegressionObjective.validate`).
+        """
+        if self.X_a.shape != self.X_b.shape or self.y_a.shape != self.y_b.shape:
+            raise DataError(
+                f"neighbor pair {self.name!r}: databases must share a shape, "
+                f"got {self.X_a.shape}/{self.y_a.shape} vs "
+                f"{self.X_b.shape}/{self.y_b.shape}"
+            )
+        differing = self.differing_rows()
+        if differing.size != 1:
+            raise DataError(
+                f"neighbor pair {self.name!r}: databases must differ in "
+                f"exactly one row, got {differing.size}"
+            )
+        objective = objective_for(self.task, self.dim)
+        objective.validate(self.X_a, self.y_a)
+        objective.validate(self.X_b, self.y_b)
+
+
+def worst_case_pair(task: Task, dim: int = 1) -> NeighborPair:
+    """The canonical adversarial pair: flip one tuple's target.
+
+    The replaced tuple sits at a domain vertex (``x = e_1``, the largest
+    single coordinate ``||x||_2 <= 1`` admits) and flips its target across
+    the task's range — ``1 -> -1`` (linear) or ``1 -> 0`` (logistic) — so
+    the released linear coefficient moves by the per-coordinate maximum
+    while the quadratic block stays fixed.  A sign flip of the whole tuple
+    would instead cancel in every even monomial and audit nothing.
+    """
+    dim = int(dim)
+    if dim < 1:
+        raise DataError(f"dim must be >= 1, got {dim}")
+    width = 1.0 / np.sqrt(dim)
+    base = np.full((3, dim), 0.25 * width)
+    base[0] *= 2.0
+    base[1] *= 0.5
+    X = base.copy()
+    X[2] = 0.0
+    X[2, 0] = 1.0  # the replaced tuple: a domain vertex
+    if task == "linear":
+        y_a = np.array([0.5, -0.3, 1.0])
+        y_b = y_a.copy()
+        y_b[2] = -1.0
+    else:
+        y_a = np.array([1.0, 0.0, 1.0])
+        y_b = y_a.copy()
+        y_b[2] = 0.0
+    return NeighborPair(
+        name=f"worst-case-{task}-d{dim}", task=task,
+        X_a=X, y_a=y_a, X_b=X.copy(), y_b=y_b,
+    )
+
+
+def random_neighbor_pair(
+    task: Task, dim: int = 1, n: int = 8, rng: RngLike = None, name: str | None = None
+) -> NeighborPair:
+    """A reproducible random pair: random base database, one row resampled.
+
+    Rows are drawn uniformly from the footnote-1 box ``[0, 1/sqrt(d)]^d``
+    (always inside the unit ball); the replaced row additionally resamples
+    its target, rejecting draws that happen to tie the original row.
+    """
+    dim = int(dim)
+    if dim < 1:
+        raise DataError(f"dim must be >= 1, got {dim}")
+    if n < 1:
+        raise DataError(f"n must be >= 1, got {n}")
+    gen = ensure_rng(rng)
+    width = 1.0 / np.sqrt(dim)
+    X = gen.uniform(0.0, width, size=(n, dim))
+    if task == "linear":
+        y = gen.uniform(-1.0, 1.0, size=n)
+    else:
+        y = (gen.uniform(size=n) < 0.5).astype(float)
+    row = int(gen.integers(n))
+    X_b, y_b = X.copy(), y.copy()
+    while True:
+        X_b[row] = gen.uniform(0.0, width, size=dim)
+        if task == "linear":
+            y_b[row] = gen.uniform(-1.0, 1.0)
+        else:
+            y_b[row] = 1.0 - y[row]
+        if np.any(X_b[row] != X[row]) or y_b[row] != y[row]:
+            break
+    return NeighborPair(
+        name=name or f"random-{task}-d{dim}", task=task,
+        X_a=X, y_a=y, X_b=X_b, y_b=y_b,
+    )
+
+
+def neighbor_pairs(
+    task: Task, dim: int = 1, random_pairs: int = 2, rng: RngLike = 0
+) -> list[NeighborPair]:
+    """The auditor's pair battery: the worst case plus random companions.
+
+    Every returned pair has been validated; the list is deterministic for
+    an integer ``rng``.
+    """
+    pairs = [worst_case_pair(task, dim)]
+    gen = ensure_rng(rng)
+    for i in range(int(random_pairs)):
+        pairs.append(
+            random_neighbor_pair(
+                task, dim, rng=gen, name=f"random-{task}-d{dim}-{i}"
+            )
+        )
+    for pair in pairs:
+        pair.validate()
+    return pairs

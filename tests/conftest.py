@@ -1,18 +1,64 @@
-"""Shared fixtures for the test suite.
+"""Shared fixtures and the tiered-suite wiring for the test suite.
 
 Fixtures provide small, footnote-1-compliant datasets so individual tests
-stay fast; anything needing paper-scale data builds it explicitly and is
-marked ``slow``.
+stay fast; anything needing paper-scale data builds it explicitly.
+
+The suite is organized in verification tiers (see :mod:`repro.verify`):
+
+* **tier 1** — the fast conformance gate.  Everything unmarked plus
+  ``tier1``-marked tests; this is what a bare ``pytest`` run executes.
+* **tier 2** — statistical audits (empirical privacy measurements,
+  injected-bug detection).  Included in the default run; selectable alone
+  with ``-m tier2``.
+* **tier 3** — the golden-oracle execution matrix.  Opt-in only
+  (``--run-tier3`` or ``REPRO_TIER3=1``): it runs ~50 figure pipelines and
+  compares committed digests, which is a CI-job-sized workload.
+
+``slow`` is retained as an orthogonal duration hint; long-running tests
+carry both a tier and ``slow``.
 """
 
 from __future__ import annotations
+
+import os
 
 import numpy as np
 import pytest
 
 
+def pytest_addoption(parser):
+    parser.addoption(
+        "--run-tier3",
+        action="store_true",
+        default=False,
+        help="run tier-3 golden-oracle matrix tests (also: REPRO_TIER3=1)",
+    )
+
+
 def pytest_configure(config):
     config.addinivalue_line("markers", "slow: long-running end-to-end checks")
+    config.addinivalue_line(
+        "markers", "tier1: fast conformance gate (part of the default run)"
+    )
+    config.addinivalue_line(
+        "markers",
+        "tier2: statistical audits (part of the default run; `-m tier2` selects)",
+    )
+    config.addinivalue_line(
+        "markers",
+        "tier3: golden-oracle matrix (opt-in via --run-tier3 or REPRO_TIER3=1)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--run-tier3") or os.environ.get("REPRO_TIER3") == "1":
+        return
+    skip_tier3 = pytest.mark.skip(
+        reason="tier3 golden matrix: opt in with --run-tier3 or REPRO_TIER3=1"
+    )
+    for item in items:
+        if "tier3" in item.keywords:
+            item.add_marker(skip_tier3)
 
 
 @pytest.fixture

@@ -77,6 +77,7 @@ def _preset(n):
 
 
 @pytest.mark.slow
+@pytest.mark.tier2
 class TestPaperOrderings:
     """The headline orderings at a cardinality above the FM crossover."""
 

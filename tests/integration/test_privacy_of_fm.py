@@ -15,6 +15,10 @@ from repro.core.mechanism import FunctionalMechanism
 from repro.core.objectives import LinearRegressionObjective
 from repro.privacy.audit import audit_mechanism
 
+# Statistical audits belong to verification tier 2 (still part of the
+# default run; the certified-lower-bound variants live in tests/verify/).
+pytestmark = pytest.mark.tier2
+
 
 def _neighbor_databases():
     """Two 1-d linear-regression databases differing in one tuple.

@@ -56,6 +56,7 @@ class TestEstimatePrivacyLoss:
             estimate_privacy_loss(np.array([]), np.array([1.0]))
 
 
+@pytest.mark.tier2
 class TestAuditMechanism:
     def test_calibrated_mechanism_passes(self, neighbor_dbs):
         a, b = neighbor_dbs

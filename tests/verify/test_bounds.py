@@ -1,0 +1,140 @@
+"""The Clopper–Pearson machinery, checked against closed forms and scipy.
+
+The boundary counts have exact closed-form bounds (solve the binomial tail
+equation by hand), so correctness is testable with no external reference;
+scipy, when present, cross-checks the continued-fraction Beta quantiles at
+interior counts.
+"""
+
+import math
+
+import pytest
+
+from repro.verify.bounds import (
+    beta_ppf,
+    clopper_pearson,
+    log_ratio_lower_bound,
+    regularized_incomplete_beta,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestIncompleteBeta:
+    def test_boundaries(self):
+        assert regularized_incomplete_beta(2.0, 3.0, 0.0) == 0.0
+        assert regularized_incomplete_beta(2.0, 3.0, 1.0) == 1.0
+
+    def test_uniform_special_case(self):
+        """Beta(1, 1) is uniform: the CDF is the identity."""
+        for x in (0.1, 0.5, 0.9):
+            assert regularized_incomplete_beta(1.0, 1.0, x) == pytest.approx(x)
+
+    def test_symmetry(self):
+        """I_x(a, b) = 1 - I_{1-x}(b, a)."""
+        value = regularized_incomplete_beta(3.5, 7.0, 0.3)
+        mirror = regularized_incomplete_beta(7.0, 3.5, 0.7)
+        assert value == pytest.approx(1.0 - mirror, abs=1e-12)
+
+    def test_monotonic_in_x(self):
+        values = [
+            regularized_incomplete_beta(4.0, 9.0, x)
+            for x in (0.1, 0.2, 0.4, 0.6, 0.8)
+        ]
+        assert values == sorted(values)
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(0.0, 1.0, 0.5)
+        with pytest.raises(ValueError):
+            regularized_incomplete_beta(1.0, 1.0, 1.5)
+
+
+class TestBetaPpf:
+    def test_inverts_cdf(self):
+        for a, b, q in [(2.0, 5.0, 0.05), (50.5, 950.5, 0.99), (1.0, 3.0, 0.5)]:
+            x = beta_ppf(q, a, b)
+            assert regularized_incomplete_beta(a, b, x) == pytest.approx(q, abs=1e-9)
+
+    def test_extremes(self):
+        assert beta_ppf(0.0, 2.0, 2.0) == 0.0
+        assert beta_ppf(1.0, 2.0, 2.0) == 1.0
+
+    def test_against_scipy(self):
+        st = pytest.importorskip("scipy.stats")
+        for a, b, q in [(37.0, 164.0, 0.025), (1.0, 5000.0, 0.95), (12.5, 3.5, 0.5)]:
+            assert beta_ppf(q, a, b) == pytest.approx(
+                float(st.beta.ppf(q, a, b)), abs=1e-9
+            )
+
+
+class TestClopperPearson:
+    def test_zero_successes_closed_form(self):
+        """k = 0: lower is exactly 0, upper solves (1-p)^n = 1 - conf."""
+        bounds = clopper_pearson(0, 50, confidence=0.95)
+        assert bounds.lower == 0.0
+        assert bounds.upper == pytest.approx(1.0 - 0.05 ** (1.0 / 50.0), abs=1e-9)
+
+    def test_all_successes_closed_form(self):
+        """k = n: upper is exactly 1, lower solves p^n = 1 - conf."""
+        bounds = clopper_pearson(50, 50, confidence=0.95)
+        assert bounds.upper == 1.0
+        assert bounds.lower == pytest.approx(0.05 ** (1.0 / 50.0), abs=1e-9)
+
+    def test_interval_brackets_the_rate(self):
+        bounds = clopper_pearson(40, 100, confidence=0.95)
+        assert bounds.lower < 0.4 < bounds.upper
+
+    def test_narrows_with_trials(self):
+        narrow = clopper_pearson(400, 1000)
+        wide = clopper_pearson(40, 100)
+        assert (narrow.upper - narrow.lower) < (wide.upper - wide.lower)
+
+    def test_higher_confidence_widens(self):
+        loose = clopper_pearson(40, 100, confidence=0.9)
+        strict = clopper_pearson(40, 100, confidence=0.999)
+        assert strict.lower < loose.lower
+        assert strict.upper > loose.upper
+
+    def test_against_scipy(self):
+        st = pytest.importorskip("scipy.stats")
+        k, n = 37, 200
+        bounds = clopper_pearson(k, n, confidence=0.95)
+        assert bounds.lower == pytest.approx(
+            float(st.beta.ppf(0.05, k, n - k + 1)), abs=1e-9
+        )
+        assert bounds.upper == pytest.approx(
+            float(st.beta.ppf(0.95, k + 1, n - k)), abs=1e-9
+        )
+
+    def test_invalid_arguments(self):
+        with pytest.raises(ValueError):
+            clopper_pearson(-1, 10)
+        with pytest.raises(ValueError):
+            clopper_pearson(11, 10)
+        with pytest.raises(ValueError):
+            clopper_pearson(5, 0)
+        with pytest.raises(ValueError):
+            clopper_pearson(5, 10, confidence=1.0)
+
+
+class TestLogRatioLowerBound:
+    def test_no_evidence_is_minus_infinity(self):
+        assert log_ratio_lower_bound(0, 1000, 10, 1000) == -math.inf
+
+    def test_certifies_strong_separation(self):
+        """2000/4000 vs 270/4000 is a true ratio near e^2; the certified
+        bound must sit between a safe floor and the plug-in estimate."""
+        bound = log_ratio_lower_bound(2000, 4000, 270, 4000, confidence=0.95)
+        plug_in = math.log(2000.0 / 270.0)
+        assert 1.5 < bound < plug_in
+
+    def test_conservative_under_equality(self):
+        """Equal counts: the certified bound must be negative (no certified
+        separation), never spuriously positive."""
+        assert log_ratio_lower_bound(500, 1000, 500, 1000) < 0.0
+
+    def test_tightens_with_confidence_relaxation(self):
+        strict = log_ratio_lower_bound(600, 1000, 200, 1000, confidence=0.999)
+        loose = log_ratio_lower_bound(600, 1000, 200, 1000, confidence=0.9)
+        assert strict < loose

@@ -1,0 +1,94 @@
+"""The adversarial sensitivity certifier.
+
+The linear objective at d = 1 has a hand-computable adversarial optimum:
+the realized coefficient L1 distance is maximized at 4.0 (e.g. the tuple
+``(x=1, y=1)`` replaced by ``(x=1, y=-1)`` moves the linear coefficient by
+4 while every even monomial is unchanged) — exactly half the paper's
+``Delta = 2 (d + 1)^2 = 8``.  The search must find that optimum, certify
+that it stays under the bound, and — handed a deliberately understated
+bound — return the counterexample.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.objectives import LinearRegressionObjective, LogisticRegressionObjective
+from repro.core.sensitivity import coefficient_l1_distance
+from repro.verify.certify import certify_sensitivity
+
+pytestmark = pytest.mark.tier1
+
+
+class TestBoundsHold:
+    @pytest.mark.parametrize("dim", [1, 3])
+    @pytest.mark.parametrize("tight", [False, True])
+    def test_linear(self, dim, tight):
+        cert = certify_sensitivity(
+            LinearRegressionObjective(dim), rng=0, tight=tight
+        )
+        assert cert.holds
+        assert cert.best_distance > 0.0
+        assert cert.evaluations > 0
+
+    @pytest.mark.parametrize("dim", [1, 2])
+    @pytest.mark.parametrize("tight", [False, True])
+    def test_logistic(self, dim, tight):
+        cert = certify_sensitivity(
+            LogisticRegressionObjective(dim), rng=0, tight=tight
+        )
+        assert cert.holds
+
+
+class TestSearchIsAdversarial:
+    def test_linear_d1_finds_the_known_optimum(self):
+        cert = certify_sensitivity(LinearRegressionObjective(1), rng=0)
+        assert cert.best_distance == pytest.approx(4.0, rel=1e-6)
+        assert cert.analytic_delta == pytest.approx(8.0)
+        assert cert.utilization == pytest.approx(0.5, rel=1e-6)
+
+    def test_best_pair_reproduces_best_distance(self):
+        objective = LinearRegressionObjective(2)
+        cert = certify_sensitivity(objective, rng=1)
+        x_a, y_a, x_b, y_b = cert.best_pair
+        replayed = coefficient_l1_distance(objective, (x_a, y_a), (x_b, y_b))
+        assert replayed == pytest.approx(cert.best_distance)
+
+    def test_best_pair_is_in_domain(self):
+        cert = certify_sensitivity(LinearRegressionObjective(3), rng=2)
+        x_a, y_a, x_b, y_b = cert.best_pair
+        assert float(np.linalg.norm(x_a)) <= 1.0 + 1e-9
+        assert float(np.linalg.norm(x_b)) <= 1.0 + 1e-9
+        assert abs(y_a) <= 1.0 and abs(y_b) <= 1.0
+
+    def test_tight_bound_is_better_utilized(self):
+        """The sqrt(d) variant gives up less of the budget to slack."""
+        paper = certify_sensitivity(LinearRegressionObjective(3), rng=0, tight=False)
+        tight = certify_sensitivity(LinearRegressionObjective(3), rng=0, tight=True)
+        assert tight.utilization > paper.utilization
+        assert paper.best_distance == tight.best_distance  # same search space
+
+    def test_deterministic(self):
+        a = certify_sensitivity(LinearRegressionObjective(2), rng=5)
+        b = certify_sensitivity(LinearRegressionObjective(2), rng=5)
+        assert a.best_distance == b.best_distance
+        assert a.evaluations == b.evaluations
+
+
+class TestCounterexamples:
+    def test_understated_bound_is_refuted(self):
+        """Handed Delta/4 as the claimed bound, the certificate must fail
+        and carry a concrete violating pair."""
+        objective = LinearRegressionObjective(1)
+        cert = certify_sensitivity(
+            objective, rng=0, analytic_delta=objective.sensitivity() / 4.0
+        )
+        assert not cert.holds
+        x_a, y_a, x_b, y_b = cert.best_pair
+        distance = coefficient_l1_distance(objective, (x_a, y_a), (x_b, y_b))
+        assert distance > cert.analytic_delta
+
+    def test_invalid_budgets_rejected(self):
+        from repro.exceptions import DataError
+
+        with pytest.raises(DataError):
+            certify_sensitivity(LinearRegressionObjective(1), trials=-1)

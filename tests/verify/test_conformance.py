@@ -1,0 +1,205 @@
+"""The registry-driven conformance auditor: clean passes and seeded bugs.
+
+These are statistical audits (tier 2): each runs a mechanism thousands of
+times.  Trial counts are chosen so the whole module stays in seconds while
+the certified verdicts remain deterministic at the pinned seeds.
+
+The injected-bug half is the satellite requirement: the harness must flag
+all three seeded DP violations — noise scaled ``Delta/(2 epsilon)``, a
+dropped Laplace draw, and an understated sensitivity — each with a plug-in
+``epsilon_hat`` above the nominal budget and a certified excess over the
+pair-calibrated ceiling.
+"""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.verify.conformance import (
+    FAULT_KINDS,
+    MechanismSpec,
+    audit_all,
+    audit_release,
+    audit_spec,
+    conformance_registry,
+    faulty_fm_release,
+)
+from repro.verify.neighbors import neighbor_pairs, worst_case_pair
+
+pytestmark = pytest.mark.tier2
+
+EPSILON = 1.0
+
+
+@pytest.fixture(scope="module")
+def registry():
+    return conformance_registry()
+
+
+@pytest.fixture(scope="module")
+def pair():
+    return worst_case_pair("linear", 1)
+
+
+class TestRegistry:
+    def test_covers_every_private_baseline(self, registry):
+        from repro.baselines.base import algorithm_is_private, algorithm_names
+
+        private = {
+            name for name in algorithm_names() if algorithm_is_private(name)
+        }
+        assert {name.lower() for name in registry} == private
+
+    def test_no_non_private_entries(self, registry):
+        assert "NoPrivacy" not in registry
+        assert "Truncated" not in registry
+
+    def test_duplicate_registration_rejected(self, registry):
+        from repro.verify.conformance import register_mechanism
+
+        spec = registry["FM"]
+        with pytest.raises(ExperimentError):
+            register_mechanism(spec)
+
+    def test_fm_declares_pair_calibration(self, registry):
+        spec = registry["FM"]
+        calibrated = spec.calibrated_epsilon(
+            worst_case_pair("linear", 1), "linear", EPSILON
+        )
+        # The worst pair moves alpha[0] by 4 against Delta = 8: exactly
+        # half the nominal budget is observable on a correct mechanism.
+        assert calibrated == pytest.approx(0.5)
+
+
+class TestCleanMechanismsPass:
+    def test_fm_linear(self, registry):
+        report = audit_spec(registry["FM"], epsilon=EPSILON, trials=4_000, rng=0)
+        assert report.passed
+        assert not report.violation
+        assert report.epsilon_lower <= report.calibrated_epsilon <= EPSILON
+
+    def test_fm_logistic(self, registry):
+        report = audit_spec(
+            registry["FM"], epsilon=EPSILON, task="logistic", trials=2_000, rng=0
+        )
+        assert report.passed
+
+    def test_fm_across_random_pairs(self, registry):
+        reports = audit_spec(
+            registry["FM"],
+            epsilon=EPSILON,
+            trials=2_000,
+            pairs=neighbor_pairs("linear", 1, random_pairs=1, rng=0),
+            rng=0,
+        )
+        assert reports.passed
+
+    @pytest.mark.parametrize(
+        "name,trials",
+        [
+            ("OutputPerturbation", 2_000),
+            ("ObjectivePerturbation", 2_000),
+            ("DPME", 600),
+            ("FP", 600),
+        ],
+    )
+    def test_baselines(self, registry, name, trials):
+        report = audit_spec(registry[name], epsilon=EPSILON, trials=trials, rng=0)
+        assert report.passed, (report.epsilon_lower, report.calibrated_epsilon)
+
+    def test_audit_all_filtered(self):
+        reports = audit_all(
+            epsilon=EPSILON, trials=600, mechanisms=["FM", "OutputPerturbation"], rng=0
+        )
+        assert [r.mechanism for r in reports] == ["FM", "OutputPerturbation"]
+        assert all(r.passed for r in reports)
+
+
+class TestInjectedBugsAreFlagged:
+    """Satellite: seeded DP violations must trip the harness."""
+
+    @pytest.fixture(scope="class")
+    def reports(self, pair):
+        from repro.verify.conformance import _fm_pair_calibration
+
+        calibrated = _fm_pair_calibration(pair, "linear", EPSILON)
+        return {
+            kind: audit_release(
+                faulty_fm_release(kind, EPSILON),
+                pair,
+                nominal_epsilon=EPSILON,
+                trials=4_000,
+                rng=0,
+                mechanism=f"FM[{kind}]",
+                calibrated_epsilon=calibrated,
+            )
+            for kind in FAULT_KINDS
+        }
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    def test_flagged_with_epsilon_hat_above_nominal(self, reports, kind):
+        report = reports[kind]
+        assert report.flagged, (kind, report)
+        assert report.epsilon_hat > report.nominal_epsilon
+
+    def test_half_noise_is_the_subtle_case(self, reports):
+        """Noise scaled Delta/(2 eps) doubles the loss to exactly the
+        nominal envelope — certifiable only against the pair-calibrated
+        ceiling, which is the reason the spec declares one."""
+        report = reports["half_noise"]
+        assert report.epsilon_lower > report.calibrated_epsilon
+        assert not report.violation  # sits at (not beyond) the DP envelope
+
+    @pytest.mark.parametrize("kind", ["dropped_draw", "wrong_sensitivity"])
+    def test_gross_bugs_are_certified_dp_violations(self, reports, kind):
+        assert reports[kind].violation
+
+    def test_dropped_draw_detected_even_at_smoke_trials(self, pair):
+        """A deterministic leak separates in few trials — the tier-1 CLI
+        teeth check relies on this."""
+        report = audit_release(
+            faulty_fm_release("dropped_draw", EPSILON),
+            pair,
+            nominal_epsilon=EPSILON,
+            trials=400,
+            rng=0,
+        )
+        assert report.violation
+
+    def test_unknown_fault_kind_rejected(self):
+        with pytest.raises(ExperimentError):
+            faulty_fm_release("bogus", EPSILON)
+
+
+class TestAuditorContract:
+    def test_too_few_trials_rejected(self, pair):
+        with pytest.raises(ExperimentError, match="trials"):
+            audit_release(
+                faulty_fm_release("dropped_draw", EPSILON),
+                pair,
+                nominal_epsilon=EPSILON,
+                trials=10,
+            )
+
+    def test_unsupported_task_rejected(self, registry):
+        spec = MechanismSpec(
+            name="linear-only",
+            tasks=("linear",),
+            build_release=registry["FM"].build_release,
+        )
+        with pytest.raises(ExperimentError, match="supports tasks"):
+            audit_spec(spec, task="logistic", trials=200)
+
+    def test_unknown_mechanism_rejected(self):
+        with pytest.raises(ExperimentError, match="unknown mechanisms"):
+            audit_all(mechanisms=["NotARealMechanism"], trials=200)
+
+    def test_constant_release_measures_zero(self, pair):
+        report = audit_release(
+            lambda db, gen: 1.0,
+            pair,
+            nominal_epsilon=EPSILON,
+            trials=200,
+            rng=0,
+        )
+        assert report.epsilon_hat == 0.0
+        assert report.epsilon_lower == 0.0

@@ -1,0 +1,109 @@
+"""Neighboring-dataset generators: domain validity and the neighbor relation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import DataError, DomainError
+from repro.verify.neighbors import (
+    NeighborPair,
+    neighbor_pairs,
+    random_neighbor_pair,
+    worst_case_pair,
+)
+
+pytestmark = pytest.mark.tier1
+
+
+class TestWorstCasePair:
+    @pytest.mark.parametrize("task", ["linear", "logistic"])
+    @pytest.mark.parametrize("dim", [1, 3, 5])
+    def test_valid(self, task, dim):
+        pair = worst_case_pair(task, dim)
+        pair.validate()  # raises on any violation
+        assert pair.dim == dim
+
+    @pytest.mark.parametrize("task", ["linear", "logistic"])
+    def test_differs_in_exactly_one_row(self, task):
+        pair = worst_case_pair(task, 2)
+        assert pair.differing_rows().tolist() == [2]
+
+    def test_target_flip_moves_a_released_coefficient(self):
+        """The canonical pair must not cancel in the degree-2 monomials
+        (the failure mode a sign-flip replacement would have)."""
+        from repro.core.objectives import LinearRegressionObjective
+
+        pair = worst_case_pair("linear", 1)
+        objective = LinearRegressionObjective(1)
+        form_a = objective.aggregate_quadratic(pair.X_a, pair.y_a)
+        form_b = objective.aggregate_quadratic(pair.X_b, pair.y_b)
+        assert abs(float(form_a.alpha[0] - form_b.alpha[0])) == pytest.approx(4.0)
+        assert float(form_a.M[0, 0]) == float(form_b.M[0, 0])
+
+    def test_packed_layout(self):
+        pair = worst_case_pair("linear", 3)
+        db_a, db_b = pair.packed()
+        assert db_a.shape == (3, 4)
+        np.testing.assert_array_equal(db_a[:, :3], pair.X_a)
+        np.testing.assert_array_equal(db_a[:, 3], pair.y_a)
+        assert db_b.shape == db_a.shape
+
+    def test_invalid_dim(self):
+        with pytest.raises(DataError):
+            worst_case_pair("linear", 0)
+
+
+class TestRandomPairs:
+    @pytest.mark.parametrize("task", ["linear", "logistic"])
+    def test_valid_and_deterministic(self, task):
+        pair_1 = random_neighbor_pair(task, dim=3, rng=7)
+        pair_2 = random_neighbor_pair(task, dim=3, rng=7)
+        pair_1.validate()
+        np.testing.assert_array_equal(pair_1.X_a, pair_2.X_a)
+        np.testing.assert_array_equal(pair_1.y_b, pair_2.y_b)
+
+    def test_logistic_targets_boolean(self):
+        pair = random_neighbor_pair("logistic", dim=2, rng=3)
+        assert set(np.unique(pair.y_a)) <= {0.0, 1.0}
+        assert set(np.unique(pair.y_b)) <= {0.0, 1.0}
+
+    def test_battery_contents(self):
+        pairs = neighbor_pairs("linear", dim=2, random_pairs=3, rng=0)
+        assert len(pairs) == 4
+        assert pairs[0].name.startswith("worst-case")
+        assert all(p.differing_rows().size == 1 for p in pairs)
+
+
+class TestValidation:
+    def test_rejects_two_differing_rows(self):
+        base = worst_case_pair("linear", 1)
+        y_b = base.y_b.copy()
+        y_b[0] = -base.y_a[0]
+        broken = NeighborPair(
+            name="two-rows", task="linear",
+            X_a=base.X_a, y_a=base.y_a, X_b=base.X_b, y_b=y_b,
+        )
+        with pytest.raises(DataError, match="exactly one row"):
+            broken.validate()
+
+    def test_rejects_shape_mismatch(self):
+        base = worst_case_pair("linear", 1)
+        broken = NeighborPair(
+            name="shapes", task="linear",
+            X_a=base.X_a, y_a=base.y_a,
+            X_b=base.X_b[:2], y_b=base.y_b[:2],
+        )
+        with pytest.raises(DataError, match="share a shape"):
+            broken.validate()
+
+    def test_rejects_domain_violation(self):
+        """A pair outside ||x||_2 <= 1 would audit a sensitivity bound that
+        does not apply — validate() must refuse it."""
+        base = worst_case_pair("linear", 1)
+        X = base.X_a.copy()
+        X[2, 0] = 2.0
+        broken = NeighborPair(
+            name="norm", task="linear",
+            X_a=X, y_a=base.y_a, X_b=X.copy(), y_b=base.y_b,
+        )
+        with pytest.raises(DomainError):
+            broken.validate()

@@ -1,0 +1,143 @@
+"""stream_version=2 end to end: the alias-free derivation across the stack.
+
+PR 3 introduced ``derive_substream(..., stream_version=2)`` behind unit
+pins; ROADMAP plans to flip experiment defaults to it eventually.  These
+tests parametrize the *harness-level* guarantees over both stream versions
+so the flip is prepped: every claim the suite makes for version 1 —
+batched == percell bitwise, tiling-invariance, executor-invariance, the
+engine path's agreement, grouped-panel equality — must already hold for
+version 2.  (The figure-pipeline layer is covered by the golden groups,
+which pin both versions.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.data.census import load_us
+from repro.experiments.config import SMOKE
+from repro.experiments.harness import (
+    evaluate_algorithm,
+    evaluate_algorithms,
+    evaluate_fm_budget_sweep,
+)
+
+pytestmark = pytest.mark.tier1
+
+EPSILONS = (0.1, 0.8, 3.2)
+
+
+@pytest.fixture(scope="module")
+def us():
+    return load_us(6000)
+
+
+@pytest.mark.parametrize("stream_version", [1, 2])
+class TestRuntimeEquivalencePerVersion:
+    def test_batched_equals_percell(self, us, stream_version):
+        batched = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
+            stream_version=stream_version,
+        )
+        percell = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
+            runtime="percell", stream_version=stream_version,
+        )
+        assert batched.mean_score == percell.mean_score
+        assert batched.std_score == percell.std_score
+
+    def test_tiling_is_invariant(self, us, stream_version):
+        eager = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=2,
+            stream_version=stream_version,
+        )
+        tiled = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=2,
+            tile_size=1, stream_version=stream_version,
+        )
+        assert eager.mean_score == tiled.mean_score
+        assert eager.std_score == tiled.std_score
+
+    def test_executor_is_invariant(self, us, stream_version):
+        serial = evaluate_algorithm(
+            "FM", us, "logistic", dims=5, epsilon=0.8, preset=SMOKE, seed=3,
+            tile_size=1, stream_version=stream_version,
+        )
+        threaded = evaluate_algorithm(
+            "FM", us, "logistic", dims=5, epsilon=0.8, preset=SMOKE, seed=3,
+            tile_size=1, executor="thread", stream_version=stream_version,
+        )
+        assert serial.mean_score == threaded.mean_score
+
+    def test_budget_sweep_batched_equals_percell(self, us, stream_version):
+        batched = evaluate_fm_budget_sweep(
+            us, "linear", dims=5, epsilons=EPSILONS, preset=SMOKE, seed=4,
+            stream_version=stream_version,
+        )
+        percell = evaluate_fm_budget_sweep(
+            us, "linear", dims=5, epsilons=EPSILONS, preset=SMOKE, seed=4,
+            runtime="percell", stream_version=stream_version,
+        )
+        for epsilon in EPSILONS:
+            assert batched[epsilon].mean_score == percell[epsilon].mean_score
+
+    def test_engine_path_agrees(self, us, stream_version):
+        """The streaming engine derives the same (seed, tag, version)
+        noise streams; agreement is to accumulation accuracy."""
+        engine = evaluate_fm_budget_sweep(
+            us, "linear", dims=5, epsilons=(0.8,), preset=SMOKE, seed=4,
+            runtime="engine", stream_version=stream_version,
+        )
+        batched = evaluate_fm_budget_sweep(
+            us, "linear", dims=5, epsilons=(0.8,), preset=SMOKE, seed=4,
+            stream_version=stream_version,
+        )
+        assert engine[0.8].mean_score == pytest.approx(
+            batched[0.8].mean_score, rel=1e-9
+        )
+
+    def test_grouped_panel_equals_individual_runs(self, us, stream_version):
+        grouped = evaluate_algorithms(
+            ["FM", "NoPrivacy"], us, "linear", dims=5, epsilon=0.8,
+            preset=SMOKE, seed=5, stream_version=stream_version,
+        )
+        for name in ("FM", "NoPrivacy"):
+            alone = evaluate_algorithm(
+                name, us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=5,
+                stream_version=stream_version,
+            )
+            assert grouped[name].mean_score == alone.mean_score
+            assert grouped[name].std_score == alone.std_score
+
+
+class TestVersionsDiffer:
+    def test_v2_reshuffles_fm_noise(self, us):
+        """Opting in must actually change the noise streams (the alias fix
+        reseeds every substream) — identical scores would mean the flag is
+        silently ignored somewhere in the stack."""
+        v1 = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
+        )
+        v2 = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
+            stream_version=2,
+        )
+        assert v1.mean_score != v2.mean_score
+
+    def test_rep_data_stream_no_longer_aliases_fold0(self):
+        """The root cause, end to end: under v1 the [key, rep] data stream
+        equals the [key, rep, 0] fold-0 cell stream; under v2 they are
+        independent."""
+        from repro.privacy.rng import derive_substream
+
+        key = 0x51
+        v1_data = derive_substream(3, [key, 0]).integers(0, 1 << 31, size=4)
+        v1_fold0 = derive_substream(3, [key, 0, 0]).integers(0, 1 << 31, size=4)
+        np.testing.assert_array_equal(v1_data, v1_fold0)
+
+        v2_data = derive_substream(3, [key, 0], stream_version=2).integers(
+            0, 1 << 31, size=4
+        )
+        v2_fold0 = derive_substream(3, [key, 0, 0], stream_version=2).integers(
+            0, 1 << 31, size=4
+        )
+        assert not np.array_equal(v2_data, v2_fold0)
