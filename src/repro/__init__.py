@@ -40,9 +40,19 @@ Package map
     Batched cell-solver runtime for the repeated-CV protocol: up-front
     (rep, fold, epsilon) cell planning, stacked LAPACK kernels and a
     masked batched Newton with bitwise-identical scores, plus pluggable
-    serial/thread/process executors for the non-batchable baselines.
+    serial/thread/process executors (one-shot and session-held pooled
+    variants) for the non-batchable baselines.
+``repro.session``
+    The unified Session/ExecutionPolicy API: one frozen, validated,
+    JSON-serializable policy object for every execution knob (layered
+    resolution over ``REPRO_*`` environment variables and policy files)
+    and a Session facade owning cross-call state — prepared-data cache,
+    reusable executor pool, dataset registry.  The canonical entry
+    points; the legacy free functions are deprecation shims over it.
 ``repro.experiments``
     Table-2 parameter grid, cross-validation harness, per-figure drivers.
+``repro.verify``
+    DP conformance and golden-oracle verification (tiers 1-3).
 ``repro.analysis``
     Theorem-2 convergence and Lemma-3/4 approximation-error studies.
 """
@@ -74,6 +84,7 @@ from .exceptions import (
 )
 from .privacy import LaplaceMechanism, PrivacyBudget
 from .runtime import CellPlan, plan_cells, run_plan
+from .session import ExecutionPolicy, Session
 from .regression import (
     FeatureScaler,
     KFold,
@@ -104,6 +115,8 @@ __all__ = [
     "CellPlan",
     "plan_cells",
     "run_plan",
+    "ExecutionPolicy",
+    "Session",
     "BudgetExhaustedError",
     "DataError",
     "DomainError",

@@ -22,17 +22,23 @@ and refits the Functional Mechanism at every requested budget from that one
 pass.  The ``--scale`` presets trade fidelity for time (see
 :mod:`repro.experiments.config`).
 
-Sweep figures accept four execution-runtime knobs (see :mod:`repro.runtime`):
+Execution configuration flows through one resolver
+(:meth:`repro.session.ExecutionPolicy.resolve`): explicit flags beat
+``REPRO_*`` environment variables, which beat a ``REPRO_POLICY_FILE``
+JSON file, which beats the defaults — so ``REPRO_EXECUTOR=thread
+REPRO_TILE_SIZE=1 python -m repro figure5`` configures a run without any
+flags.  The sweep figures' knobs (see :mod:`repro.runtime`):
 ``--runtime batched`` (default) executes every batchable (rep, fold,
 epsilon) cell through stacked LAPACK kernels, while ``--runtime percell``
 forces the per-cell reference path — both produce bitwise-identical scores,
 so the choice only trades wall-clock for auditability.  ``--executor
 serial|thread|process`` selects where parallel work runs (the residual
-non-batchable baseline cells, and whole batched tiles under tiling).
-``--tile-size`` bounds peak memory by materializing at most that many
-repetitions' prepared arrays at a time, and ``--stream-version 2`` opts
-into the alias-free substream derivation — both leave scores bitwise
-unchanged except that stream version 2 deliberately reshuffles all noise.
+non-batchable baseline cells, and whole batched tiles under tiling), with
+``--max-workers`` bounding the pool.  ``--tile-size`` bounds peak memory
+by materializing at most that many repetitions' prepared arrays at a
+time, and ``--stream-version 2`` opts into the alias-free substream
+derivation — both leave scores bitwise unchanged except that stream
+version 2 deliberately reshuffles all noise.
 
 ``verify`` runs the :mod:`repro.verify` conformance subsystem: ``--tier 1``
 is the fast gate (sensitivity certificates, auditor teeth, golden-store
@@ -56,18 +62,13 @@ from ..analysis.convergence import convergence_study
 from ..data import load_brazil, load_us
 from ..engine import AccumulatorCache, EpsilonSweepEngine, ShardedAccumulator
 from ..privacy.rng import derive_substream
+from ..session import ExecutionPolicy, Session, figure_spec
 from ..verify.cli import add_verify_arguments, run_verify
-from .config import DEFAULT, DEFAULT_DIMENSIONALITY, FULL, SMOKE, ScalePreset
+from .config import DEFAULT_DIMENSIONALITY, PRESETS
 from .harness import objective_for, score_from_scores
 from .figures import (
     figure2_objective_example,
     figure3_approximation_example,
-    figure4_dimensionality,
-    figure5_cardinality,
-    figure6_privacy_budget,
-    figure7_time_dimensionality,
-    figure8_time_cardinality,
-    figure9_time_budget,
 )
 from .reporting import (
     format_engine_table,
@@ -79,18 +80,9 @@ from .reporting import (
 
 __all__ = ["main", "build_parser"]
 
-_PRESETS: dict[str, ScalePreset] = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}
+_PRESETS = PRESETS
 
-_ACCURACY_FIGURES = {
-    "figure4": figure4_dimensionality,
-    "figure5": figure5_cardinality,
-    "figure6": figure6_privacy_budget,
-}
-_TIMING_FIGURES = {
-    "figure7": figure7_time_dimensionality,
-    "figure8": figure8_time_cardinality,
-    "figure9": figure9_time_budget,
-}
+_SWEEP_FIGURES = ("figure4", "figure5", "figure6", "figure7", "figure8", "figure9")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -109,19 +101,28 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("figure3", help="logistic objective vs degree-2 approximation")
 
+    # Flag defaults are None so absent flags fall through the policy
+    # resolver's lower layers (REPRO_* environment variables, then the
+    # REPRO_POLICY_FILE file, then the CLI's base defaults).
     def add_runtime_arguments(p: argparse.ArgumentParser) -> None:
         p.add_argument(
-            "--runtime", choices=("batched", "percell"), default="batched",
-            help="cell execution path: 'batched' stacks all closed-form "
-            "(rep, fold, epsilon) solves into one LAPACK call and iterates "
-            "logistic cells through the masked batched Newton; 'percell' is "
-            "the reference loop. Scores are bitwise identical either way.",
+            "--runtime", choices=("batched", "percell"), default=None,
+            help="cell execution path: 'batched' (default) stacks all "
+            "closed-form (rep, fold, epsilon) solves into one LAPACK call "
+            "and iterates logistic cells through the masked batched Newton; "
+            "'percell' is the reference loop. Scores are bitwise identical "
+            "either way.",
         )
         p.add_argument(
-            "--executor", choices=("serial", "thread", "process"), default="serial",
-            help="where parallel work runs: per-cell work (the non-batchable "
-            "baselines, or everything under --runtime percell), and whole "
-            "batched tiles when --tile-size yields more than one tile",
+            "--executor", choices=("serial", "thread", "process"), default=None,
+            help="where parallel work runs (default serial): per-cell work "
+            "(the non-batchable baselines, or everything under --runtime "
+            "percell), and whole batched tiles when --tile-size yields more "
+            "than one tile",
+        )
+        p.add_argument(
+            "--max-workers", type=int, default=None, metavar="N",
+            help="thread/process pool width (default: the executor's own)",
         )
         p.add_argument(
             "--tile-size", type=int, default=None, metavar="REPS",
@@ -131,7 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
             "Scores are bitwise identical at every tiling.",
         )
         p.add_argument(
-            "--stream-version", type=int, choices=(1, 2), default=1,
+            "--stream-version", type=int, choices=(1, 2), default=None,
             help="substream derivation format: 1 (default) is the historical "
             "derivation; 2 fixes the SeedSequence zero-padding alias and "
             "reshuffles every noise stream (explicit opt-in)",
@@ -145,8 +146,10 @@ def build_parser() -> argparse.ArgumentParser:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--country", choices=("us", "brazil"), default="us")
         p.add_argument("--task", choices=("linear", "logistic"), default="linear")
-        p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
-        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scale", choices=sorted(_PRESETS), default=None,
+                       help="compute preset (default: smoke)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="base seed (default: 0)")
         add_runtime_arguments(p)
 
     for name, help_text in [
@@ -156,8 +159,10 @@ def build_parser() -> argparse.ArgumentParser:
     ]:
         p = sub.add_parser(name, help=help_text)
         p.add_argument("--country", choices=("us", "brazil"), default="us")
-        p.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
-        p.add_argument("--seed", type=int, default=0)
+        p.add_argument("--scale", choices=sorted(_PRESETS), default=None,
+                       help="compute preset (default: smoke)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="base seed (default: 0)")
         add_runtime_arguments(p)
 
     conv = sub.add_parser("convergence", help="Theorem-2 convergence study")
@@ -197,7 +202,9 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load(country: str, preset: ScalePreset):
+def _load(country: str, preset):
+    """Load a census table at preset scale (the engine subcommand's path;
+    the figure commands go through :meth:`Session.dataset`)."""
     loader = load_us if country == "us" else load_brazil
     if preset.max_records is not None:
         return loader(preset.max_records)
@@ -323,25 +330,33 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"{p.n:>8} {p.parameter_distance:>16.4f} {p.relative_noise:>14.5f}")
         return 0
 
-    preset = _PRESETS[args.scale]
-    dataset = _load(args.country, preset)
-    if args.command in _ACCURACY_FIGURES:
-        result = _ACCURACY_FIGURES[args.command](
-            dataset, args.task, preset=preset, seed=args.seed,
-            runtime=args.runtime, executor=args.executor,
-            tile_size=args.tile_size, stream_version=args.stream_version,
+    if args.command in _SWEEP_FIGURES:
+        # One resolver for everything: explicit flags > REPRO_* env vars >
+        # REPRO_POLICY_FILE > the CLI's smoke-scale base defaults.
+        policy = ExecutionPolicy.resolve(
+            explicit={
+                "runtime": args.runtime,
+                "executor": args.executor,
+                "max_workers": args.max_workers,
+                "tile_size": args.tile_size,
+                "stream_version": args.stream_version,
+                "scale": args.scale,
+                "seed": args.seed,
+            },
+            base=ExecutionPolicy(scale="smoke"),
         )
-        print(format_sweep_table(result))
-        flags = summarize_ordering(result)
-        print(f"ordering flags: {flags}")
-        return 0
-    if args.command in _TIMING_FIGURES:
-        result = _TIMING_FIGURES[args.command](
-            dataset, preset=preset, seed=args.seed,
-            runtime=args.runtime, executor=args.executor,
-            tile_size=args.tile_size, stream_version=args.stream_version,
-        )
-        print(format_time_table(result))
+        spec = figure_spec(args.command)
+        with Session(policy) as session:
+            dataset = session.dataset(args.country)
+            result = session.figure(
+                args.command, dataset, task=getattr(args, "task", None)
+            )
+        if spec.kind == "time":
+            print(format_time_table(result))
+        else:
+            print(format_sweep_table(result))
+            flags = summarize_ordering(result)
+            print(f"ordering flags: {flags}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

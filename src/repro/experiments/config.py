@@ -43,6 +43,8 @@ __all__ = [
     "SMOKE",
     "DEFAULT",
     "FULL",
+    "PRESETS",
+    "preset_by_name",
 ]
 
 #: Table 2 parameter ranges.
@@ -101,6 +103,16 @@ class ScalePreset:
         return min(available, self.max_records)
 
 
+def preset_by_name(name: str) -> ScalePreset:
+    """Resolve a scale-preset name (the registry behind policy ``scale``)."""
+    try:
+        return PRESETS[name]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown scale preset {name!r}; expected one of {sorted(PRESETS)}"
+        ) from None
+
+
 SMOKE = ScalePreset(name="smoke", max_records=4_000, folds=3, repetitions=1)
 # FM's advantage over the histogram baselines opens up above ~90k records
 # (its coefficient signal grows with n while the injected noise is constant
@@ -108,3 +120,8 @@ SMOKE = ScalePreset(name="smoke", max_records=4_000, folds=3, repetitions=1)
 # while keeping the whole suite in the tens of minutes.
 DEFAULT = ScalePreset(name="default", max_records=200_000, folds=5, repetitions=2)
 FULL = ScalePreset(name="full", max_records=None, folds=5, repetitions=50)
+
+#: The named scale presets an :class:`~repro.session.ExecutionPolicy` (and
+#: the CLI ``--scale`` flag) can select.  Call sites may still pass any
+#: custom :class:`ScalePreset` instance explicitly.
+PRESETS: dict[str, ScalePreset] = {"smoke": SMOKE, "default": DEFAULT, "full": FULL}

@@ -6,6 +6,18 @@ timing sweeps (Figures 7-9) share machinery: the harness measures both the
 held-out metric and the fit wall-time, so a timing figure is the time-view
 of the corresponding accuracy sweep restricted to the logistic task (as in
 the paper: "we only report the results for logistic regression").
+
+Since the :mod:`repro.session` API landed, the sweep drivers are
+**compatibility shims**: what each figure runs is declared once in
+:data:`repro.session.registry.FIGURE_SPECS`, and the public
+``figure4_dimensionality`` ... ``figure9_time_budget`` functions warn,
+build a one-shot :class:`~repro.session.Session` from their kwargs and
+dispatch through :meth:`~repro.session.Session.figure` — replacing the
+six hand-copied execution-kwarg pass-through blocks they used to carry.
+The private ``_accuracy_sweep_impl`` / ``_budget_sweep_impl`` bodies stay
+here as the single sweep machinery both worlds execute (bitwise
+identically).  Figures 2-3 (the worked examples) take no execution kwargs
+and are not shimmed.
 """
 
 from __future__ import annotations
@@ -24,7 +36,6 @@ from .config import (
     DEFAULT,
     DEFAULT_DIMENSIONALITY,
     DEFAULT_EPSILON,
-    DIMENSIONALITIES,
     LINEAR_ALGORITHMS,
     LOGISTIC_ALGORITHMS,
     PRIVACY_BUDGETS,
@@ -33,8 +44,8 @@ from .config import (
 )
 from .harness import (
     EvaluationResult,
-    evaluate_algorithms,
-    evaluate_fm_budget_sweep,
+    _evaluate_algorithms_impl,
+    _evaluate_fm_budget_sweep_impl,
 )
 
 __all__ = [
@@ -171,7 +182,7 @@ def _algorithms_for(task: Task) -> tuple[str, ...]:
     return LINEAR_ALGORITHMS if task == "linear" else LOGISTIC_ALGORITHMS
 
 
-def accuracy_sweep(
+def _accuracy_sweep_impl(
     dataset: CensusDataset,
     task: Task,
     parameter: Literal["dimensionality", "sampling_rate", "epsilon"],
@@ -181,19 +192,26 @@ def accuracy_sweep(
     algorithms: Sequence[str] | None = None,
     seed: int = 0,
     runtime: str = "batched",
-    executor: str = "serial",
+    executor="serial",
     tile_size: int | None = None,
     stream_version: int = 1,
+    prepared_cache=None,
 ) -> SweepResult:
-    """Evaluate all panel algorithms across one Table-2 parameter sweep.
+    """The sweep machinery behind every accuracy/timing figure.
 
-    Non-swept parameters sit at their Table-2 defaults.  ``runtime``,
-    ``executor``, ``tile_size`` and ``stream_version`` select the cell
-    execution path (see :func:`~repro.experiments.harness.evaluate_algorithm`);
-    scores are bitwise identical across runtimes, executors and tilings.
-    Each sweep point evaluates its whole algorithm panel as one grouped
-    run, sharing prepared data and merging same-kernel-class solves
-    (:func:`~repro.experiments.harness.evaluate_algorithms`).
+    Non-swept parameters sit at their Table-2 defaults; each sweep point
+    evaluates its whole algorithm panel as one grouped run, sharing
+    prepared data and merging same-kernel-class solves.  Scores are
+    bitwise identical across runtimes, executors and tilings.
+
+    ``prepared_cache`` may span the whole sweep (a session's persistent
+    cache): identity-case task arrays are shared across points (they are
+    materialized at planning time, outside the fit clock), while
+    fold-level moment blocks can never collide across points — each
+    point's ``seed + 1000 * i`` derives distinct fold permutations, and
+    the moment key includes the train-index digest — so the timing
+    figures' reported fit times keep the per-point attribution of the
+    pre-session code within a sweep.
     """
     algorithms = tuple(algorithms or _algorithms_for(task))
     series: dict[str, list[EvaluationResult]] = {name: [] for name in algorithms}
@@ -201,7 +219,7 @@ def accuracy_sweep(
         dims = value if parameter == "dimensionality" else DEFAULT_DIMENSIONALITY
         rate = value if parameter == "sampling_rate" else 1.0
         epsilon = value if parameter == "epsilon" else DEFAULT_EPSILON
-        point = evaluate_algorithms(
+        point = _evaluate_algorithms_impl(
             algorithms,
             dataset,
             task,
@@ -214,6 +232,7 @@ def accuracy_sweep(
             executor=executor,
             tile_size=tile_size,
             stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
         for name in algorithms:
             series[name].append(point[name])
@@ -227,44 +246,7 @@ def accuracy_sweep(
     )
 
 
-def figure4_dimensionality(
-    dataset: CensusDataset,
-    task: Task,
-    preset: ScalePreset = DEFAULT,
-    seed: int = 4,
-    runtime: str = "batched",
-    executor: str = "serial",
-    tile_size: int | None = None,
-    stream_version: int = 1,
-) -> SweepResult:
-    """Figure 4: accuracy vs dataset dimensionality (5, 8, 11, 14)."""
-    return accuracy_sweep(
-        dataset, task, "dimensionality", DIMENSIONALITIES, figure="figure4",
-        preset=preset, seed=seed, runtime=runtime, executor=executor,
-        tile_size=tile_size, stream_version=stream_version,
-    )
-
-
-def figure5_cardinality(
-    dataset: CensusDataset,
-    task: Task,
-    preset: ScalePreset = DEFAULT,
-    seed: int = 5,
-    rates: Sequence[float] = SAMPLING_RATES,
-    runtime: str = "batched",
-    executor: str = "serial",
-    tile_size: int | None = None,
-    stream_version: int = 1,
-) -> SweepResult:
-    """Figure 5: accuracy vs dataset cardinality (sampling rate 0.1-1.0)."""
-    return accuracy_sweep(
-        dataset, task, "sampling_rate", tuple(rates), figure="figure5",
-        preset=preset, seed=seed, runtime=runtime, executor=executor,
-        tile_size=tile_size, stream_version=stream_version,
-    )
-
-
-def _budget_sweep(
+def _budget_sweep_impl(
     dataset: CensusDataset,
     task: Task,
     figure: str,
@@ -272,38 +254,43 @@ def _budget_sweep(
     seed: int,
     engine: bool,
     runtime: str = "batched",
-    executor: str = "serial",
+    executor="serial",
     tile_size: int | None = None,
     stream_version: int = 1,
+    prepared_cache=None,
+    shards: int = 1,
 ) -> SweepResult:
-    """Shared driver for the budget-sweep figures (6 and 9).
+    """Shared machinery for the budget-sweep figures (6 and 9).
 
-    With ``engine=True`` the FM series routes through
-    :func:`~repro.experiments.harness.evaluate_fm_budget_sweep`: one
-    aggregation per (repetition, fold) refit at every budget, so FM's share
-    of the sweep costs one data pass instead of one per epsilon — and under
-    the default batched runtime all of those refits are one stacked solve.
-    The other algorithms keep the per-point loop (their fits genuinely
-    depend on epsilon-specific passes), batched per sweep point.
+    With ``engine=True`` the FM series routes through the one-pass
+    budget sweep: one aggregation per (repetition, fold) refit at every
+    budget, so FM's share of the sweep costs one data pass instead of one
+    per epsilon — and under the default batched runtime all of those
+    refits are one stacked solve.  The other algorithms keep the
+    per-point loop (their fits genuinely depend on epsilon-specific
+    passes), batched per sweep point.
     """
     algorithms = _algorithms_for(task)
     if not engine:
-        return accuracy_sweep(
+        return _accuracy_sweep_impl(
             dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
             preset=preset, seed=seed, runtime=runtime, executor=executor,
             tile_size=tile_size, stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
-    others = accuracy_sweep(
+    others = _accuracy_sweep_impl(
         dataset, task, "epsilon", PRIVACY_BUDGETS, figure=figure,
         preset=preset, seed=seed, runtime=runtime, executor=executor,
         tile_size=tile_size, stream_version=stream_version,
         algorithms=[name for name in algorithms if name != "FM"],
+        prepared_cache=prepared_cache,
     )
-    fm = evaluate_fm_budget_sweep(
+    fm = _evaluate_fm_budget_sweep_impl(
         dataset, task, dims=DEFAULT_DIMENSIONALITY, epsilons=PRIVACY_BUDGETS,
-        preset=preset, seed=seed,
+        preset=preset, seed=seed, shards=shards,
         runtime="auto" if runtime == "batched" else runtime,
         executor=executor, tile_size=tile_size, stream_version=stream_version,
+        prepared_cache=prepared_cache,
     )
     series: dict[str, tuple[EvaluationResult, ...]] = {}
     for name in algorithms:  # preserve the paper's legend order
@@ -321,6 +308,119 @@ def _budget_sweep(
     )
 
 
+# ----------------------------------------------------------------------
+# Deprecated driver shims (see repro.session.registry for the specs)
+# ----------------------------------------------------------------------
+def _legacy_figure(
+    name: str,
+    entry_point: str,
+    dataset: CensusDataset,
+    task: Task | None,
+    preset: ScalePreset,
+    seed: int,
+    runtime: str,
+    executor,
+    tile_size: int | None,
+    stream_version: int | None,
+    values: Sequence | None = None,
+    engine: bool | None = None,
+) -> SweepResult:
+    """One-shot-session dispatch shared by every deprecated driver."""
+    from ..session.compat import legacy_session
+
+    with legacy_session(
+        entry_point,
+        runtime=runtime,
+        executor=executor,
+        tile_size=tile_size,
+        stream_version=stream_version,
+        seed=seed,
+        stacklevel=5,  # user -> figureN shim -> _legacy_figure -> here
+    ) as (session, override):
+        return session.figure(
+            name, dataset, task, preset=preset, seed=seed,
+            values=values, engine=engine, executor=override,
+        )
+
+
+def accuracy_sweep(
+    dataset: CensusDataset,
+    task: Task,
+    parameter: Literal["dimensionality", "sampling_rate", "epsilon"],
+    values: Sequence,
+    figure: str,
+    preset: ScalePreset = DEFAULT,
+    algorithms: Sequence[str] | None = None,
+    seed: int = 0,
+    runtime: str = "batched",
+    executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int | None = None,
+) -> SweepResult:
+    """Evaluate all panel algorithms across one Table-2 parameter sweep.
+
+    .. deprecated::
+        Superseded by :meth:`repro.session.Session.sweep` with
+        bitwise-identical results.
+    """
+    from ..session.compat import legacy_session
+
+    with legacy_session(
+        "accuracy_sweep",
+        runtime=runtime,
+        executor=executor,
+        tile_size=tile_size,
+        stream_version=stream_version,
+        seed=seed,
+    ) as (session, override):
+        return session.sweep(
+            dataset, task, parameter, tuple(values), figure,
+            preset=preset, algorithms=algorithms, seed=seed,
+            executor=override,
+        )
+
+
+def figure4_dimensionality(
+    dataset: CensusDataset,
+    task: Task,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 4,
+    runtime: str = "batched",
+    executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int | None = None,
+) -> SweepResult:
+    """Figure 4: accuracy vs dataset dimensionality (5, 8, 11, 14).
+
+    .. deprecated:: use ``Session.figure("figure4", ...)``.
+    """
+    return _legacy_figure(
+        "figure4", "figure4_dimensionality", dataset, task, preset, seed,
+        runtime, executor, tile_size, stream_version,
+    )
+
+
+def figure5_cardinality(
+    dataset: CensusDataset,
+    task: Task,
+    preset: ScalePreset = DEFAULT,
+    seed: int = 5,
+    rates: Sequence[float] = SAMPLING_RATES,
+    runtime: str = "batched",
+    executor: str = "serial",
+    tile_size: int | None = None,
+    stream_version: int | None = None,
+) -> SweepResult:
+    """Figure 5: accuracy vs dataset cardinality (sampling rate 0.1-1.0).
+
+    .. deprecated:: use ``Session.figure("figure5", ..., values=rates)``.
+    """
+    return _legacy_figure(
+        "figure5", "figure5_cardinality", dataset, task, preset, seed,
+        runtime, executor, tile_size, stream_version, values=tuple(rates),
+    )
+
+
 def figure6_privacy_budget(
     dataset: CensusDataset,
     task: Task,
@@ -330,7 +430,7 @@ def figure6_privacy_budget(
     runtime: str = "batched",
     executor: str = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> SweepResult:
     """Figure 6: accuracy vs privacy budget (epsilon 0.1-3.2).
 
@@ -338,10 +438,13 @@ def figure6_privacy_budget(
     reference lines.  By default FM is computed by the one-pass
     :mod:`repro.engine` sweep; pass ``engine=False`` for the historical
     per-point loop.
+
+    .. deprecated:: use ``Session.figure("figure6", ...)``.
     """
-    return _budget_sweep(dataset, task, "figure6", preset, seed, engine,
-                         runtime=runtime, executor=executor,
-                         tile_size=tile_size, stream_version=stream_version)
+    return _legacy_figure(
+        "figure6", "figure6_privacy_budget", dataset, task, preset, seed,
+        runtime, executor, tile_size, stream_version, engine=engine,
+    )
 
 
 def figure7_time_dimensionality(
@@ -351,13 +454,15 @@ def figure7_time_dimensionality(
     runtime: str = "batched",
     executor: str = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> SweepResult:
-    """Figure 7: computation time vs dimensionality (logistic task)."""
-    return accuracy_sweep(
-        dataset, "logistic", "dimensionality", DIMENSIONALITIES,
-        figure="figure7", preset=preset, seed=seed, runtime=runtime,
-        executor=executor, tile_size=tile_size, stream_version=stream_version,
+    """Figure 7: computation time vs dimensionality (logistic task).
+
+    .. deprecated:: use ``Session.figure("figure7", ...)``.
+    """
+    return _legacy_figure(
+        "figure7", "figure7_time_dimensionality", dataset, None, preset,
+        seed, runtime, executor, tile_size, stream_version,
     )
 
 
@@ -369,13 +474,15 @@ def figure8_time_cardinality(
     runtime: str = "batched",
     executor: str = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> SweepResult:
-    """Figure 8: computation time vs cardinality (logistic task)."""
-    return accuracy_sweep(
-        dataset, "logistic", "sampling_rate", tuple(rates),
-        figure="figure8", preset=preset, seed=seed, runtime=runtime,
-        executor=executor, tile_size=tile_size, stream_version=stream_version,
+    """Figure 8: computation time vs cardinality (logistic task).
+
+    .. deprecated:: use ``Session.figure("figure8", ..., values=rates)``.
+    """
+    return _legacy_figure(
+        "figure8", "figure8_time_cardinality", dataset, None, preset, seed,
+        runtime, executor, tile_size, stream_version, values=tuple(rates),
     )
 
 
@@ -387,14 +494,17 @@ def figure9_time_budget(
     runtime: str = "batched",
     executor: str = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> SweepResult:
     """Figure 9: computation time vs privacy budget (logistic task).
 
     With ``engine=True`` (default) FM's times reflect the one-pass engine:
     per-epsilon marginal solve time plus an amortized share of the single
     statistics pass.
+
+    .. deprecated:: use ``Session.figure("figure9", ...)``.
     """
-    return _budget_sweep(dataset, "logistic", "figure9", preset, seed, engine,
-                         runtime=runtime, executor=executor,
-                         tile_size=tile_size, stream_version=stream_version)
+    return _legacy_figure(
+        "figure9", "figure9_time_budget", dataset, None, preset, seed,
+        runtime, executor, tile_size, stream_version, engine=engine,
+    )

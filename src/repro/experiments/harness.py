@@ -32,6 +32,13 @@ aggregated **once** and refit at every budget — O(1 data pass + n_eps
 solves) instead of O(n_eps) passes.  The default routes through the batched
 runtime; ``runtime="engine"`` keeps PR 1's streaming
 :mod:`repro.engine` path (and is implied by ``shards > 1``).
+
+Deprecation note: the public functions here are **compatibility shims**
+since the :mod:`repro.session` API landed — each one warns, builds a
+one-shot :class:`~repro.session.Session` from its kwargs, and delegates
+to the private ``_*_impl`` twins the session entry points call directly.
+Results are bitwise identical either way (asserted by
+``tests/session/test_session_equivalence.py``); only the warning differs.
 """
 
 from __future__ import annotations
@@ -160,9 +167,15 @@ def evaluate_algorithm(
     runtime: str = "batched",
     executor: str | CellExecutor = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> EvaluationResult:
     """Run the full repeated-CV protocol for one algorithm at one sweep point.
+
+    .. deprecated::
+        Threading execution kwargs per call is superseded by
+        :class:`repro.session.Session` —
+        ``Session(policy).evaluate(algorithm, dataset, task, dims,
+        epsilon, ...)`` — with bitwise-identical results.
 
     Parameters
     ----------
@@ -198,9 +211,56 @@ def evaluate_algorithm(
         historical one-rep-at-a-time memory profile).  Scores are bitwise
         identical at every tiling.
     stream_version:
-        :func:`~repro.privacy.rng.derive_substream` format; the default 1
-        is the historical derivation, 2 opts into the fixed (alias-free)
+        :func:`~repro.privacy.rng.derive_substream` format; ``None``
+        follows :data:`repro.session.DEFAULT_STREAM_VERSION` (currently
+        1, the historical derivation); 2 opts into the fixed (alias-free)
         derivation and reshuffles every noise stream.
+    """
+    from ..session.compat import legacy_session
+
+    with legacy_session(
+        "evaluate_algorithm",
+        runtime=runtime,
+        executor=executor,
+        tile_size=tile_size,
+        stream_version=stream_version,
+        seed=seed,
+    ) as (session, override):
+        return session.evaluate(
+            algorithm,
+            dataset,
+            task,
+            dims,
+            epsilon,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            algorithm_kwargs=algorithm_kwargs,
+            executor=override,
+        )
+
+
+def _evaluate_algorithm_impl(
+    algorithm: str,
+    dataset: CensusDataset,
+    task: Task,
+    dims: int,
+    epsilon: float,
+    preset: ScalePreset = DEFAULT,
+    sampling_rate: float = 1.0,
+    seed: int = 0,
+    algorithm_kwargs: Mapping | None = None,
+    runtime: str = "batched",
+    executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
+    prepared_cache: PreparedDataCache | None = None,
+) -> EvaluationResult:
+    """The protocol body behind :func:`evaluate_algorithm` (no warning).
+
+    ``prepared_cache`` opts into cross-call prepared-data reuse (a
+    session passes its persistent cache); every other parameter is
+    documented on the public shim.
     """
     if tile_size is None:
         plan = plan_cells(
@@ -214,6 +274,7 @@ def evaluate_algorithm(
             seed=seed,
             algorithm_kwargs=algorithm_kwargs,
             stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
     else:
         plan = plan_cells_tiled(
@@ -228,6 +289,7 @@ def evaluate_algorithm(
             algorithm_kwargs=algorithm_kwargs,
             tile_size=tile_size,
             stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
     outcome = run_plan(plan, mode=runtime, executor=executor)
     return _result_for_epsilon(outcome, algorithm, task, float(epsilon))
@@ -247,9 +309,13 @@ def evaluate_fm_budget_sweep(
     runtime: str = "auto",
     executor: str | CellExecutor = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> dict[float, EvaluationResult]:
     """Run FM's repeated-CV protocol at *all* budgets with one pass per cell.
+
+    .. deprecated::
+        Superseded by :meth:`repro.session.Session.budget_sweep` with
+        bitwise-identical results.
 
     Mirrors :func:`evaluate_algorithm` for the ``"FM"`` algorithm across an
     epsilon vector, but instead of refitting from the raw data per budget,
@@ -278,6 +344,49 @@ def evaluate_fm_budget_sweep(
         runtime paths (the engine path already streams one repetition at a
         time and ignores it).
     """
+    from ..session.compat import legacy_session
+
+    with legacy_session(
+        "evaluate_fm_budget_sweep",
+        runtime=runtime,
+        executor=executor,
+        tile_size=tile_size,
+        stream_version=stream_version,
+        seed=seed,
+        shards=shards,
+    ) as (session, override):
+        return session.budget_sweep(
+            dataset,
+            task,
+            dims,
+            epsilons,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            post_processing=post_processing,
+            tight_sensitivity=tight_sensitivity,
+            executor=override,
+        )
+
+
+def _evaluate_fm_budget_sweep_impl(
+    dataset: CensusDataset,
+    task: Task,
+    dims: int,
+    epsilons: Sequence[float],
+    preset: ScalePreset = DEFAULT,
+    sampling_rate: float = 1.0,
+    seed: int = 0,
+    shards: int = 1,
+    post_processing: str = "spectral",
+    tight_sensitivity: bool = False,
+    runtime: str = "auto",
+    executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
+    prepared_cache: PreparedDataCache | None = None,
+) -> dict[float, EvaluationResult]:
+    """The sweep body behind :func:`evaluate_fm_budget_sweep` (no warning)."""
     epsilon_values = [float(e) for e in epsilons]
     if not epsilon_values:
         raise ExperimentError("epsilons must be non-empty")
@@ -320,6 +429,7 @@ def evaluate_fm_budget_sweep(
             seed=seed,
             algorithm_kwargs=fm_kwargs,
             stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
     else:
         plan = plan_cells_tiled(
@@ -334,6 +444,7 @@ def evaluate_fm_budget_sweep(
             algorithm_kwargs=fm_kwargs,
             tile_size=tile_size,
             stream_version=stream_version,
+            prepared_cache=prepared_cache,
         )
     outcome = run_plan(plan, mode=runtime, executor=executor)
     return {
@@ -438,9 +549,13 @@ def evaluate_algorithms(
     runtime: str = "batched",
     executor: str | CellExecutor = "serial",
     tile_size: int | None = None,
-    stream_version: int = 1,
+    stream_version: int | None = None,
 ) -> dict[str, EvaluationResult]:
     """Evaluate several algorithms at one sweep point; keyed by name.
+
+    .. deprecated::
+        Superseded by :meth:`repro.session.Session.evaluate_panel` with
+        bitwise-identical results.
 
     All algorithms plan over one shared
     :class:`~repro.runtime.PreparedDataCache` — each repetition's prepared
@@ -460,7 +575,50 @@ def evaluate_algorithms(
     per algorithm — the minimal-memory schedule; pass a larger
     ``tile_size`` to trade memory for fewer, larger dispatches.
     """
-    cache = PreparedDataCache()
+    from ..session.compat import legacy_session
+
+    with legacy_session(
+        "evaluate_algorithms",
+        runtime=runtime,
+        executor=executor,
+        tile_size=tile_size,
+        stream_version=stream_version,
+        seed=seed,
+    ) as (session, override):
+        return session.evaluate_panel(
+            algorithms,
+            dataset,
+            task,
+            dims,
+            epsilon,
+            preset=preset,
+            sampling_rate=sampling_rate,
+            seed=seed,
+            executor=override,
+        )
+
+
+def _evaluate_algorithms_impl(
+    algorithms: Sequence[str],
+    dataset: CensusDataset,
+    task: Task,
+    dims: int,
+    epsilon: float,
+    preset: ScalePreset = DEFAULT,
+    sampling_rate: float = 1.0,
+    seed: int = 0,
+    runtime: str = "batched",
+    executor: str | CellExecutor = "serial",
+    tile_size: int | None = None,
+    stream_version: int = 1,
+    prepared_cache: PreparedDataCache | None = None,
+) -> dict[str, EvaluationResult]:
+    """The grouped-panel body behind :func:`evaluate_algorithms`.
+
+    ``prepared_cache`` defaults to a fresh per-call cache (the legacy
+    behaviour); a session passes its persistent one.
+    """
+    cache = PreparedDataCache() if prepared_cache is None else prepared_cache
     plans = [
         plan_cells_tiled(
             name,

@@ -24,6 +24,8 @@ cross-algorithm stacked solves.
 
 from .executor import (
     CellExecutor,
+    PooledProcessExecutor,
+    PooledThreadExecutor,
     ProcessExecutor,
     SerialExecutor,
     ThreadExecutor,
@@ -61,6 +63,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PooledThreadExecutor",
+    "PooledProcessExecutor",
     "get_executor",
     "NewtonBatchResult",
     "SpectralBatchResult",

@@ -28,11 +28,37 @@ kernels, and only the lightweight per-cell score/time lists travel back.
     parent holds none.  On platforms without ``fork`` the executor
     degrades to serial execution.
 
+Pooled (session-held) variants
+------------------------------
+``ThreadExecutor`` and ``ProcessExecutor`` build a fresh pool inside every
+``map`` call — the right lifecycle for one-shot runs, and (for processes)
+the prerequisite of the COW trick above, which can only share state that
+existed *before* the fork.  A long-lived :class:`repro.session.Session`
+instead wants one pool reused across many calls, so this module also ships
+
+``PooledThreadExecutor``
+    A lazily created, persistent thread pool, reused by every ``map``
+    until :meth:`~PooledThreadExecutor.close`.
+``PooledProcessExecutor``
+    A lazily created, persistent ``fork``-context process pool.  Because
+    its workers outlive any single call, work **cannot** reach them by
+    fork-time inheritance — each ``map`` pickles the work callable (and
+    its payload) instead.  The runner's work objects are picklable by
+    design (module-level callables over picklable plans); the trade is
+    per-call serialization instead of per-call pool spin-up, which wins
+    whenever calls are frequent relative to their payload size (the
+    serving workload Sessions exist for) and is measured by
+    ``benchmarks/bench_harness_scaling.py``.
+
+Both pooled executors are context managers and idempotently ``close()``-
+able; a closed executor transparently re-creates its pool on next use.
+
 Determinism contract: executors only change *where* an item runs.  Each
 cell's RNG substream is derived from its (seed, tag) key, results are
 assigned by input position (``map`` output order == input order, which is
-what makes the runner's tile-ordered reduction deterministic), so scores
-are bitwise identical across executors and worker counts.
+what makes the runner's tile-ordered reduction deterministic), and pickled
+numpy arrays round-trip bit-exactly, so scores are bitwise identical
+across executors, worker counts, and pool lifecycles.
 """
 
 from __future__ import annotations
@@ -50,6 +76,8 @@ __all__ = [
     "SerialExecutor",
     "ThreadExecutor",
     "ProcessExecutor",
+    "PooledThreadExecutor",
+    "PooledProcessExecutor",
     "get_executor",
 ]
 
@@ -147,6 +175,115 @@ class ProcessExecutor(CellExecutor):
                 )
         finally:
             del _SHARED_WORK[token]
+
+
+class PooledThreadExecutor(CellExecutor):
+    """A persistent thread pool reused across ``map`` calls.
+
+    Functionally identical to :class:`ThreadExecutor` (threads share the
+    parent's memory, so nothing about the work changes); the only
+    difference is pool lifecycle — created lazily on first use, reused
+    until :meth:`close`, re-created transparently after.
+    """
+
+    name = "pooled-thread"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._pool: concurrent.futures.ThreadPoolExecutor | None = None
+
+    @property
+    def pool(self):
+        """The live pool, or ``None`` before first use / after close."""
+        return self._pool
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(self.max_workers)
+        return self._pool
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        if len(items) <= 1:
+            return [work(item) for item in items]
+        return list(self._ensure_pool().map(work, items))
+
+    def close(self) -> None:
+        """Shut the pool down; the next ``map`` builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PooledThreadExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class PooledProcessExecutor(CellExecutor):
+    """A persistent ``fork``-context process pool reused across ``map`` calls.
+
+    Work reaches the long-lived workers **by pickle** — the COW trick of
+    :class:`ProcessExecutor` only shares state that existed before the
+    fork, and a reusable pool forks once.  Work callables must therefore
+    be picklable (the runner's are); chunking pickles each callable about
+    ``max_workers`` times per call rather than once per item.  Results are
+    still position-assigned (``map`` output order == input order), and
+    numpy arrays survive pickling bit-exactly, so scores are bitwise
+    identical to every other executor.
+
+    On platforms without ``fork`` the executor degrades to serial
+    execution, like its one-shot sibling.
+    """
+
+    name = "pooled-process"
+
+    def __init__(self, max_workers: int | None = None) -> None:
+        self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self._pool: concurrent.futures.ProcessPoolExecutor | None = None
+
+    @property
+    def pool(self):
+        """The live pool, or ``None`` before first use / after close."""
+        return self._pool
+
+    def _ensure_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        if self._pool is None:
+            context = multiprocessing.get_context("fork")
+            self._pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+        return self._pool
+
+    def map(self, work: Callable, items: Sequence) -> list:
+        if len(items) <= 1:
+            return [work(item) for item in items]
+        try:
+            pool = self._ensure_pool()
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return SerialExecutor().map(work, items)
+        chunksize = -(-len(items) // self.max_workers)
+        try:
+            return list(pool.map(work, items, chunksize=chunksize))
+        except concurrent.futures.process.BrokenProcessPool:
+            # A dead worker poisons the whole persistent pool.  The call
+            # still fails (like the one-shot executor's would), but drop
+            # the carcass so the session's next call forks a fresh pool
+            # instead of failing forever.
+            self.close()
+            raise
+
+    def close(self) -> None:
+        """Shut the pool down; the next ``map`` builds a fresh one."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> "PooledProcessExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
 
 _EXECUTORS = {

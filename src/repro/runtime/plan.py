@@ -196,6 +196,15 @@ class PreparedDataCache:
         self._tasks: dict[tuple, tuple[weakref.ref, object]] = {}
         self._moments: dict[tuple, tuple[weakref.ref, weakref.ref, object]] = {}
 
+    def __reduce__(self):
+        # A cache's entries are keyed by object identity and held through
+        # weak references — both meaningless in another process.  Work
+        # shipped to a persistent process pool (PooledProcessExecutor)
+        # pickles plans that carry a cache, so pickle one as a fresh empty
+        # cache: the receiver rebuilds what it needs, and every rebuild
+        # produces the identical values (the cache is pure optimization).
+        return (type(self), ())
+
     def task_arrays(self, dataset, task: Task, dims: int):
         """The shared ``regression_task`` result for the identity case."""
         key = (id(dataset), task, int(dims))
@@ -206,6 +215,8 @@ class PreparedDataCache:
                 return prepared
         prepared = dataset.regression_task(task, dims=dims)
         self._tasks[key] = (weakref.ref(dataset), prepared)
+        if len(self._tasks) % 64 == 0:
+            self._prune()
         return prepared
 
     @staticmethod
@@ -240,15 +251,22 @@ class PreparedDataCache:
         return value
 
     def _prune(self) -> None:
-        """Drop moment entries whose arrays have been garbage collected.
+        """Drop entries whose source objects have been garbage collected.
 
-        Iterates over a snapshot and deletes with ``pop``: concurrent tile
-        threads may insert into the cache mid-prune, and iterating the live
-        dict would raise ``RuntimeError: dictionary changed size``.
+        Sweeps both maps: moment entries whose split arrays died, and task
+        entries whose dataset died — the latter matters for a session-
+        lifetime cache, where the prepared arrays of a transient dataset
+        would otherwise stay strongly referenced forever.  Iterates over a
+        snapshot and deletes with ``pop``: concurrent tile threads may
+        insert into the cache mid-prune, and iterating the live dict would
+        raise ``RuntimeError: dictionary changed size``.
         """
         for key, (x_ref, y_ref, _) in list(self._moments.items()):
             if x_ref() is None or y_ref() is None:
                 self._moments.pop(key, None)
+        for key, (dataset_ref, _) in list(self._tasks.items()):
+            if dataset_ref() is None:
+                self._tasks.pop(key, None)
 
 
 # ----------------------------------------------------------------------

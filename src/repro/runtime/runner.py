@@ -208,16 +208,20 @@ def _scores_for_fold(
 # ----------------------------------------------------------------------
 # Reference oracle
 # ----------------------------------------------------------------------
-def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
-    """Fit and score every cell independently (the reference path).
+@dataclass
+class _PercellFoldWork:
+    """Fit/score one fold of the plan per call — the per-cell work unit.
 
-    Each fold derives one generator, consumed sequentially across the
-    epsilon axis — for a single-budget plan this is exactly the historical
-    harness cell; for a multi-budget plan it matches the documented
-    loop-equivalence of :meth:`repro.engine.EpsilonSweepEngine.sweep`.
+    A module-level callable (not a closure) so persistent process pools
+    can ship it by pickle; items are fold *indices*, which keeps the heavy
+    plan pickled once per chunk rather than once per item.  The one-shot
+    COW executors never pickle it at all.
     """
 
-    def work(fold):
+    plan: CellPlan
+
+    def __call__(self, index: int) -> tuple[list[float], list[float]]:
+        plan, fold = self.plan, self.plan.folds[index]
         gen = plan.substream(fold)
         X_train, y_train = fold.train_arrays()
         X_test, y_test = fold.test_arrays()
@@ -236,7 +240,16 @@ def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
             cell_scores.append(model.score(X_test, y_test))
         return cell_scores, cell_times
 
-    outcomes = executor.map(work, plan.folds)
+
+def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
+    """Fit and score every cell independently (the reference path).
+
+    Each fold derives one generator, consumed sequentially across the
+    epsilon axis — for a single-budget plan this is exactly the historical
+    harness cell; for a multi-budget plan it matches the documented
+    loop-equivalence of :meth:`repro.engine.EpsilonSweepEngine.sweep`.
+    """
+    outcomes = executor.map(_PercellFoldWork(plan), range(len(plan.folds)))
     scores = {e: [] for e in plan.epsilons}
     fit_seconds = {e: [] for e in plan.epsilons}
     for cell_scores, cell_times in outcomes:
@@ -658,6 +671,30 @@ def _run_group_eager(
     return results  # type: ignore[return-value]
 
 
+@dataclass
+class _TileGroupWork:
+    """Materialize and execute one tile of every plan in the group.
+
+    Module-level and picklable (plans pickle their datasets; a carried
+    ``PreparedDataCache`` pickles as a fresh one) so a persistent process
+    pool can ship whole tiles; the one-shot fork executor keeps reaching
+    it through copy-on-write without any pickling.  Only the lightweight
+    score/time lists travel back either way.
+    """
+
+    plans: tuple[TiledPlan, ...]
+    mode: str
+    inner: CellExecutor
+
+    def __call__(self, index: int) -> list[tuple[dict, dict, int]]:
+        tile_plans = [plan.tile(index) for plan in self.plans]
+        tile_results = _run_group_eager(tile_plans, self.mode, self.inner)
+        return [
+            (outcome.scores, outcome.fit_seconds, tile_plan.n_train)
+            for outcome, tile_plan in zip(tile_results, tile_plans)
+        ]
+
+
 def _run_group_tiled(
     tiled: list[TiledPlan], mode: str, executor: CellExecutor
 ) -> list[PlanResult]:
@@ -681,16 +718,9 @@ def _run_group_tiled(
         )
     n_tiles = tiled[0].n_tiles
     inner = executor if n_tiles == 1 else SerialExecutor()
-
-    def tile_work(index: int) -> list[tuple[dict, dict, int]]:
-        tile_plans = [plan.tile(index) for plan in tiled]
-        tile_results = _run_group_eager(tile_plans, mode, inner)
-        return [
-            (outcome.scores, outcome.fit_seconds, tile_plan.n_train)
-            for outcome, tile_plan in zip(tile_results, tile_plans)
-        ]
-
-    tile_outcomes = executor.map(tile_work, list(range(n_tiles)))
+    tile_outcomes = executor.map(
+        _TileGroupWork(tuple(tiled), mode, inner), list(range(n_tiles))
+    )
     scores: list[dict[float, list[float]]] = [
         {e: [] for e in plan.epsilons} for plan in tiled
     ]

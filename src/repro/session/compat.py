@@ -1,0 +1,99 @@
+"""Compatibility plumbing for the legacy kwarg-blob entry points.
+
+Every pre-session entry point (``evaluate_algorithm``, the figure
+drivers, ...) keeps working: it emits a :class:`DeprecationWarning`
+naming its policy equivalent, builds a **one-shot session** from its own
+kwargs, and delegates.  One-shot sessions run with ``reuse_pool=False``,
+so a deprecated call executes through exactly the legacy pool lifecycle
+(fresh pool per call, fork-time copy-on-write for processes) — results
+are bitwise identical to the pre-session code by construction, and
+asserted by ``tests/session/test_session_equivalence.py``.
+
+Deprecation timeline: the shims stay through the current major version;
+new in-repo code must not call them (CI runs the CLI and the verify
+tiers under ``-W error::DeprecationWarning`` to prove it).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import warnings
+
+from ..runtime import CellExecutor
+from .policy import ExecutionPolicy
+from .session import Session
+
+__all__ = ["legacy_session"]
+
+
+def _policy_fields(
+    runtime: str | None,
+    executor,
+    tile_size: int | None,
+    stream_version: int | None,
+    seed,
+    shards: int | None = None,
+) -> tuple[dict, CellExecutor | None]:
+    """Legacy kwargs -> (policy fields, executor-instance override).
+
+    ``None`` values fall through to the policy defaults — which is what
+    centralizes the pending ``stream_version`` flip: a legacy call that
+    never pinned a version tracks :data:`~repro.session.policy
+    .DEFAULT_STREAM_VERSION` exactly like a session does.
+    """
+    override: CellExecutor | None = None
+    fields: dict = {}
+    if isinstance(executor, CellExecutor):
+        override = executor
+    elif executor is not None:
+        fields["executor"] = executor
+    if runtime is not None:
+        fields["runtime"] = runtime
+    if tile_size is not None:
+        fields["tile_size"] = tile_size
+    if stream_version is not None:
+        fields["stream_version"] = stream_version
+    if seed is not None:
+        fields["seed"] = int(seed)
+    if shards is not None:
+        fields["shards"] = shards
+    return fields, override
+
+
+@contextlib.contextmanager
+def legacy_session(
+    entry_point: str,
+    *,
+    runtime: str | None = None,
+    executor=None,
+    tile_size: int | None = None,
+    stream_version: int | None = None,
+    seed=None,
+    shards: int | None = None,
+    stacklevel: int = 4,
+):
+    """Warn about a deprecated entry point and yield its one-shot session.
+
+    Yields ``(session, executor_override)``; the override is non-``None``
+    when the caller passed a constructed :class:`CellExecutor` instance,
+    which a policy (a serializable value) cannot capture.
+
+    ``stacklevel`` must land the warning on the *user's* call site: 4
+    covers warn -> contextlib ``__enter__`` -> shim -> user; a shim with
+    an extra internal frame (the figure drivers share ``_legacy_figure``)
+    passes 5.
+    """
+    fields, override = _policy_fields(
+        runtime, executor, tile_size, stream_version, seed, shards
+    )
+    policy = ExecutionPolicy(**fields)
+    warnings.warn(
+        f"{entry_point}() with threaded execution kwargs is deprecated; "
+        f"use repro.session instead — the equivalent is "
+        f"Session({policy.describe()}) and its evaluate/evaluate_panel/"
+        f"budget_sweep/sweep/figure methods",
+        DeprecationWarning,
+        stacklevel=stacklevel,
+    )
+    with Session(policy, reuse_pool=False) as session:
+        yield session, override

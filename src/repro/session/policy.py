@@ -1,0 +1,341 @@
+"""`ExecutionPolicy` — one frozen, validated object for every execution knob.
+
+Four PRs of engine/runtime/verify growth threaded the same execution kwargs
+(``runtime=``, ``executor=``, ``tile_size=``, ``stream_version=``,
+``shards=``, ``preset=``, ``seed=`` ...) by hand through every harness
+entry point, every figure driver, the CLI and the golden-oracle registry.
+This module replaces the blob with a single dataclass:
+
+* **frozen** — a policy is a value, safe to share across threads and to
+  embed in digests, bench records and reports;
+* **validated** — every field is checked at construction, so an invalid
+  knob fails where it is written, not deep inside a plan;
+* **layered** — :meth:`ExecutionPolicy.resolve` merges, in precedence
+  order, explicit values > ``REPRO_*`` environment variables > a JSON
+  policy file (``REPRO_POLICY_FILE``) > per-call base defaults > the
+  class defaults;
+* **serializable** — :meth:`to_dict` / :meth:`from_dict` /
+  :meth:`to_json` / :meth:`from_json` round-trip exactly, so the golden
+  store and ``BENCH_harness.json`` can record the policy that produced a
+  number;
+* **derivable** — :meth:`derive` is ``dataclasses.replace`` with
+  validation, the one idiom for "this policy, but tiled".
+
+Environment variables (all optional)::
+
+    REPRO_RUNTIME         batched | percell | engine | auto
+    REPRO_EXECUTOR        serial | thread | process
+    REPRO_MAX_WORKERS     positive int, or "none" (executor default)
+    REPRO_TILE_SIZE       positive int, or "none" (eager planning)
+    REPRO_STREAM_VERSION  1 | 2
+    REPRO_SCALE           smoke | default | full
+    REPRO_SAMPLING_RATE   float in (0, 1]
+    REPRO_SEED            int
+    REPRO_SHARDS          positive int
+    REPRO_POLICY_FILE     path to a JSON policy file (the file layer)
+
+The pending ``stream_version`` default flip (ROADMAP) is now literally the
+:data:`DEFAULT_STREAM_VERSION` constant below: every session, CLI
+invocation, legacy shim and golden group that does not pin a version
+resolves through it.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Mapping
+
+from ..exceptions import ExperimentError
+from ..experiments.config import PRESETS, ScalePreset, preset_by_name
+
+__all__ = [
+    "DEFAULT_STREAM_VERSION",
+    "POLICY_ENV_VARS",
+    "POLICY_FILE_ENV",
+    "ExecutionPolicy",
+]
+
+#: The substream-derivation format used when nothing pins one explicitly.
+#: Flipping the repo to the alias-free derivation (ROADMAP) is a one-line
+#: change here; 1 remains the default because published streams depend on
+#: the historical derivation.
+DEFAULT_STREAM_VERSION = 1
+
+#: Environment variable consulted for the policy-file layer.
+POLICY_FILE_ENV = "REPRO_POLICY_FILE"
+
+#: field name -> environment variable of the env layer.
+POLICY_ENV_VARS: dict[str, str] = {
+    "runtime": "REPRO_RUNTIME",
+    "executor": "REPRO_EXECUTOR",
+    "max_workers": "REPRO_MAX_WORKERS",
+    "tile_size": "REPRO_TILE_SIZE",
+    "stream_version": "REPRO_STREAM_VERSION",
+    "scale": "REPRO_SCALE",
+    "sampling_rate": "REPRO_SAMPLING_RATE",
+    "seed": "REPRO_SEED",
+    "shards": "REPRO_SHARDS",
+}
+
+_RUNTIMES = ("batched", "percell", "engine", "auto")
+_EXECUTORS = ("serial", "thread", "process")
+
+
+def _parse_optional_int(field: str, raw: str) -> int | None:
+    if raw.strip().lower() in ("", "none", "null"):
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        raise ExperimentError(
+            f"{POLICY_ENV_VARS[field]}={raw!r} is not an integer (or 'none')"
+        ) from None
+
+
+def _parse_env(field: str, raw: str):
+    """Parse one ``REPRO_*`` value into its field's type."""
+    if field in ("max_workers", "tile_size"):
+        return _parse_optional_int(field, raw)
+    if field in ("stream_version", "seed", "shards"):
+        try:
+            return int(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"{POLICY_ENV_VARS[field]}={raw!r} is not an integer"
+            ) from None
+    if field == "sampling_rate":
+        try:
+            return float(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"{POLICY_ENV_VARS[field]}={raw!r} is not a number"
+            ) from None
+    return raw
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """Every execution knob of the repeated-CV protocol, as one value.
+
+    Attributes
+    ----------
+    runtime:
+        Cell execution mode: ``"batched"`` (stacked LAPACK kernels) or
+        ``"percell"`` (the reference oracle) for point evaluations;
+        budget sweeps additionally understand ``"engine"`` (the streaming
+        sufficient-statistics path) and ``"auto"`` (batched unless shards
+        or a non-spectral repair force the engine).
+    executor:
+        Where parallel work runs: ``"serial"``, ``"thread"`` or
+        ``"process"``.  A long-lived :class:`~repro.session.Session`
+        keeps one pool of this kind alive across calls.
+    max_workers:
+        Pool width (``None`` = the executor's default).
+    tile_size:
+        Repetitions resident per tile (``None`` = eager planning).
+    stream_version:
+        :func:`~repro.privacy.rng.derive_substream` format; defaults to
+        :data:`DEFAULT_STREAM_VERSION`.
+    scale:
+        Named compute preset (``smoke`` / ``default`` / ``full``); the
+        :attr:`preset` property resolves it.  Call sites may still pass a
+        custom :class:`~repro.experiments.config.ScalePreset` explicitly.
+    sampling_rate:
+        Table-2 sampling rate applied to the preset-capped cardinality.
+    seed:
+        Base seed every cell substream derives from.
+    shards:
+        Parallel ingestion shards of the streaming-engine path (budget
+        sweeps only; ``shards > 1`` implies ``runtime="engine"``).
+    """
+
+    runtime: str = "batched"
+    executor: str = "serial"
+    max_workers: int | None = None
+    tile_size: int | None = None
+    stream_version: int = DEFAULT_STREAM_VERSION
+    scale: str = "default"
+    sampling_rate: float = 1.0
+    seed: int = 0
+    shards: int = 1
+
+    def __post_init__(self) -> None:
+        if self.runtime not in _RUNTIMES:
+            raise ExperimentError(
+                f"runtime must be one of {_RUNTIMES}, got {self.runtime!r}"
+            )
+        if self.executor not in _EXECUTORS:
+            raise ExperimentError(
+                f"executor must be one of {_EXECUTORS}, got {self.executor!r}"
+            )
+        for field in ("max_workers", "tile_size"):
+            value = getattr(self, field)
+            if value is not None and (not isinstance(value, int) or value < 1):
+                raise ExperimentError(
+                    f"{field} must be a positive integer or None, got {value!r}"
+                )
+        if self.stream_version not in (1, 2):
+            raise ExperimentError(
+                f"stream_version must be 1 or 2, got {self.stream_version!r}"
+            )
+        if self.scale not in PRESETS:
+            raise ExperimentError(
+                f"scale must be one of {sorted(PRESETS)}, got {self.scale!r}"
+            )
+        if not isinstance(self.sampling_rate, (int, float)) or not (
+            0.0 < float(self.sampling_rate) <= 1.0
+        ):
+            raise ExperimentError(
+                f"sampling_rate must be in (0, 1], got {self.sampling_rate!r}"
+            )
+        if not isinstance(self.seed, int):
+            raise ExperimentError(f"seed must be an integer, got {self.seed!r}")
+        if not isinstance(self.shards, int) or self.shards < 1:
+            raise ExperimentError(
+                f"shards must be a positive integer, got {self.shards!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Derivation & resolution
+    # ------------------------------------------------------------------
+    def derive(self, **changes) -> "ExecutionPolicy":
+        """This policy with some fields replaced (and re-validated)."""
+        try:
+            return dataclasses.replace(self, **changes)
+        except TypeError:
+            known = {f.name for f in dataclasses.fields(self)}
+            unknown = sorted(set(changes) - known)
+            raise ExperimentError(
+                f"unknown policy field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            ) from None
+
+    @classmethod
+    def resolve(
+        cls,
+        explicit: Mapping | None = None,
+        base: "ExecutionPolicy | None" = None,
+        env: Mapping[str, str] | None = None,
+        policy_file: str | Path | None = None,
+    ) -> "ExecutionPolicy":
+        """Layered policy resolution: explicit > env > file > base defaults.
+
+        Parameters
+        ----------
+        explicit:
+            Field values the caller pinned (CLI flags, constructor
+            kwargs).  Entries that are ``None`` mean "not specified" and
+            fall through to the lower layers — the one field where
+            ``None`` is itself meaningful (``tile_size``; also
+            ``max_workers``) is therefore *unset-able* here only via the
+            lower layers' ``"none"`` spelling.
+        base:
+            The defaults layer (e.g. the CLI's smoke-scale default);
+            class defaults when omitted.
+        env:
+            Environment mapping (default ``os.environ``); only the
+            ``REPRO_*`` variables in :data:`POLICY_ENV_VARS` are read.
+        policy_file:
+            JSON file of field values; default: the ``REPRO_POLICY_FILE``
+            environment variable, if set.
+        """
+        environ = os.environ if env is None else env
+        values: dict = {}
+        if policy_file is None:
+            policy_file = environ.get(POLICY_FILE_ENV) or None
+        if policy_file is not None:
+            values.update(cls._load_policy_file(policy_file))
+        for field, variable in POLICY_ENV_VARS.items():
+            raw = environ.get(variable)
+            if raw is not None:
+                values[field] = _parse_env(field, raw)
+        if explicit:
+            known = {f.name for f in dataclasses.fields(cls)}
+            unknown = sorted(set(explicit) - known)
+            if unknown:
+                raise ExperimentError(
+                    f"unknown policy field(s) {unknown}; expected a subset "
+                    f"of {sorted(known)}"
+                )
+            values.update({k: v for k, v in explicit.items() if v is not None})
+        return (base or cls()).derive(**values)
+
+    @staticmethod
+    def _load_policy_file(path: str | Path) -> dict:
+        try:
+            raw = Path(path).read_text()
+        except OSError as error:
+            raise ExperimentError(f"cannot read policy file {path}: {error}") from None
+        try:
+            data = json.loads(raw)
+        except json.JSONDecodeError as error:
+            raise ExperimentError(
+                f"policy file {path} is not valid JSON: {error}"
+            ) from None
+        if not isinstance(data, dict):
+            raise ExperimentError(
+                f"policy file {path} must hold a JSON object of policy fields"
+            )
+        known = {f.name for f in dataclasses.fields(ExecutionPolicy)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"policy file {path} has unknown field(s) {unknown}; "
+                f"expected a subset of {sorted(known)}"
+            )
+        return data
+
+    # ------------------------------------------------------------------
+    # Serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        """A JSON-safe mapping of every field (round-trips exactly)."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping) -> "ExecutionPolicy":
+        """Rebuild a policy from :meth:`to_dict` output (validated)."""
+        known = {f.name for f in dataclasses.fields(cls)}
+        unknown = sorted(set(data) - known)
+        if unknown:
+            raise ExperimentError(
+                f"unknown policy field(s) {unknown}; expected a subset of "
+                f"{sorted(known)}"
+            )
+        return cls(**dict(data))
+
+    def to_json(self, indent: int | None = None) -> str:
+        """The policy as a JSON object string."""
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExecutionPolicy":
+        """Parse :meth:`to_json` output back into a validated policy."""
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as error:
+            raise ExperimentError(f"policy JSON is malformed: {error}") from None
+        if not isinstance(data, dict):
+            raise ExperimentError("policy JSON must be an object of policy fields")
+        return cls.from_dict(data)
+
+    # ------------------------------------------------------------------
+    # Convenience views
+    # ------------------------------------------------------------------
+    @property
+    def preset(self) -> ScalePreset:
+        """The :class:`ScalePreset` named by :attr:`scale`."""
+        return preset_by_name(self.scale)
+
+    def describe(self) -> str:
+        """A compact one-line rendering (for warnings and reports)."""
+        fields = ", ".join(
+            f"{f.name}={getattr(self, f.name)!r}"
+            for f in dataclasses.fields(self)
+            if getattr(self, f.name) != f.default
+        )
+        return f"ExecutionPolicy({fields})"

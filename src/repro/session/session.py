@@ -1,0 +1,409 @@
+"""The `Session` facade: process state + an `ExecutionPolicy`, one object.
+
+A Session is what the free functions of :mod:`repro.experiments` never
+had: a place for state that should outlive a single call.
+
+* a persistent :class:`~repro.runtime.PreparedDataCache` — prepared
+  arrays and fold-level moment blocks reuse across *calls*, not just
+  across the algorithms of one panel (bit-exactly: the cache only ever
+  shares identical values);
+* a lazily created, **reusable executor pool** — the legacy path spun a
+  fresh thread/process pool up inside every ``run_plan`` call; a Session
+  holds one :class:`~repro.runtime.PooledThreadExecutor` /
+  :class:`~repro.runtime.PooledProcessExecutor` and reuses it until
+  :meth:`Session.close`;
+* a dataset registry — :meth:`Session.dataset` loads and caches the
+  census tables at the policy's scale.
+
+Every entry point reads its execution knobs from the session's frozen
+:class:`~repro.session.ExecutionPolicy` instead of a threaded kwarg blob;
+protocol-level arguments (which algorithm, which dataset, which epsilon)
+stay per-call.  Results are bitwise identical to the legacy free
+functions at every policy — asserted by ``tests/session/``.
+
+Usage::
+
+    from repro.session import ExecutionPolicy, Session
+
+    with Session(ExecutionPolicy(executor="process", tile_size=1)) as s:
+        us = s.dataset("us")
+        point = s.evaluate("FM", us, "linear", dims=14, epsilon=0.8)
+        panel = s.evaluate_panel(["FM", "DPME"], us, "linear", dims=14,
+                                 epsilon=0.8)
+        sweep = s.figure("figure6", us, task="linear")
+
+``Session()`` with no arguments resolves its policy from the environment
+(:meth:`ExecutionPolicy.resolve`), which is how ``REPRO_*`` variables
+configure an unmodified CLI invocation end to end.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Mapping, Sequence
+
+from ..baselines.base import Task
+from ..data.census import load_brazil, load_us
+from ..data.datasets import CensusDataset
+from ..exceptions import ExperimentError
+from ..experiments.config import DEFAULT_DIMENSIONALITY, ScalePreset
+from ..experiments.figures import SweepResult, _accuracy_sweep_impl
+from ..experiments.harness import (
+    EvaluationResult,
+    _evaluate_algorithm_impl,
+    _evaluate_algorithms_impl,
+    _evaluate_fm_budget_sweep_impl,
+)
+from ..runtime import (
+    CellExecutor,
+    PooledProcessExecutor,
+    PooledThreadExecutor,
+    PreparedDataCache,
+    ProcessExecutor,
+    SerialExecutor,
+    ThreadExecutor,
+)
+from .policy import ExecutionPolicy
+from .registry import run_figure
+
+__all__ = ["Session"]
+
+_COUNTRY_LOADERS = {"us": load_us, "brazil": load_brazil}
+
+#: Sentinel distinguishing "argument omitted" from an explicit ``None``.
+_UNSET = object()
+
+
+class Session:
+    """A long-lived execution context over one :class:`ExecutionPolicy`.
+
+    Parameters
+    ----------
+    policy:
+        The execution policy; ``None`` resolves one from the environment
+        (``REPRO_*`` variables / ``REPRO_POLICY_FILE``) over the class
+        defaults.
+    reuse_pool:
+        With ``True`` (default) the session holds one persistent
+        thread/process pool across calls.  ``False`` restores the legacy
+        one-shot lifecycle — a fresh pool per ``run_plan`` call, which
+        for processes also restores fork-time copy-on-write sharing; the
+        compatibility shims use this so deprecated entry points execute
+        exactly as before.
+    **overrides:
+        Policy fields to :meth:`~ExecutionPolicy.derive` over ``policy``
+        (``Session(executor="thread", tile_size=1)`` is shorthand).
+    """
+
+    def __init__(
+        self,
+        policy: ExecutionPolicy | None = None,
+        *,
+        reuse_pool: bool = True,
+        **overrides,
+    ) -> None:
+        base = ExecutionPolicy.resolve() if policy is None else policy
+        self.policy = base.derive(**overrides) if overrides else base
+        self._reuse_pool = bool(reuse_pool)
+        self._prepared_cache = PreparedDataCache()
+        self._executor: CellExecutor | None = None
+        self._datasets: dict[tuple[str, int | None], CensusDataset] = {}
+
+    # ------------------------------------------------------------------
+    # Owned process state
+    # ------------------------------------------------------------------
+    @property
+    def prepared_cache(self) -> PreparedDataCache:
+        """The session-lifetime prepared-data cache."""
+        return self._prepared_cache
+
+    def executor(self) -> CellExecutor:
+        """The session's executor (created lazily, reused across calls)."""
+        if self._executor is None:
+            kind = self.policy.executor
+            workers = self.policy.max_workers
+            if kind == "serial":
+                self._executor = SerialExecutor()
+            elif kind == "thread":
+                cls = PooledThreadExecutor if self._reuse_pool else ThreadExecutor
+                self._executor = cls(workers)
+            else:
+                cls = PooledProcessExecutor if self._reuse_pool else ProcessExecutor
+                self._executor = cls(workers)
+        return self._executor
+
+    def dataset(
+        self, country: str, max_records: int | None = _UNSET
+    ) -> CensusDataset:
+        """Load (and cache) a census table at the policy's scale.
+
+        ``max_records`` overrides the policy preset's cardinality cap;
+        pass ``None`` explicitly for the paper's full table.
+        """
+        try:
+            loader = _COUNTRY_LOADERS[country]
+        except KeyError:
+            raise ExperimentError(
+                f"unknown country {country!r}; expected one of "
+                f"{sorted(_COUNTRY_LOADERS)}"
+            ) from None
+        records = (
+            self.policy.preset.max_records if max_records is _UNSET else max_records
+        )
+        key = (country, records)
+        if key not in self._datasets:
+            self._datasets[key] = loader(records) if records is not None else loader()
+        return self._datasets[key]
+
+    def clear_caches(self) -> None:
+        """Drop the prepared-data cache and dataset registry contents."""
+        self._prepared_cache = PreparedDataCache()
+        self._datasets.clear()
+
+    def close(self) -> None:
+        """Shut down any held executor pool (idempotent).
+
+        The session stays usable — the next call lazily rebuilds the
+        pool — so ``close()`` is a resource release, not a lifecycle end.
+        """
+        if self._executor is not None and hasattr(self._executor, "close"):
+            self._executor.close()
+        self._executor = None
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Policy plumbing
+    # ------------------------------------------------------------------
+    def _point_runtime(self) -> str:
+        """The policy runtime as a point-evaluation mode."""
+        runtime = self.policy.runtime
+        if runtime == "auto":
+            return "batched"
+        if runtime == "engine":
+            raise ExperimentError(
+                "runtime='engine' applies only to budget sweeps; use "
+                "'batched' or 'percell' for point evaluations"
+            )
+        return runtime
+
+    def _resolved(self, preset, sampling_rate, seed):
+        """Fill protocol arguments from the policy where omitted."""
+        return (
+            self.policy.preset if preset is None else preset,
+            self.policy.sampling_rate if sampling_rate is None else sampling_rate,
+            self.policy.seed if seed is None else seed,
+        )
+
+    def _warn_inapplicable(self, entry: str, *, shards_apply: bool) -> None:
+        """Warn when a non-default policy field cannot reach this entry.
+
+        The sweep/figure protocols pin every non-swept Table-2 parameter
+        at its paper default (sampling rate 1.0 unless it *is* the swept
+        axis), and only the budget figures' FM series has a sharded
+        statistics pass — silently ignoring a field the user set in the
+        policy would misrepresent what ran.
+        """
+        if self.policy.sampling_rate != 1.0:
+            warnings.warn(
+                f"{entry} pins non-swept Table-2 parameters at their paper "
+                f"defaults; policy sampling_rate="
+                f"{self.policy.sampling_rate!r} does not apply here",
+                UserWarning,
+                stacklevel=3,
+            )
+        if not shards_apply and self.policy.shards != 1:
+            warnings.warn(
+                f"{entry} has no sharded-engine path; policy shards="
+                f"{self.policy.shards!r} does not apply here",
+                UserWarning,
+                stacklevel=3,
+            )
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        algorithm: str,
+        dataset: CensusDataset,
+        task: Task,
+        dims: int = DEFAULT_DIMENSIONALITY,
+        epsilon: float = 1.0,
+        *,
+        preset: ScalePreset | None = None,
+        sampling_rate: float | None = None,
+        seed: int | None = None,
+        algorithm_kwargs: Mapping | None = None,
+        executor: str | CellExecutor | None = None,
+    ) -> EvaluationResult:
+        """Run the repeated-CV protocol for one algorithm at one point.
+
+        The session equivalent of the legacy ``evaluate_algorithm``:
+        execution comes from the policy (and the session's cache/pool),
+        protocol arguments stay per-call with policy-backed defaults.
+        """
+        return _evaluate_algorithm_impl(
+            algorithm,
+            dataset,
+            task,
+            dims,
+            epsilon,
+            *self._resolved(preset, sampling_rate, seed),
+            algorithm_kwargs=algorithm_kwargs,
+            runtime=self._point_runtime(),
+            executor=self.executor() if executor is None else executor,
+            tile_size=self.policy.tile_size,
+            stream_version=self.policy.stream_version,
+            prepared_cache=self._prepared_cache,
+        )
+
+    def evaluate_panel(
+        self,
+        algorithms: Sequence[str],
+        dataset: CensusDataset,
+        task: Task,
+        dims: int = DEFAULT_DIMENSIONALITY,
+        epsilon: float = 1.0,
+        *,
+        preset: ScalePreset | None = None,
+        sampling_rate: float | None = None,
+        seed: int | None = None,
+        executor: str | CellExecutor | None = None,
+    ) -> dict[str, EvaluationResult]:
+        """Evaluate an algorithm panel as one grouped run (keyed by name)."""
+        return _evaluate_algorithms_impl(
+            algorithms,
+            dataset,
+            task,
+            dims,
+            epsilon,
+            *self._resolved(preset, sampling_rate, seed),
+            runtime=self._point_runtime(),
+            executor=self.executor() if executor is None else executor,
+            tile_size=self.policy.tile_size,
+            stream_version=self.policy.stream_version,
+            prepared_cache=self._prepared_cache,
+        )
+
+    def budget_sweep(
+        self,
+        dataset: CensusDataset,
+        task: Task,
+        dims: int = DEFAULT_DIMENSIONALITY,
+        epsilons: Sequence[float] = (),
+        *,
+        preset: ScalePreset | None = None,
+        sampling_rate: float | None = None,
+        seed: int | None = None,
+        post_processing: str = "spectral",
+        tight_sensitivity: bool = False,
+        runtime: str | None = None,
+        executor: str | CellExecutor | None = None,
+    ) -> dict[float, EvaluationResult]:
+        """FM's one-pass multi-budget protocol run (keyed by epsilon).
+
+        ``runtime`` overrides the policy for this call (budget sweeps
+        understand ``"auto"`` and ``"engine"`` beyond the point modes);
+        ``policy.shards > 1`` requires an engine-capable runtime, exactly
+        as the legacy signature did.
+        """
+        return _evaluate_fm_budget_sweep_impl(
+            dataset,
+            task,
+            dims,
+            epsilons,
+            *self._resolved(preset, sampling_rate, seed),
+            shards=self.policy.shards,
+            post_processing=post_processing,
+            tight_sensitivity=tight_sensitivity,
+            runtime=self.policy.runtime if runtime is None else runtime,
+            executor=self.executor() if executor is None else executor,
+            tile_size=self.policy.tile_size,
+            stream_version=self.policy.stream_version,
+            prepared_cache=self._prepared_cache,
+        )
+
+    def sweep(
+        self,
+        dataset: CensusDataset,
+        task: Task,
+        parameter: str,
+        values: Sequence,
+        figure: str,
+        *,
+        preset: ScalePreset | None = None,
+        algorithms: Sequence[str] | None = None,
+        seed: int | None = None,
+        executor: str | CellExecutor | None = None,
+    ) -> SweepResult:
+        """Evaluate a panel across one Table-2 parameter sweep.
+
+        Non-swept parameters sit at their paper defaults; policy fields
+        that cannot apply here (``sampling_rate``, ``shards``) trigger a
+        :class:`UserWarning` when set.
+        """
+        self._warn_inapplicable("Session.sweep", shards_apply=False)
+        preset, _, seed = self._resolved(preset, None, seed)
+        return _accuracy_sweep_impl(
+            dataset,
+            task,
+            parameter,
+            tuple(values),
+            figure=figure,
+            preset=preset,
+            algorithms=algorithms,
+            seed=seed,
+            runtime=self._point_runtime(),
+            executor=self.executor() if executor is None else executor,
+            tile_size=self.policy.tile_size,
+            stream_version=self.policy.stream_version,
+            prepared_cache=self._prepared_cache,
+        )
+
+    def figure(
+        self,
+        name: str,
+        dataset: CensusDataset,
+        task: Task | None = None,
+        *,
+        preset: ScalePreset | None = None,
+        seed: int | None = None,
+        values: Sequence | None = None,
+        engine: bool | None = None,
+        executor: str | CellExecutor | None = None,
+    ) -> SweepResult:
+        """Run one registered sweep figure (figures 4-9) under the policy.
+
+        Dispatches through :mod:`repro.session.registry` — the single
+        driver path the per-figure functions used to duplicate.  On the
+        budget figures (6, 9) ``policy.shards`` parallelizes the FM
+        series' statistics pass; elsewhere inapplicable policy fields
+        trigger a :class:`UserWarning` when set.
+        """
+        from .registry import figure_spec
+
+        spec = figure_spec(name)
+        self._warn_inapplicable(
+            f"Session.figure({name!r})", shards_apply=spec.budget_sweep
+        )
+        preset, _, seed = self._resolved(preset, None, seed)
+        return run_figure(
+            name,
+            dataset,
+            task,
+            preset=preset,
+            seed=seed,
+            runtime=self._point_runtime(),
+            executor=self.executor() if executor is None else executor,
+            tile_size=self.policy.tile_size,
+            stream_version=self.policy.stream_version,
+            values=values,
+            engine=engine,
+            prepared_cache=self._prepared_cache,
+            shards=self.policy.shards,
+        )

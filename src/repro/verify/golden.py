@@ -43,11 +43,8 @@ import numpy as np
 from ..data.census import load_us
 from ..exceptions import ExperimentError
 from ..experiments.config import ScalePreset
-from ..experiments.figures import (
-    SweepResult,
-    figure5_cardinality,
-    figure6_privacy_budget,
-)
+from ..experiments.figures import SweepResult
+from ..session import ExecutionPolicy, Session
 
 __all__ = [
     "GoldenConfig",
@@ -56,6 +53,7 @@ __all__ = [
     "MatrixReport",
     "GOLDEN_CONFIGS",
     "GOLDEN_GROUPS",
+    "case_policy",
     "default_store_path",
     "environment_fingerprint",
     "environment_matches",
@@ -135,33 +133,40 @@ def _golden_dataset():
     return load_us(_GOLDEN_RECORDS)
 
 
+def case_policy(group: GoldenGroup, config: GoldenConfig) -> ExecutionPolicy:
+    """The exact :class:`ExecutionPolicy` of one matrix cell.
+
+    What *defines* the digest comes from the group (stream version,
+    seed); what must *not* change it comes from the config (runtime,
+    executor, tiling).  The canonical batched-serial-eager cell's policy
+    is what :func:`save_store` embeds next to each pinned digest.
+    """
+    return ExecutionPolicy(
+        runtime=config.runtime,
+        executor=config.executor,
+        tile_size=config.tile_size,
+        stream_version=group.stream_version,
+        seed=group.seed,
+    )
+
+
 def run_golden_case(group: GoldenGroup, config: GoldenConfig) -> SweepResult:
-    """Execute one (group, config) cell of the conformance matrix."""
+    """Execute one (group, config) cell of the conformance matrix.
+
+    Runs through a one-case :class:`~repro.session.Session` over
+    :func:`case_policy` — the same resolver/dispatch path the CLI uses —
+    so a pinned digest is reproducible from its embedded policy alone.
+    """
     dataset = _golden_dataset()
-    if group.figure == "figure5":
-        return figure5_cardinality(
+    values = _GOLDEN_RATES if group.figure == "figure5" else None
+    with Session(case_policy(group, config)) as session:
+        return session.figure(
+            group.figure,
             dataset,
             group.task,
             preset=GOLDEN_PRESET,
-            seed=group.seed,
-            rates=_GOLDEN_RATES,
-            runtime=config.runtime,
-            executor=config.executor,
-            tile_size=config.tile_size,
-            stream_version=group.stream_version,
+            values=values,
         )
-    if group.figure == "figure6":
-        return figure6_privacy_budget(
-            dataset,
-            group.task,
-            preset=GOLDEN_PRESET,
-            seed=group.seed,
-            runtime=config.runtime,
-            executor=config.executor,
-            tile_size=config.tile_size,
-            stream_version=group.stream_version,
-        )
-    raise ExperimentError(f"unknown golden figure {group.figure!r}")
 
 
 def digest_sweep_result(result: SweepResult) -> str:
@@ -231,13 +236,30 @@ def save_store(
     digests: dict[str, str], path: Path | str | None = None
 ) -> dict:
     """Write a fresh store (digest per group) with this environment's
-    fingerprint; returns the written structure."""
+    fingerprint; returns the written structure.
+
+    Each registered group's entry also embeds the exact
+    :class:`ExecutionPolicy` of its canonical (batched-serial-eager)
+    cell, so a pinned digest names the precise execution that reproduces
+    it — ``Session(ExecutionPolicy.from_dict(entry["policy"]))`` on the
+    golden preset.
+    """
     store_path = Path(path) if path is not None else default_store_path()
+    registered = {group.group_id: group for group in GOLDEN_GROUPS}
+    canonical = GOLDEN_CONFIGS[0]
+
+    def entry(group_id: str, digest: str) -> dict:
+        if group_id not in registered:
+            return {"digest": digest}
+        policy = case_policy(registered[group_id], canonical)
+        return {"digest": digest, "policy": policy.to_dict()}
+
     store = {
         "format": STORE_FORMAT,
         "environment": environment_fingerprint(),
         "groups": {
-            group_id: {"digest": digest} for group_id, digest in sorted(digests.items())
+            group_id: entry(group_id, digest)
+            for group_id, digest in sorted(digests.items())
         },
     }
     store_path.write_text(json.dumps(store, indent=2) + "\n")

@@ -14,7 +14,20 @@ class TestParser:
         args = build_parser().parse_args(["figure4"])
         assert args.country == "us"
         assert args.task == "linear"
-        assert args.scale == "smoke"
+        # Execution flags default to None so REPRO_* env vars can fill
+        # them in; the policy resolver's CLI base supplies smoke scale.
+        assert args.scale is None
+        assert args.runtime is None
+        assert args.executor is None
+
+    def test_env_only_configuration(self, capsys, monkeypatch):
+        """REPRO_* variables alone configure a figure run end to end."""
+        monkeypatch.setenv("REPRO_EXECUTOR", "thread")
+        monkeypatch.setenv("REPRO_TILE_SIZE", "1")
+        monkeypatch.setenv("REPRO_RUNTIME", "batched")
+        assert main(["figure4", "--task", "linear"]) == 0
+        out = capsys.readouterr().out
+        assert "mean square error vs dimensionality" in out
 
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):

@@ -1,0 +1,18 @@
+"""Shared fixtures for the session-API suite: one tiny golden workload."""
+
+import pytest
+
+from repro.data.census import load_us
+from repro.experiments.config import ScalePreset
+
+
+@pytest.fixture(scope="module")
+def tiny_dataset():
+    """A small census table (big enough to exercise subsampling)."""
+    return load_us(700)
+
+
+@pytest.fixture(scope="module")
+def tiny_preset():
+    """Two repetitions so tiling/pool dispatch has >1 unit of work."""
+    return ScalePreset(name="tiny", max_records=450, folds=3, repetitions=2)
