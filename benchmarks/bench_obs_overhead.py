@@ -1,0 +1,139 @@
+"""Telemetry overhead: the observability layer must be ~free.
+
+The :mod:`repro.obs` recorder is wired through every layer of the stack
+(session entry points, plan dispatch, kernels, caches, executors).  Its
+cost contract:
+
+* ``telemetry="off"`` (the default) pays one null-check per instrumented
+  site plus the two ``perf_counter`` calls the pre-telemetry code already
+  paid for its timing fields — indistinguishable from the baseline;
+* ``telemetry="summary"`` (O(1) memory aggregates) must stay within
+  **3%** of off on a figure-6 shaped workload;
+* ``telemetry="trace"`` (every span retained) is recorded as-is — its
+  budget is "cheap enough to leave on while debugging", not a gate.
+
+Following the ``bench_harness_scaling`` pattern, every measurement runs
+in a **fresh subprocess** and reports a score digest, so the run doubles
+as a telemetry-neutrality check: all three modes must produce bitwise-
+identical scores.  Because the recorder's true cost (~1-3%) is smaller
+than subprocess-to-subprocess noise on a busy box, the modes are measured
+**interleaved round-robin** (off, summary, trace, off, ...) for
+``OBS_OVERHEAD_REPEATS`` rounds and each mode keeps its best time —
+slow-drift noise then hits all modes equally instead of biasing one.
+
+Results merge into ``BENCH_harness.json`` under ``telemetry_overhead``.
+"""
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+from conftest import save_and_print
+
+RECORDS = int(os.environ.get("OBS_OVERHEAD_RECORDS", "4000"))
+REPEATS = int(os.environ.get("OBS_OVERHEAD_REPEATS", "5"))
+#: Gate for summary mode: measured seconds must stay within this multiple
+#: of off mode.  3% per the observability contract; override for noisy
+#: shared boxes.
+SUMMARY_GUARD = float(os.environ.get("OBS_OVERHEAD_GUARD", "1.03"))
+
+MODES = ("off", "summary", "trace")
+
+#: Runs the figure-6 sweep once (after one untimed warm-up pass at
+#: telemetry off) at one telemetry level; prints {seconds, score_digest,
+#: spans recorded}.
+_CHILD = r"""
+import hashlib, json, struct, sys, time
+records, telemetry = int(sys.argv[1]), sys.argv[2]
+from repro.data.census import load_us
+from repro.experiments.config import ScalePreset
+from repro.session import ExecutionPolicy, Session
+
+dataset = load_us(records)
+preset = ScalePreset(name="obs-overhead", max_records=None, folds=3, repetitions=2)
+with Session(ExecutionPolicy(seed=17)) as warmup:
+    warmup.figure("figure6", dataset, "linear", preset=preset)
+with Session(ExecutionPolicy(telemetry=telemetry, seed=17)) as session:
+    started = time.perf_counter()
+    result = session.figure("figure6", dataset, "linear", preset=preset)
+    seconds = time.perf_counter() - started
+digest = hashlib.sha256()
+for name, points in result.series.items():
+    digest.update(name.encode())
+    for point in points:
+        digest.update(struct.pack("<dd", point.mean_score, point.std_score))
+summary = session.telemetry_summary()
+span_count = sum(int(s["count"]) for s in summary.get("spans", {}).values())
+print(json.dumps({
+    "telemetry": telemetry,
+    "seconds": seconds,
+    "score_digest": digest.hexdigest(),
+    "spans_recorded": span_count,
+}))
+"""
+
+
+def _run_mode_once(mode: str) -> dict:
+    result = subprocess.run(
+        [sys.executable, "-c", _CHILD, str(RECORDS), mode],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    assert result.returncode == 0, f"{mode} child failed:\n{result.stderr}"
+    return json.loads(result.stdout.strip().splitlines()[-1])
+
+
+@pytest.fixture(scope="module")
+def measurements(results_dir) -> dict[str, dict]:
+    rows: dict[str, dict] = {}
+    for _ in range(REPEATS):
+        for mode in MODES:  # interleaved: noise drift hits all modes alike
+            row = _run_mode_once(mode)
+            kept = rows.get(mode)
+            if kept is not None:
+                assert row["score_digest"] == kept["score_digest"]
+                row["seconds"] = min(row["seconds"], kept["seconds"])
+            rows[mode] = row
+    off = rows["off"]["seconds"]
+    lines = [
+        f"telemetry overhead (figure-6 sweep, {RECORDS:,} records, "
+        f"3 folds x 2 reps, best of {REPEATS} interleaved rounds)"
+    ]
+    for mode, row in rows.items():
+        overhead = row["seconds"] / off - 1.0
+        spans = f", {row['spans_recorded']} spans" if row["spans_recorded"] else ""
+        lines.append(
+            f"  {mode:>8}: {row['seconds']:.3f}s ({overhead:+.1%} vs off{spans})"
+        )
+    save_and_print(results_dir, "obs_overhead", "\n".join(lines))
+    payload = {
+        "records": RECORDS,
+        "repeats": REPEATS,
+        "modes": rows,
+    }
+    (results_dir / "obs_overhead.json").write_text(json.dumps(payload, indent=2) + "\n")
+    return rows
+
+
+def test_scores_identical_across_telemetry_modes(measurements):
+    """Telemetry is observation only: one digest across off/summary/trace."""
+    digests = {row["score_digest"] for row in measurements.values()}
+    assert len(digests) == 1, measurements
+
+
+def test_summary_overhead_within_three_percent(measurements):
+    """The committed contract: summary-mode aggregation is ~free."""
+    off = measurements["off"]["seconds"]
+    summary = measurements["summary"]["seconds"]
+    assert summary <= SUMMARY_GUARD * off, (
+        f"summary mode {summary:.3f}s exceeded {SUMMARY_GUARD:.0%} of "
+        f"off mode {off:.3f}s"
+    )
+
+
+def test_trace_mode_actually_recorded(measurements):
+    assert measurements["trace"]["spans_recorded"] > 0
+    assert measurements["off"]["spans_recorded"] == 0

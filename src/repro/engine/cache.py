@@ -33,6 +33,7 @@ from ..core.objectives import (
     LogisticRegressionObjective,
     RegressionObjective,
 )
+from ..obs import active_recorder
 from .accumulator import DEFAULT_BLOCK_SIZE, MomentAccumulator
 
 __all__ = ["AccumulatorCache", "dataset_fingerprint", "objective_tag"]
@@ -116,8 +117,10 @@ class AccumulatorCache:
         path = self.path_for(key)
         if not path.exists():
             self.misses += 1
+            active_recorder().counter("accumulator_cache.misses")
             return None
         self.hits += 1
+        active_recorder().counter("accumulator_cache.hits")
         return MomentAccumulator.load(path)
 
     def put(self, key: str, accumulator: MomentAccumulator) -> Path:

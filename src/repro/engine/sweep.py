@@ -34,7 +34,6 @@ optional budget accountant is charged.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
@@ -50,6 +49,7 @@ from ..core.postprocess import (
     get_strategy,
 )
 from ..exceptions import InvalidBudgetError
+from ..obs import active_recorder
 from ..privacy.budget import PrivacyBudget
 from ..privacy.rng import RngLike, ensure_rng
 from ..runtime.kernels import fm_noise_stack, spectral_solve_stack
@@ -213,46 +213,46 @@ class EpsilonSweepEngine:
         self, epsilon: float, raw_row: np.ndarray, gen: np.random.Generator
     ) -> SweepPoint:
         """Map one standardized-draw row to a released parameter."""
-        started = time.perf_counter()
-        d = self._form.dim
-        scale = self._sensitivity / epsilon
-        beta_noise = scale * float(raw_row[0])
-        alpha_noise = scale * raw_row[1 : 1 + d]
-        draws = scale * raw_row[1 + d :].reshape(d, d)
-        upper = np.triu(draws, k=1) / 2.0
-        noisy = QuadraticForm(
-            M=self._form.M + np.diag(np.diag(draws)) + upper + upper.T,
-            alpha=self._form.alpha + alpha_noise,
-            beta=self._form.beta + beta_noise,
-        )
-        record = PerturbationRecord(
-            epsilon=epsilon,
-            sensitivity=self._sensitivity,
-            noise_scale=scale,
-            noise_std=math.sqrt(2.0) * scale,
-            coefficients_perturbed=1 + d + d * (d + 1) // 2,
-        )
-        if self._ridge_lambda:
-            noisy = noisy.with_ridge(self._ridge_lambda)
-
-        def renoise() -> QuadraticForm:
-            redrawn, _ = FunctionalMechanism(epsilon, rng=gen).perturb_quadratic(
-                self._form, self._sensitivity
+        with active_recorder().span("engine.fit_one", epsilon=epsilon) as span:
+            d = self._form.dim
+            scale = self._sensitivity / epsilon
+            beta_noise = scale * float(raw_row[0])
+            alpha_noise = scale * raw_row[1 : 1 + d]
+            draws = scale * raw_row[1 + d :].reshape(d, d)
+            upper = np.triu(draws, k=1) / 2.0
+            noisy = QuadraticForm(
+                M=self._form.M + np.diag(np.diag(draws)) + upper + upper.T,
+                alpha=self._form.alpha + alpha_noise,
+                beta=self._form.beta + beta_noise,
             )
-            return redrawn.with_ridge(self._ridge_lambda) if self._ridge_lambda else redrawn
-
-        result = self._strategy.solve(noisy, record.noise_std, renoise=renoise)
-        if result.privacy_cost_factor > 1.0 and self._budget is not None:
-            self._budget.spend(
-                epsilon * (result.privacy_cost_factor - 1.0),
-                note="Lemma-5 rerun surcharge (sweep)",
+            record = PerturbationRecord(
+                epsilon=epsilon,
+                sensitivity=self._sensitivity,
+                noise_scale=scale,
+                noise_std=math.sqrt(2.0) * scale,
+                coefficients_perturbed=1 + d + d * (d + 1) // 2,
             )
+            if self._ridge_lambda:
+                noisy = noisy.with_ridge(self._ridge_lambda)
+
+            def renoise() -> QuadraticForm:
+                redrawn, _ = FunctionalMechanism(epsilon, rng=gen).perturb_quadratic(
+                    self._form, self._sensitivity
+                )
+                return redrawn.with_ridge(self._ridge_lambda) if self._ridge_lambda else redrawn
+
+            result = self._strategy.solve(noisy, record.noise_std, renoise=renoise)
+            if result.privacy_cost_factor > 1.0 and self._budget is not None:
+                self._budget.spend(
+                    epsilon * (result.privacy_cost_factor - 1.0),
+                    note="Lemma-5 rerun surcharge (sweep)",
+                )
         return SweepPoint(
             epsilon=epsilon,
             omega=result.omega,
             record=record,
             post=result,
-            solve_seconds=time.perf_counter() - started,
+            solve_seconds=span.seconds,
         )
 
     def sweep(self, epsilons: Sequence[float], rng: RngLike = None) -> EpsilonSweepResult:
@@ -274,6 +274,7 @@ class EpsilonSweepEngine:
         gen = ensure_rng(rng)
         d = self._form.dim
         raw = gen.laplace(0.0, 1.0, size=(len(values), 1 + d + d * d))
+        active_recorder().counter("engine.laplace_draws", len(values) * (1 + d + d * d))
         if self._budget is not None:
             for epsilon in values:
                 self._budget.spend(epsilon, note=f"EpsilonSweepEngine eps={epsilon:g}")
@@ -286,23 +287,23 @@ class EpsilonSweepEngine:
         self, values: list[float], raw: np.ndarray
     ) -> EpsilonSweepResult:
         """All sweep points as one stacked perturb-repair-solve."""
-        started = time.perf_counter()
-        d = self._form.dim
-        epsilons = np.asarray(values, dtype=float)
-        scales = self._sensitivity / epsilons
-        noisy_M, noisy_alpha = fm_noise_stack(self._form.M, self._form.alpha, raw, scales)
-        if self._ridge_lambda:
-            noisy_M = noisy_M + self._ridge_lambda * np.eye(d)
-        noise_std = math.sqrt(2.0) * scales
-        solved = spectral_solve_stack(
-            noisy_M,
-            noisy_alpha,
-            noise_std,
-            multiplier=self._strategy.multiplier,
-            eigen_tol=self._strategy.eigen_tol,
-            noise_relative_tol=self._strategy.noise_relative_tol,
-        )
-        share = (time.perf_counter() - started) / len(values)
+        with active_recorder().span("engine.sweep_batched", points=len(values)) as span:
+            d = self._form.dim
+            epsilons = np.asarray(values, dtype=float)
+            scales = self._sensitivity / epsilons
+            noisy_M, noisy_alpha = fm_noise_stack(self._form.M, self._form.alpha, raw, scales)
+            if self._ridge_lambda:
+                noisy_M = noisy_M + self._ridge_lambda * np.eye(d)
+            noise_std = math.sqrt(2.0) * scales
+            solved = spectral_solve_stack(
+                noisy_M,
+                noisy_alpha,
+                noise_std,
+                multiplier=self._strategy.multiplier,
+                eigen_tol=self._strategy.eigen_tol,
+                noise_relative_tol=self._strategy.noise_relative_tol,
+            )
+        share = span.seconds / len(values)
         points = []
         for i, epsilon in enumerate(values):
             record = PerturbationRecord(
@@ -347,6 +348,9 @@ class EpsilonSweepEngine:
         gen = ensure_rng(rng)
         d = self._form.dim
         raw = gen.laplace(0.0, 1.0, size=(repeats, len(values), 1 + d + d * d))
+        active_recorder().counter(
+            "engine.laplace_draws", repeats * len(values) * (1 + d + d * d)
+        )
         samples = np.empty((repeats, len(values), d))
         for r in range(repeats):
             for i, epsilon in enumerate(values):

@@ -10,6 +10,8 @@ Usage (installed package)::
     python -m repro convergence --task linear
     python -m repro table2
     python -m repro engine --task linear --epsilons 0.1,1,10 --shards 4
+    python -m repro figure5 --trace figure5.jsonl
+    python -m repro trace summarize figure5.jsonl
     python -m repro verify --tier 1
     python -m repro verify --tier 2 --epsilon 1.0
     python -m repro verify --tier 3 --regen-golden
@@ -40,6 +42,14 @@ time, and ``--stream-version 2`` opts into the alias-free substream
 derivation — both leave scores bitwise unchanged except that stream
 version 2 deliberately reshuffles all noise.
 
+Observability (:mod:`repro.obs`): ``--telemetry summary|trace`` turns on
+the run's recorder (default off — a single null-check per instrumented
+site), ``--trace PATH`` writes the recorded spans/counters as JSONL
+(implying ``--telemetry trace`` unless a level was given), and ``python
+-m repro trace summarize PATH`` validates a trace file against the
+schema and renders its aggregate tables.  Telemetry never changes
+scores: the golden matrix digests are asserted identical at every level.
+
 ``verify`` runs the :mod:`repro.verify` conformance subsystem: ``--tier 1``
 is the fast gate (sensitivity certificates, auditor teeth, golden-store
 sanity), ``--tier 2`` statistically audits FM and every privacy-claiming
@@ -53,7 +63,6 @@ from __future__ import annotations
 import argparse
 import math
 import sys
-import time
 from typing import Sequence
 
 import numpy as np
@@ -61,6 +70,8 @@ import numpy as np
 from ..analysis.convergence import convergence_study
 from ..data import load_brazil, load_us
 from ..engine import AccumulatorCache, EpsilonSweepEngine, ShardedAccumulator
+from ..exceptions import ExperimentError, ReproError
+from ..obs import load_trace, make_recorder, summarize_trace, use_recorder
 from ..privacy.rng import derive_substream
 from ..session import ExecutionPolicy, Session, figure_spec
 from ..verify.cli import add_verify_arguments, run_verify
@@ -133,9 +144,21 @@ def build_parser() -> argparse.ArgumentParser:
         )
         p.add_argument(
             "--stream-version", type=int, choices=(1, 2), default=None,
-            help="substream derivation format: 1 (default) is the historical "
-            "derivation; 2 fixes the SeedSequence zero-padding alias and "
-            "reshuffles every noise stream (explicit opt-in)",
+            help="substream derivation format: 2 (default) is the alias-free "
+            "SeedSequence derivation; 1 reproduces the historical streams "
+            "(pinned and tested via the *-sv1 golden groups)",
+        )
+        p.add_argument(
+            "--telemetry", choices=("off", "summary", "trace"), default=None,
+            help="observability level (default off): 'summary' keeps "
+            "aggregate span/counter statistics, 'trace' additionally "
+            "retains every span event. Never changes scores.",
+        )
+        p.add_argument(
+            "--trace", default=None, metavar="PATH",
+            help="write the run's telemetry as JSONL to PATH (implies "
+            "--telemetry trace unless a level is given); inspect with "
+            "`python -m repro trace summarize PATH`",
         )
 
     for name, help_text in [
@@ -192,6 +215,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="content-addressed accumulator cache directory (skips the data "
         "pass when the same dataset/objective was accumulated before)",
     )
+    eng.add_argument(
+        "--telemetry", choices=("off", "summary", "trace"), default=None,
+        help="observability level for the engine pass (default off)",
+    )
+    eng.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the engine run's telemetry as JSONL to PATH (implies "
+        "--telemetry trace unless a level is given)",
+    )
 
     verify = sub.add_parser(
         "verify",
@@ -199,7 +231,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_verify_arguments(verify)
 
+    trace = sub.add_parser(
+        "trace",
+        help="inspect JSONL telemetry traces written by --trace",
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+    summarize = trace_sub.add_parser(
+        "summarize",
+        help="validate a trace against the schema and print aggregate tables",
+    )
+    summarize.add_argument("path", help="JSONL trace file written by --trace")
+
     return parser
+
+
+def _resolve_telemetry(args) -> str | None:
+    """The effective ``--telemetry`` level, folding in ``--trace``.
+
+    ``--trace`` without a level means ``trace``; an explicit ``--telemetry
+    off`` alongside ``--trace`` is a contradiction and raises
+    :class:`~repro.exceptions.ExperimentError`.  Returns ``None`` when
+    neither flag was given, so the policy resolver's lower layers
+    (``REPRO_TELEMETRY``, the policy file) still apply.
+    """
+    telemetry = args.telemetry
+    if args.trace:
+        if telemetry == "off":
+            raise ExperimentError(
+                "--trace needs telemetry: drop --telemetry off or pick "
+                "'summary'/'trace'"
+            )
+        telemetry = telemetry or "trace"
+    return telemetry
 
 
 def _load(country: str, preset):
@@ -259,30 +322,41 @@ def _run_engine(args) -> int:
             prepared.X, prepared.y
         )
 
-    started = time.perf_counter()
-    cache_hit = False
-    if args.cache_dir:
-        cache = AccumulatorCache(args.cache_dir)
-        key = AccumulatorCache.make_key(prepared.X, prepared.y, objective)
-        accumulator, cache_hit = cache.get_or_build(key, build)
-    else:
-        accumulator = build()
-    pass_seconds = time.perf_counter() - started
+    # The recorder measures the statistics pass whether or not telemetry is
+    # on — a NullRecorder span still carries the clock, which is exactly
+    # the perf_counter pair this path always paid.
+    recorder = make_recorder(_resolve_telemetry(args) or "off")
+    with use_recorder(recorder):
+        cache_hit = False
+        with recorder.span(
+            "engine.ingest", shards=args.shards, cached=bool(args.cache_dir)
+        ) as ingest:
+            if args.cache_dir:
+                cache = AccumulatorCache(args.cache_dir)
+                key = AccumulatorCache.make_key(prepared.X, prepared.y, objective)
+                accumulator, cache_hit = cache.get_or_build(key, build)
+            else:
+                accumulator = build()
+        pass_seconds = ingest.seconds
 
-    engine = EpsilonSweepEngine(objective, accumulator)
-    sweep = engine.sweep(epsilons, rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG]))
-    scores, norms, solves = [], [], []
-    for point in sweep.points:
-        scores.append(score_from_scores(args.task, prepared.y, prepared.X @ point.omega))
-        norms.append(float(np.linalg.norm(point.omega)))
-        solves.append(point.solve_seconds)
-    stds = None
-    if args.repeats > 1:
-        variance = engine.variance_estimate(
-            epsilons, repeats=args.repeats,
-            rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG, 1]),
+        engine = EpsilonSweepEngine(objective, accumulator)
+        sweep = engine.sweep(
+            epsilons, rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG])
         )
-        stds = [float(np.mean(variance.std[i])) for i in range(len(epsilons))]
+        scores, norms, solves = [], [], []
+        for point in sweep.points:
+            scores.append(
+                score_from_scores(args.task, prepared.y, prepared.X @ point.omega)
+            )
+            norms.append(float(np.linalg.norm(point.omega)))
+            solves.append(point.solve_seconds)
+        stds = None
+        if args.repeats > 1:
+            variance = engine.variance_estimate(
+                epsilons, repeats=args.repeats,
+                rng=derive_substream(args.seed, [_ENGINE_STREAM_TAG, 1]),
+            )
+            stds = [float(np.mean(variance.std[i])) for i in range(len(epsilons))]
     header = [
         f"rows={accumulator.n_rows} dim={prepared.dim} "
         f"blocks={accumulator.num_blocks} shards={args.shards}",
@@ -294,6 +368,9 @@ def _run_engine(args) -> int:
     print(format_engine_table(
         args.task, epsilons, scores, norms, solves, stds=stds, header_lines=header,
     ))
+    if args.trace:
+        recorder.write_jsonl(args.trace, meta={"entry_point": "engine"})
+        print(f"trace written to {args.trace}")
     return 0
 
 
@@ -302,10 +379,22 @@ def main(argv: Sequence[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
 
     if args.command == "engine":
-        return _run_engine(args)
+        try:
+            return _run_engine(args)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "verify":
         return run_verify(args)
+
+    if args.command == "trace":
+        try:
+            print(summarize_trace(load_trace(args.path)))
+        except ReproError as error:
+            print(f"trace: error: {error}", file=sys.stderr)
+            return 2
+        return 0
 
     if args.command == "table2":
         print(_run_table2())
@@ -333,6 +422,11 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command in _SWEEP_FIGURES:
         # One resolver for everything: explicit flags > REPRO_* env vars >
         # REPRO_POLICY_FILE > the CLI's smoke-scale base defaults.
+        try:
+            telemetry = _resolve_telemetry(args)
+        except ExperimentError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
         policy = ExecutionPolicy.resolve(
             explicit={
                 "runtime": args.runtime,
@@ -342,6 +436,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "stream_version": args.stream_version,
                 "scale": args.scale,
                 "seed": args.seed,
+                "telemetry": telemetry,
             },
             base=ExecutionPolicy(scale="smoke"),
         )
@@ -357,6 +452,9 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(format_sweep_table(result))
             flags = summarize_ordering(result)
             print(f"ordering flags: {flags}")
+        if args.trace:
+            session.write_trace(args.trace)
+            print(f"trace written to {args.trace}")
         return 0
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
 

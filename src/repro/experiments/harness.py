@@ -43,7 +43,6 @@ Results are bitwise identical either way (asserted by
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
@@ -57,6 +56,7 @@ from ..core.objectives import (
 from ..data.datasets import CensusDataset
 from ..engine import EpsilonSweepEngine, ShardedAccumulator
 from ..exceptions import ExperimentError
+from ..obs import active_recorder
 from ..privacy.rng import derive_substream
 from ..regression.metrics import mean_squared_error, misclassification_rate
 from ..regression.preprocessing import KFold
@@ -212,9 +212,9 @@ def evaluate_algorithm(
         identical at every tiling.
     stream_version:
         :func:`~repro.privacy.rng.derive_substream` format; ``None``
-        follows :data:`repro.session.DEFAULT_STREAM_VERSION` (currently
-        1, the historical derivation); 2 opts into the fixed (alias-free)
-        derivation and reshuffles every noise stream.
+        follows :data:`repro.session.DEFAULT_STREAM_VERSION` (2, the
+        fixed alias-free derivation, since PR 6); ``1`` reproduces the
+        historical streams bit for bit.
     """
     from ..session.compat import legacy_session
 
@@ -495,11 +495,13 @@ def _fm_budget_sweep_engine(
         folds = KFold(n_splits=preset.folds, rng=rep_rng)
         for fold_id, (train_idx, test_idx) in enumerate(folds.split(prepared.n)):
             X_train, y_train = prepared.X[train_idx], prepared.y[train_idx]
-            started = time.perf_counter()
-            accumulator = ShardedAccumulator(prepared.dim, shards=shards).accumulate(
-                X_train, y_train
-            )
-            pass_seconds = time.perf_counter() - started
+            with active_recorder().span(
+                "engine.accumulate", shards=shards, rows=int(train_idx.shape[0])
+            ) as span:
+                accumulator = ShardedAccumulator(prepared.dim, shards=shards).accumulate(
+                    X_train, y_train
+                )
+            pass_seconds = span.seconds
             engine = EpsilonSweepEngine(
                 objective,
                 accumulator,

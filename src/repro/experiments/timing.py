@@ -9,11 +9,15 @@ magnitude lower than that of NoPrivacy" for logistic regression).
 ``time_fit`` is itself expressed over the runtime rather than a private
 per-cell loop: the repetitions are planned as single-fold cells of a
 :class:`~repro.runtime.CellPlan` (one repetition per fold, training on all
-rows) and executed through the per-cell reference path, whose fit-only
-clock is exactly the historical measurement.  Each repetition's noise
-stream is still ``derive_substream(seed, [rep])`` — the plan's stream tags
-reproduce the historical derivation bit for bit — so timed fits draw the
-same noise the pre-runtime loop drew.
+rows) and executed through the per-cell reference path.  The measurement
+comes from :mod:`repro.obs`: the plan runs under a local
+:class:`~repro.obs.TraceRecorder` and the durations are the runtime's
+``cell.fit`` spans — the same span, wrapping exactly ``model.fit``, that
+every traced run records, so the numbers are identical to the historical
+fit-only ``perf_counter`` clock this module used to keep by hand.  Each
+repetition's noise stream is still ``derive_substream(seed, [rep])`` — the
+plan's stream tags reproduce the historical derivation bit for bit — so
+timed fits draw the same noise the pre-runtime loop drew.
 """
 
 from __future__ import annotations
@@ -25,6 +29,7 @@ import numpy as np
 
 from ..baselines.base import Task
 from ..exceptions import ExperimentError
+from ..obs import TraceRecorder, active_recorder, use_recorder
 from ..runtime import KERNEL_GENERIC, CellExecutor, CellPlan, PlannedFold, run_plan
 
 __all__ = ["FitTiming", "time_fit", "fm_speedup_over"]
@@ -117,8 +122,19 @@ def time_fit(
     plan = _timing_plan(
         algorithm, X, y, task, epsilon, repetitions, seed, dict(algorithm_kwargs or {})
     )
-    outcome = run_plan(plan, mode="percell", executor=executor)
-    durations = outcome.fit_seconds[float(epsilon)]
+    # A local trace recorder observes the run; the fit durations are read
+    # back from the ``cell.fit`` spans rather than a private clock.  If an
+    # outer recorder is active (a traced session timing a fit), the local
+    # activity is merged into it so the outer trace still sees everything.
+    outer = active_recorder()
+    recorder = TraceRecorder(mode="trace")
+    with use_recorder(recorder):
+        run_plan(plan, mode="percell", executor=executor)
+    durations = [
+        event["seconds"] for event in recorder.events() if event["name"] == "cell.fit"
+    ]
+    if outer.recording:
+        outer.merge(recorder.export())
     return FitTiming(
         algorithm=algorithm,
         mean_seconds=float(np.mean(durations)),

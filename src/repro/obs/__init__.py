@@ -1,0 +1,79 @@
+"""`repro.obs` — deterministic-safe tracing, metrics and profiling hooks.
+
+The observability layer the rest of the stack reports into: hierarchical
+spans (``session.evaluate → plan → tile → kernel.batch → solve``), typed
+counters/gauges (cache hits, pool reuse, pickled bytes, posdef fallbacks,
+Newton iterations, Laplace draw counts, budget ledger events), and a
+per-run :class:`TraceRecorder` that serializes to JSONL and aggregates to
+a summary dict.  See :mod:`repro.obs.recorder` for the model and
+:mod:`repro.obs.schema` for the trace file format.
+
+Instrumented code does not thread a recorder argument through every call:
+it reads the **active recorder**, a module-level slot installed by
+:func:`use_recorder` around each Session entry point.  This is a plain
+module global rather than a ``contextvars.ContextVar`` on purpose —
+executor *worker threads* must observe the recorder installed by the
+session thread, and a ContextVar copied at thread creation would hand
+pool threads (created lazily, possibly under a different run) the wrong
+one.  Process-pool workers are handled explicitly instead: the executor
+installs a fresh recorder in the child and ships its exported payload
+back with the result (see :mod:`repro.runtime.executor`).
+
+The default active recorder is the no-op :class:`NullRecorder`, so
+un-instrumented use of the library pays one attribute read plus a
+predictable branch per hook.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from .recorder import (
+    MAX_EVENTS,
+    NULL_RECORDER,
+    TELEMETRY_LEVELS,
+    NullRecorder,
+    TraceRecorder,
+    make_recorder,
+)
+from .schema import TRACE_SCHEMA_VERSION, validate_trace_lines
+from .report import load_trace, summarize_trace
+
+__all__ = [
+    "MAX_EVENTS",
+    "NULL_RECORDER",
+    "TELEMETRY_LEVELS",
+    "TRACE_SCHEMA_VERSION",
+    "NullRecorder",
+    "TraceRecorder",
+    "active_recorder",
+    "load_trace",
+    "make_recorder",
+    "summarize_trace",
+    "use_recorder",
+    "validate_trace_lines",
+]
+
+_ACTIVE: TraceRecorder | NullRecorder = NULL_RECORDER
+
+
+def active_recorder() -> TraceRecorder | NullRecorder:
+    """The recorder instrumented code should report into right now."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_recorder(recorder: TraceRecorder | NullRecorder):
+    """Install ``recorder`` as the active recorder for the duration.
+
+    Re-entrant: nesting the *same* recorder (a Session entry point calling
+    another) is transparent; nesting a different one shadows the outer one
+    until exit.
+    """
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = recorder
+    try:
+        yield recorder
+    finally:
+        _ACTIVE = previous

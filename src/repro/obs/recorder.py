@@ -1,0 +1,340 @@
+"""`TraceRecorder` — hierarchical spans, typed counters, mergeable payloads.
+
+One recorder observes one run.  Three primitives:
+
+**spans**
+    Timed, nested regions (``session.evaluate → plan → tile →
+    kernel-batch → solve``).  :meth:`TraceRecorder.span` is a context
+    manager; nesting is tracked per thread, so spans opened on executor
+    worker threads parent correctly within their own thread and become
+    additional roots of the trace.  Every span handle measures its own
+    wall-clock ``seconds`` — the runtime reads that instead of keeping
+    ad-hoc ``perf_counter`` pairs, which is what lets one code path serve
+    both the timing results (``fit_seconds`` et al.) and the trace.
+**counters**
+    Monotonic sums (``prepared_cache.moment_hits``, ``runner.laplace_draws``,
+    ``pool.created`` ...), merged additively across threads and workers.
+**gauges**
+    Last-value-wins measurements with a retained maximum
+    (``process.pickled_bytes`` ...).
+
+Deterministic safety is structural: a recorder never touches a random
+generator, never rounds or re-associates a score, and is consulted only
+*around* the numeric kernels — so enabling telemetry cannot change any
+released value.  The golden-oracle suite asserts exactly that.
+
+Cross-process merging: a recorder created inside a process-pool worker
+exports its state as a plain-dict payload (:meth:`TraceRecorder.export`);
+the parent merges payloads **in input order** (:meth:`TraceRecorder.merge`),
+so the assembled trace is deterministic even though workers finish in any
+order.  Span ids are rebased on merge and worker roots are re-parented
+under the span active at the merge point.
+
+Two recording modes share the class:
+
+``mode="trace"``
+    Every finished span is retained as an event (bounded by
+    :data:`MAX_EVENTS`) and can be serialized to JSONL.
+``mode="summary"``
+    Only per-name aggregates (count, total/max seconds) are kept — O(1)
+    memory per span name, the right cost for long sweeps.
+
+:class:`NullRecorder` is the ``telemetry="off"`` implementation: counters
+and gauges are discarded at one method-call cost, and its span handles
+still measure ``seconds`` (the runtime needs the durations regardless) —
+exactly the two ``perf_counter`` calls the pre-telemetry code paid.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import time
+from pathlib import Path
+
+__all__ = ["MAX_EVENTS", "NullRecorder", "TraceRecorder", "make_recorder"]
+
+#: Retention bound of ``mode="trace"`` — beyond it, spans still aggregate
+#: into the summary but stop being retained as individual events (the
+#: ``meta.dropped_events`` counter records how many).
+MAX_EVENTS = 200_000
+
+#: Recognized telemetry levels, in increasing retention order.
+TELEMETRY_LEVELS = ("off", "summary", "trace")
+
+
+class _SpanHandle:
+    """One open span: measures its own duration, records itself on exit."""
+
+    __slots__ = ("_recorder", "name", "attrs", "span_id", "parent_id", "t0", "seconds")
+
+    def __init__(self, recorder, name: str, attrs: dict | None) -> None:
+        self._recorder = recorder
+        self.name = name
+        self.attrs = attrs
+        self.span_id: int | None = None
+        self.parent_id: int | None = None
+        self.t0 = 0.0
+        self.seconds = 0.0
+
+    def __enter__(self) -> "_SpanHandle":
+        if self._recorder is not None:
+            self._recorder._open(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = time.perf_counter() - self.t0
+        if self._recorder is not None:
+            self._recorder._close(self)
+
+
+class NullRecorder:
+    """The ``telemetry="off"`` recorder: hot paths pay one null-check.
+
+    Span handles still measure wall-clock (the runtime consumes the
+    durations for ``fit_seconds``-style results whether or not telemetry
+    is on); everything else is discarded.
+    """
+
+    mode = "off"
+
+    @property
+    def recording(self) -> bool:
+        return False
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        return _SpanHandle(None, name, None)
+
+    def counter(self, name: str, value: int = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def merge(self, payload: dict | None) -> None:
+        pass
+
+    def export(self) -> dict:
+        return {"counters": {}, "gauges": {}, "span_stats": {}, "events": []}
+
+    def summary(self) -> dict:
+        return {"mode": "off", "counters": {}, "gauges": {}, "spans": {}}
+
+    def events(self) -> list[dict]:
+        return []
+
+
+#: The shared no-op instance ``make_recorder("off")`` hands out.
+NULL_RECORDER = NullRecorder()
+
+
+class TraceRecorder:
+    """Thread-safe span/counter/gauge collection for one run.
+
+    Parameters
+    ----------
+    mode:
+        ``"trace"`` retains every finished span as an event (up to
+        :data:`MAX_EVENTS`); ``"summary"`` keeps only per-name aggregates.
+        Both modes collect counters, gauges and span aggregates.
+    """
+
+    def __init__(self, mode: str = "trace") -> None:
+        if mode not in ("summary", "trace"):
+            raise ValueError(f"mode must be 'summary' or 'trace', got {mode!r}")
+        self.mode = mode
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self._local = threading.local()
+        self._origin = time.perf_counter()
+        self._counters: dict[str, int] = {}
+        self._gauges: dict[str, dict[str, float]] = {}
+        self._span_stats: dict[str, dict[str, float]] = {}
+        self._events: list[dict] = []
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    # Recording primitives
+    # ------------------------------------------------------------------
+    @property
+    def recording(self) -> bool:
+        return True
+
+    def span(self, name: str, **attrs) -> _SpanHandle:
+        """A context manager timing one region; nests per thread."""
+        return _SpanHandle(self, name, attrs or None)
+
+    def counter(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to a monotonic counter."""
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + int(value)
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a measurement; keeps the last value and the maximum."""
+        value = float(value)
+        with self._lock:
+            entry = self._gauges.get(name)
+            if entry is None:
+                self._gauges[name] = {"last": value, "max": value}
+            else:
+                entry["last"] = value
+                entry["max"] = max(entry["max"], value)
+
+    # ------------------------------------------------------------------
+    # Span bookkeeping (called by the handles)
+    # ------------------------------------------------------------------
+    def _stack(self) -> list[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _open(self, handle: _SpanHandle) -> None:
+        stack = self._stack()
+        handle.parent_id = stack[-1] if stack else None
+        with self._lock:
+            handle.span_id = next(self._ids)
+        stack.append(handle.span_id)
+
+    def _close(self, handle: _SpanHandle) -> None:
+        stack = self._stack()
+        if stack and stack[-1] == handle.span_id:
+            stack.pop()
+        elif handle.span_id in stack:  # pragma: no cover - defensive
+            stack.remove(handle.span_id)
+        with self._lock:
+            stats = self._span_stats.setdefault(
+                handle.name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+            )
+            stats["count"] += 1
+            stats["total_seconds"] += handle.seconds
+            stats["max_seconds"] = max(stats["max_seconds"], handle.seconds)
+            if self.mode == "trace":
+                if len(self._events) < MAX_EVENTS:
+                    event = {
+                        "type": "span",
+                        "id": handle.span_id,
+                        "parent": handle.parent_id,
+                        "name": handle.name,
+                        "t0": handle.t0 - self._origin,
+                        "seconds": handle.seconds,
+                    }
+                    if handle.attrs:
+                        event["attrs"] = handle.attrs
+                    self._events.append(event)
+                else:
+                    self._dropped += 1
+
+    def current_span_id(self) -> int | None:
+        """The calling thread's innermost open span id (merge anchor)."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # ------------------------------------------------------------------
+    # Cross-process shipping
+    # ------------------------------------------------------------------
+    def export(self) -> dict:
+        """This recorder's state as a plain-dict payload (picklable)."""
+        with self._lock:
+            return {
+                "counters": dict(self._counters),
+                "gauges": {k: dict(v) for k, v in self._gauges.items()},
+                "span_stats": {k: dict(v) for k, v in self._span_stats.items()},
+                "events": [dict(e) for e in self._events],
+                "dropped": self._dropped,
+            }
+
+    def merge(self, payload: dict | None) -> None:
+        """Fold a worker's exported payload into this recorder.
+
+        Counters add, gauges keep last-write (call order = input order, so
+        the result is deterministic) and track the max, span aggregates
+        add, and — in trace mode — the worker's events are rebased onto
+        fresh ids and re-parented under the calling thread's active span.
+        """
+        if not payload:
+            return
+        anchor = self.current_span_id()
+        with self._lock:
+            for name, value in payload.get("counters", {}).items():
+                self._counters[name] = self._counters.get(name, 0) + int(value)
+            for name, entry in payload.get("gauges", {}).items():
+                mine = self._gauges.get(name)
+                if mine is None:
+                    self._gauges[name] = dict(entry)
+                else:
+                    mine["last"] = entry["last"]
+                    mine["max"] = max(mine["max"], entry["max"])
+            for name, stats in payload.get("span_stats", {}).items():
+                mine = self._span_stats.setdefault(
+                    name, {"count": 0, "total_seconds": 0.0, "max_seconds": 0.0}
+                )
+                mine["count"] += stats["count"]
+                mine["total_seconds"] += stats["total_seconds"]
+                mine["max_seconds"] = max(mine["max_seconds"], stats["max_seconds"])
+            self._dropped += payload.get("dropped", 0)
+            if self.mode != "trace":
+                return
+            events = payload.get("events", [])
+            id_map: dict[int, int] = {}
+            for event in events:
+                id_map[event["id"]] = next(self._ids)
+            for event in events:
+                if len(self._events) >= MAX_EVENTS:
+                    self._dropped += 1
+                    continue
+                rebased = dict(event)
+                rebased["id"] = id_map[event["id"]]
+                parent = event.get("parent")
+                rebased["parent"] = id_map.get(parent, anchor) if parent else anchor
+                self._events.append(rebased)
+
+    # ------------------------------------------------------------------
+    # Output
+    # ------------------------------------------------------------------
+    def summary(self) -> dict:
+        """The aggregated view: counters, gauges, per-name span stats."""
+        with self._lock:
+            return {
+                "mode": self.mode,
+                "counters": dict(sorted(self._counters.items())),
+                "gauges": {k: dict(v) for k, v in sorted(self._gauges.items())},
+                "spans": {k: dict(v) for k, v in sorted(self._span_stats.items())},
+            }
+
+    def events(self) -> list[dict]:
+        """Retained span events (trace mode; empty under summary mode)."""
+        with self._lock:
+            return [dict(e) for e in self._events]
+
+    def trace_lines(self, meta: dict | None = None) -> list[dict]:
+        """The full JSONL document as parsed objects (schema order)."""
+        header = {
+            "type": "meta",
+            "version": 1,
+            "mode": self.mode,
+            "dropped_events": self._dropped,
+        }
+        if meta:
+            header.update(meta)
+        return [header, *self.events(), {"type": "summary", **self.summary()}]
+
+    def write_jsonl(self, path: str | Path, meta: dict | None = None) -> Path:
+        """Serialize the trace to one JSON object per line; returns the path."""
+        path = Path(path)
+        lines = self.trace_lines(meta)
+        path.write_text("".join(json.dumps(line) + "\n" for line in lines))
+        return path
+
+
+def make_recorder(telemetry: str) -> TraceRecorder | NullRecorder:
+    """The recorder for one policy telemetry level (``off`` → shared no-op)."""
+    if telemetry == "off":
+        return NULL_RECORDER
+    if telemetry in ("summary", "trace"):
+        return TraceRecorder(mode=telemetry)
+    raise ValueError(
+        f"telemetry must be one of {TELEMETRY_LEVELS}, got {telemetry!r}"
+    )

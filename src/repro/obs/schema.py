@@ -1,0 +1,95 @@
+"""The JSONL trace file format, and a validator for it.
+
+A trace file is a sequence of JSON objects, one per line:
+
+line 1 — ``meta``
+    ``{"type": "meta", "version": 1, "mode": "trace"|"summary",
+    "dropped_events": <int>, ...}`` plus whatever the producer attaches
+    (Session traces embed the canonical ``policy`` dict and the entry
+    point).  ``version`` is :data:`TRACE_SCHEMA_VERSION`.
+lines 2..n-1 — ``span`` events (trace mode only)
+    ``{"type": "span", "id": <int>, "parent": <int|null>, "name": <str>,
+    "t0": <float>, "seconds": <float>, "attrs": {...}?}``.  Ids are
+    unique within the file; ``parent`` references an earlier-or-later id
+    or is null for roots; ``t0`` is seconds since the recorder's origin.
+line n — ``summary``
+    ``{"type": "summary", "mode": ..., "counters": {name: int},
+    "gauges": {name: {"last": float, "max": float}},
+    "spans": {name: {"count": int, "total_seconds": float,
+    "max_seconds": float}}}``.
+
+Wall-clock fields (``t0``, ``seconds``, ``*_seconds``) live only here —
+never in digest inputs — so traces from two runs differ while the runs'
+scores are bitwise identical.
+"""
+
+from __future__ import annotations
+
+__all__ = ["TRACE_SCHEMA_VERSION", "validate_trace_lines"]
+
+TRACE_SCHEMA_VERSION = 1
+
+_SPAN_REQUIRED = {"id": int, "name": str, "t0": (int, float), "seconds": (int, float)}
+_SUMMARY_REQUIRED = ("counters", "gauges", "spans")
+
+
+def validate_trace_lines(lines: list[dict]) -> list[str]:
+    """Check parsed trace lines against the schema; returns the problems.
+
+    An empty return value means the document conforms.  Problems are
+    human-readable strings naming the offending line (1-based).
+    """
+    problems: list[str] = []
+    if not lines:
+        return ["empty trace: expected at least meta and summary lines"]
+
+    meta = lines[0]
+    if meta.get("type") != "meta":
+        problems.append("line 1: expected a meta object")
+    else:
+        if meta.get("version") != TRACE_SCHEMA_VERSION:
+            problems.append(
+                f"line 1: version {meta.get('version')!r} != {TRACE_SCHEMA_VERSION}"
+            )
+        if meta.get("mode") not in ("summary", "trace"):
+            problems.append(f"line 1: unrecognized mode {meta.get('mode')!r}")
+
+    if lines[-1].get("type") != "summary":
+        problems.append(f"line {len(lines)}: expected a trailing summary object")
+    else:
+        summary = lines[-1]
+        for key in _SUMMARY_REQUIRED:
+            if not isinstance(summary.get(key), dict):
+                problems.append(f"line {len(lines)}: summary missing dict {key!r}")
+
+    seen_ids: set[int] = set()
+    spans = lines[1:-1]
+    for offset, event in enumerate(spans, start=2):
+        where = f"line {offset}"
+        if event.get("type") != "span":
+            problems.append(f"{where}: unexpected type {event.get('type')!r}")
+            continue
+        for field, kind in _SPAN_REQUIRED.items():
+            if not isinstance(event.get(field), kind) or isinstance(
+                event.get(field), bool
+            ):
+                problems.append(f"{where}: span field {field!r} missing or mistyped")
+        span_id = event.get("id")
+        if isinstance(span_id, int):
+            if span_id in seen_ids:
+                problems.append(f"{where}: duplicate span id {span_id}")
+            seen_ids.add(span_id)
+        parent = event.get("parent")
+        if parent is not None and not isinstance(parent, int):
+            problems.append(f"{where}: parent must be an int or null")
+        if isinstance(event.get("seconds"), (int, float)) and event["seconds"] < 0:
+            problems.append(f"{where}: negative span duration")
+
+    # Parent references must resolve within the file (order-independent:
+    # merged worker spans may precede their re-parenting anchor).
+    for offset, event in enumerate(spans, start=2):
+        parent = event.get("parent")
+        if isinstance(parent, int) and parent not in seen_ids:
+            problems.append(f"line {offset}: parent {parent} references no span")
+
+    return problems

@@ -17,6 +17,7 @@ import math
 from dataclasses import dataclass
 
 from ..exceptions import BudgetExhaustedError, InvalidBudgetError
+from ..obs import active_recorder
 
 __all__ = ["BudgetLedgerEntry", "PrivacyBudget"]
 
@@ -113,6 +114,10 @@ class PrivacyBudget:
         if not self.can_spend(epsilon):
             raise BudgetExhaustedError(requested=epsilon, remaining=self.remaining)
         self._ledger.append(BudgetLedgerEntry(epsilon=epsilon, note=note))
+        recorder = active_recorder()
+        if recorder.recording:
+            recorder.counter("budget.spend_events")
+            recorder.gauge("budget.epsilon_spent", self.spent)
 
     def split(self, fractions: list[float]) -> list["PrivacyBudget"]:
         """Carve the *remaining* budget into child budgets.

@@ -59,6 +59,17 @@ assigned by input position (``map`` output order == input order, which is
 what makes the runner's tile-ordered reduction deterministic), and pickled
 numpy arrays round-trip bit-exactly, so scores are bitwise identical
 across executors, worker counts, and pool lifecycles.
+
+Telemetry (:mod:`repro.obs`): thread and serial execution records into the
+session's recorder directly — it is thread-safe and shared by address
+space.  Process workers cannot (they mutate a forked or pickled copy), so
+when a recording recorder is active the process executors wrap the work in
+:class:`_TelemetryWork`: each worker-side call runs under a fresh recorder
+and ships ``(result, payload)`` home, and the parent merges the payloads
+**in input order** — deterministic regardless of completion order, and
+double-count-free because the wrapper swaps the worker's active recorder.
+Merging happens outside the timed kernels and never touches results, so
+the bitwise contract above is unaffected.
 """
 
 from __future__ import annotations
@@ -67,9 +78,11 @@ import concurrent.futures
 import itertools
 import multiprocessing
 import os
+import pickle
 from typing import Callable, Sequence
 
 from ..exceptions import ExperimentError
+from ..obs import active_recorder, make_recorder, use_recorder
 
 __all__ = [
     "CellExecutor",
@@ -90,6 +103,39 @@ class CellExecutor:
     def map(self, work: Callable, items: Sequence) -> list:
         """Execute ``work`` over ``items``; result ``i`` is ``work(items[i])``."""
         raise NotImplementedError
+
+
+class _TelemetryWork:
+    """Process-worker shim: run one item under a fresh recorder, ship it home.
+
+    Picklable (plain attributes over a picklable work callable), so it
+    crosses into pooled workers by pickle and into forked workers by
+    inheritance.  Each call returns ``(result, payload)``; the parent
+    unwraps via :func:`_merge_worker_results`.  Installing a fresh
+    recorder per call is what keeps worker activity out of the (forked
+    copy of the) parent recorder — nothing is counted twice.
+    """
+
+    __slots__ = ("work", "mode")
+
+    def __init__(self, work: Callable, mode: str) -> None:
+        self.work = work
+        self.mode = mode
+
+    def __call__(self, item):
+        recorder = make_recorder(self.mode)
+        with use_recorder(recorder):
+            result = self.work(item)
+        return result, recorder.export()
+
+
+def _merge_worker_results(wrapped_results: list, recorder) -> list:
+    """Merge worker payloads into ``recorder`` (input order); unwrap results."""
+    results = []
+    for result, payload in wrapped_results:
+        recorder.merge(payload)
+        results.append(result)
+    return results
 
 
 class SerialExecutor(CellExecutor):
@@ -164,17 +210,23 @@ class ProcessExecutor(CellExecutor):
             context = multiprocessing.get_context("fork")
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return SerialExecutor().map(work, items)
+        recorder = active_recorder()
+        if recorder.recording:
+            work = _TelemetryWork(work, recorder.mode)
         token = next(_SHARED_TOKENS)
         _SHARED_WORK[token] = (work, items)
         try:
             with concurrent.futures.ProcessPoolExecutor(
                 max_workers=self.max_workers, mp_context=context
             ) as pool:
-                return list(
+                results = list(
                     pool.map(_forked_cell, [(token, i) for i in range(len(items))])
                 )
         finally:
             del _SHARED_WORK[token]
+        if recorder.recording:
+            results = _merge_worker_results(results, recorder)
+        return results
 
 
 class PooledThreadExecutor(CellExecutor):
@@ -205,7 +257,11 @@ class PooledThreadExecutor(CellExecutor):
     def map(self, work: Callable, items: Sequence) -> list:
         if len(items) <= 1:
             return [work(item) for item in items]
-        return list(self._ensure_pool().map(work, items))
+        had_pool = self._pool is not None
+        pool = self._ensure_pool()
+        recorder = active_recorder()
+        recorder.counter("pool.reused" if had_pool else "pool.created")
+        return list(pool.map(work, items))
 
     def close(self) -> None:
         """Shut the pool down; the next ``map`` builds a fresh one."""
@@ -258,13 +314,21 @@ class PooledProcessExecutor(CellExecutor):
     def map(self, work: Callable, items: Sequence) -> list:
         if len(items) <= 1:
             return [work(item) for item in items]
+        had_pool = self._pool is not None
         try:
             pool = self._ensure_pool()
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return SerialExecutor().map(work, items)
+        recorder = active_recorder()
+        if recorder.recording:
+            recorder.counter("pool.reused" if had_pool else "pool.created")
+            work = _TelemetryWork(work, recorder.mode)
+            nbytes = len(pickle.dumps(work))
+            recorder.counter("process.pickled_bytes", nbytes)
+            recorder.gauge("process.pickled_bytes_per_call", nbytes)
         chunksize = -(-len(items) // self.max_workers)
         try:
-            return list(pool.map(work, items, chunksize=chunksize))
+            results = list(pool.map(work, items, chunksize=chunksize))
         except concurrent.futures.process.BrokenProcessPool:
             # A dead worker poisons the whole persistent pool.  The call
             # still fails (like the one-shot executor's would), but drop
@@ -272,6 +336,9 @@ class PooledProcessExecutor(CellExecutor):
             # instead of failing forever.
             self.close()
             raise
+        if recorder.recording:
+            results = _merge_worker_results(results, recorder)
+        return results
 
     def close(self) -> None:
         """Shut the pool down; the next ``map`` builds a fresh one."""

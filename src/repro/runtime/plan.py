@@ -79,6 +79,7 @@ import numpy as np
 
 from ..baselines.base import Task
 from ..exceptions import ExperimentError
+from ..obs import active_recorder
 from ..privacy.rng import derive_substream
 from ..regression.preprocessing import KFold
 
@@ -212,7 +213,9 @@ class PreparedDataCache:
         if hit is not None:
             dataset_ref, prepared = hit
             if dataset_ref() is dataset:
+                active_recorder().counter("prepared_cache.task_hits")
                 return prepared
+        active_recorder().counter("prepared_cache.task_misses")
         prepared = dataset.regression_task(task, dims=dims)
         self._tasks[key] = (weakref.ref(dataset), prepared)
         if len(self._tasks) % 64 == 0:
@@ -243,7 +246,9 @@ class PreparedDataCache:
         if hit is not None:
             x_ref, y_ref, value = hit
             if x_ref() is X and y_ref() is y:
+                active_recorder().counter("prepared_cache.moment_hits")
                 return value
+        active_recorder().counter("prepared_cache.moment_misses")
         value = build()
         self._moments[key] = (weakref.ref(X), weakref.ref(y), value)
         if len(self._moments) % 256 == 0:

@@ -44,7 +44,6 @@ either mode, optionally spread over a :mod:`~repro.runtime.executor`
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -57,6 +56,7 @@ from ..core.objectives import (
     RegressionObjective,
 )
 from ..exceptions import ExperimentError
+from ..obs import active_recorder
 from ..regression.linear import _validate_xy as _validate_linear_xy
 from ..regression.logistic import _validate_xy as _validate_logistic_xy
 from ..regression.logistic import sigmoid
@@ -222,6 +222,7 @@ class _PercellFoldWork:
 
     def __call__(self, index: int) -> tuple[list[float], list[float]]:
         plan, fold = self.plan, self.plan.folds[index]
+        recorder = active_recorder()  # looked up per call: never pickled
         gen = plan.substream(fold)
         X_train, y_train = fold.train_arrays()
         X_test, y_test = fold.test_arrays()
@@ -234,9 +235,11 @@ class _PercellFoldWork:
                 rng=gen,
                 **plan.algorithm_kwargs,
             )
-            started = time.perf_counter()
-            model.fit(X_train, y_train)
-            cell_times.append(time.perf_counter() - started)
+            with recorder.span(
+                "cell.fit", algorithm=plan.algorithm, epsilon=epsilon
+            ) as span:
+                model.fit(X_train, y_train)
+            cell_times.append(span.seconds)
             cell_scores.append(model.score(X_test, y_test))
         return cell_scores, cell_times
 
@@ -312,9 +315,11 @@ def _prepare_fm(plan: CellPlan) -> _QuadRequest:
     # sensitivity bound (checks only — no arithmetic, so bit-identity with
     # the per-cell path is unaffected).
     _validate_plan_inputs(plan, objective.validate)
+    recorder = active_recorder()
     for f, fold in enumerate(plan.folds):
         form = _fold_quadratic_form(plan, objective, fold)
         raw = plan.substream(fold).laplace(0.0, 1.0, size=(E, 1 + d + d * d))
+        recorder.counter("runner.laplace_draws", E * (1 + d + d * d))
         noisy_M, noisy_alpha = fm_noise_stack(form.M, form.alpha, raw, scales)
         if ridge_lambda:
             noisy_M = noisy_M + ridge_lambda * np.eye(d)
@@ -322,6 +327,10 @@ def _prepare_fm(plan: CellPlan) -> _QuadRequest:
         alpha_stack[f * E : (f + 1) * E] = noisy_alpha
         noise_std[f * E : (f + 1) * E] = math.sqrt(2.0) * scales
     state = spectral_trim_stack(M_stack, alpha_stack, noise_std, compute_repaired=False)
+    if recorder.recording:
+        n_full = int(np.count_nonzero(state.full))
+        recorder.counter("fm.cells_full", n_full)
+        recorder.counter("fm.cells_trimmed", state.full.size - n_full)
     return _QuadRequest(
         plan=plan,
         kind="fm",
@@ -364,6 +373,11 @@ def _prepare_truncated(plan: CellPlan) -> _QuadRequest:
         M_stack[f] = form.M
         alpha_stack[f] = form.alpha
     omega, posdef = posdef_split_stack(M_stack, alpha_stack)
+    recorder = active_recorder()
+    if recorder.recording:
+        n_posdef = int(np.count_nonzero(posdef))
+        recorder.counter("truncated.cells_posdef", n_posdef)
+        recorder.counter("truncated.cells_pinv", posdef.size - n_posdef)
     return _QuadRequest(
         plan=plan,
         kind="truncated",
@@ -428,30 +442,37 @@ def _solve_requests(requests: Sequence[_QuadRequest]) -> None:
     back to per-request solves, each with its own reference semantics
     (non-singular requests are bitwise unaffected by the retry).
     """
+    recorder = active_recorder()
     by_dim: dict[int, list[_QuadRequest]] = {}
     for request in requests:
         if request.pending.size:
             by_dim.setdefault(request.omega.shape[1], []).append(request)
     for group in by_dim.values():
-        started = time.perf_counter()
         if len(group) == 1:
-            _solve_request_alone(group[0])
-            group[0].solve_seconds = time.perf_counter() - started
+            with recorder.span(
+                "kernel.solve", cells=int(group[0].pending.size)
+            ) as span:
+                _solve_request_alone(group[0])
+            group[0].solve_seconds = span.seconds
             continue
-        A = np.concatenate([r.A for r in group])
-        b = np.concatenate([r.b for r in group])
-        try:
-            solved = np.linalg.solve(A, b[..., None])[..., 0]
-        except np.linalg.LinAlgError:
+        total = sum(r.pending.size for r in group)
+        with recorder.span("kernel.solve", cells=int(total), merged=len(group)) as span:
+            A = np.concatenate([r.A for r in group])
+            b = np.concatenate([r.b for r in group])
+            try:
+                solved = np.linalg.solve(A, b[..., None])[..., 0]
+            except np.linalg.LinAlgError:
+                solved = None
+        if solved is None:
             for request in group:
-                request.solve_seconds = 0.0
-                solo_start = time.perf_counter()
-                _solve_request_alone(request)
-                request.solve_seconds = time.perf_counter() - solo_start
+                with recorder.span(
+                    "kernel.solve", cells=int(request.pending.size)
+                ) as solo:
+                    _solve_request_alone(request)
+                request.solve_seconds = solo.seconds
             continue
         offset = 0
-        merged_seconds = time.perf_counter() - started
-        total = sum(r.pending.size for r in group)
+        merged_seconds = span.seconds
         for request in group:
             request.omega[request.pending] = solved[
                 offset : offset + request.pending.size
@@ -482,11 +503,15 @@ def _finalize_quadratic(request: _QuadRequest) -> dict[float, list[float]]:
 
 def _run_quadratic_plans(plans: Sequence[CellPlan]) -> list[PlanResult]:
     """Execute several quadratic-kernel plans with one merged solve pass."""
+    recorder = active_recorder()
     requests: list[_QuadRequest] = []
     for plan in plans:
-        started = time.perf_counter()
-        request = _QUAD_PREPARERS[_QUAD_KINDS[(plan.algorithm.lower(), plan.kernel)]](plan)
-        request.prep_seconds = time.perf_counter() - started
+        kind = _QUAD_KINDS[(plan.algorithm.lower(), plan.kernel)]
+        with recorder.span(
+            "kernel.prepare", algorithm=plan.algorithm, kind=kind
+        ) as span:
+            request = _QUAD_PREPARERS[kind](plan)
+        request.prep_seconds = span.seconds
         requests.append(request)
     _solve_requests(requests)
     results = []
@@ -514,33 +539,38 @@ def _run_newton_batched(plan: CellPlan) -> tuple[dict[float, list[float]], float
     chunked to bound the stacked copy's memory; neither regrouping nor
     chunking changes any cell's arithmetic.
     """
-    started = time.perf_counter()
-    _validate_plan_inputs(plan, _validate_logistic_xy)  # label/shape gate
-    coefs = np.empty((len(plan.folds), plan.dim))
-    by_size: dict[int, list[int]] = {}
-    for f, fold in enumerate(plan.folds):
-        by_size.setdefault(fold.n_train, []).append(f)
-    for n, fold_ids in by_size.items():
-        chunk = max(1, _NEWTON_CHUNK_BYTES // max(1, n * plan.dim * 8))
-        for start in range(0, len(fold_ids), chunk):
-            batch = fold_ids[start : start + chunk]
-            # Gather straight into the stack: np.take(..., out=) writes the
-            # same rows a fancy-index copy would, without the intermediate.
-            X_stack = np.empty((len(batch), n, plan.dim))
-            y_stack = np.empty((len(batch), n))
-            for j, f in enumerate(batch):
-                fold = plan.folds[f]
-                np.take(fold.X, fold.train_idx, axis=0, out=X_stack[j])
-                np.take(fold.y, fold.train_idx, axis=0, out=y_stack[j])
-            # LogisticRegressionModel's solver settings (not NewtonSolver's
-            # bare defaults): 100 iterations at tolerance 1e-8.
-            result = newton_logistic_stack(
-                X_stack, y_stack, max_iterations=100, tolerance=1e-8
-            )
-            for j, f in enumerate(batch):
-                coefs[f] = result.x[j]
-    fit_seconds = time.perf_counter() - started
-    return _replicated_scores(plan, coefs), fit_seconds
+    recorder = active_recorder()
+    with recorder.span("kernel.newton", folds=len(plan.folds)) as span:
+        _validate_plan_inputs(plan, _validate_logistic_xy)  # label/shape gate
+        coefs = np.empty((len(plan.folds), plan.dim))
+        by_size: dict[int, list[int]] = {}
+        for f, fold in enumerate(plan.folds):
+            by_size.setdefault(fold.n_train, []).append(f)
+        for n, fold_ids in by_size.items():
+            chunk = max(1, _NEWTON_CHUNK_BYTES // max(1, n * plan.dim * 8))
+            for start in range(0, len(fold_ids), chunk):
+                batch = fold_ids[start : start + chunk]
+                # Gather straight into the stack: np.take(..., out=) writes the
+                # same rows a fancy-index copy would, without the intermediate.
+                X_stack = np.empty((len(batch), n, plan.dim))
+                y_stack = np.empty((len(batch), n))
+                for j, f in enumerate(batch):
+                    fold = plan.folds[f]
+                    np.take(fold.X, fold.train_idx, axis=0, out=X_stack[j])
+                    np.take(fold.y, fold.train_idx, axis=0, out=y_stack[j])
+                # LogisticRegressionModel's solver settings (not NewtonSolver's
+                # bare defaults): 100 iterations at tolerance 1e-8.
+                result = newton_logistic_stack(
+                    X_stack, y_stack, max_iterations=100, tolerance=1e-8
+                )
+                if recorder.recording:
+                    recorder.counter("newton.cells", len(batch))
+                    recorder.counter("newton.iterations", int(np.sum(result.iterations)))
+                    recorder.counter("newton.converged", int(np.sum(result.converged)))
+                    recorder.counter("newton.compaction_chunks")
+                for j, f in enumerate(batch):
+                    coefs[f] = result.x[j]
+    return _replicated_scores(plan, coefs), span.seconds
 
 
 def _replicated_scores(plan: CellPlan, coefs: np.ndarray) -> dict[float, list[float]]:
@@ -605,11 +635,14 @@ def run_plan(
     if isinstance(plan, TiledPlan):
         return run_plan_group([plan], mode=mode, executor=executor)[0]
     resolved = get_executor(executor)
-    if mode == "percell":
-        return _run_percell(plan, resolved)
-    if mode != "batched":
+    if mode not in ("batched", "percell"):
         raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
-    return _run_batched_single(plan, resolved)
+    with active_recorder().span(
+        "plan.run", mode=mode, algorithm=plan.algorithm, cells=plan.n_cells
+    ):
+        if mode == "percell":
+            return _run_percell(plan, resolved)
+        return _run_batched_single(plan, resolved)
 
 
 def run_plan_group(
@@ -640,11 +673,12 @@ def run_plan_group(
     if mode not in ("batched", "percell"):
         raise ExperimentError(f"unknown runtime mode {mode!r}; use 'batched' or 'percell'")
     resolved = get_executor(executor)
-    if all(isinstance(p, CellPlan) for p in plans):
-        return _run_group_eager(plans, mode, resolved)
-    if all(isinstance(p, TiledPlan) for p in plans):
-        return _run_group_tiled(plans, mode, resolved)
-    raise ExperimentError("cannot mix eager CellPlans and TiledPlans in one group")
+    with active_recorder().span("plan.group", mode=mode, plans=len(plans)):
+        if all(isinstance(p, CellPlan) for p in plans):
+            return _run_group_eager(plans, mode, resolved)
+        if all(isinstance(p, TiledPlan) for p in plans):
+            return _run_group_tiled(plans, mode, resolved)
+        raise ExperimentError("cannot mix eager CellPlans and TiledPlans in one group")
 
 
 def _run_group_eager(
@@ -687,12 +721,13 @@ class _TileGroupWork:
     inner: CellExecutor
 
     def __call__(self, index: int) -> list[tuple[dict, dict, int]]:
-        tile_plans = [plan.tile(index) for plan in self.plans]
-        tile_results = _run_group_eager(tile_plans, self.mode, self.inner)
-        return [
-            (outcome.scores, outcome.fit_seconds, tile_plan.n_train)
-            for outcome, tile_plan in zip(tile_results, tile_plans)
-        ]
+        with active_recorder().span("plan.tile", tile=index):
+            tile_plans = [plan.tile(index) for plan in self.plans]
+            tile_results = _run_group_eager(tile_plans, self.mode, self.inner)
+            return [
+                (outcome.scores, outcome.fit_seconds, tile_plan.n_train)
+                for outcome, tile_plan in zip(tile_results, tile_plans)
+            ]
 
 
 def _run_group_tiled(

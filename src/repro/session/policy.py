@@ -32,12 +32,16 @@ Environment variables (all optional)::
     REPRO_SAMPLING_RATE   float in (0, 1]
     REPRO_SEED            int
     REPRO_SHARDS          positive int
+    REPRO_TELEMETRY       off | summary | trace
     REPRO_POLICY_FILE     path to a JSON policy file (the file layer)
 
-The pending ``stream_version`` default flip (ROADMAP) is now literally the
-:data:`DEFAULT_STREAM_VERSION` constant below: every session, CLI
-invocation, legacy shim and golden group that does not pin a version
-resolves through it.
+The ``stream_version`` default flip (ROADMAP) has landed: the
+:data:`DEFAULT_STREAM_VERSION` constant below is now ``2`` (the
+alias-free derivation), and every session, CLI invocation, legacy shim
+and golden group that does not pin a version resolves through it.
+Version 1 remains fully supported — pin ``stream_version=1`` to
+reproduce the historical streams; the ``*-sv1`` golden groups keep it
+under test.
 """
 
 from __future__ import annotations
@@ -60,10 +64,10 @@ __all__ = [
 ]
 
 #: The substream-derivation format used when nothing pins one explicitly.
-#: Flipping the repo to the alias-free derivation (ROADMAP) is a one-line
-#: change here; 1 remains the default because published streams depend on
-#: the historical derivation.
-DEFAULT_STREAM_VERSION = 1
+#: 2 is the alias-free derivation (length-prefixed, sentinel-terminated
+#: tags); the historical format remains available as ``stream_version=1``
+#: and stays pinned-and-tested via the ``*-sv1`` golden groups.
+DEFAULT_STREAM_VERSION = 2
 
 #: Environment variable consulted for the policy-file layer.
 POLICY_FILE_ENV = "REPRO_POLICY_FILE"
@@ -79,10 +83,12 @@ POLICY_ENV_VARS: dict[str, str] = {
     "sampling_rate": "REPRO_SAMPLING_RATE",
     "seed": "REPRO_SEED",
     "shards": "REPRO_SHARDS",
+    "telemetry": "REPRO_TELEMETRY",
 }
 
 _RUNTIMES = ("batched", "percell", "engine", "auto")
 _EXECUTORS = ("serial", "thread", "process")
+_TELEMETRY = ("off", "summary", "trace")
 
 
 def _parse_optional_int(field: str, raw: str) -> int | None:
@@ -151,6 +157,12 @@ class ExecutionPolicy:
     shards:
         Parallel ingestion shards of the streaming-engine path (budget
         sweeps only; ``shards > 1`` implies ``runtime="engine"``).
+    telemetry:
+        Observability level (see :mod:`repro.obs`): ``"off"`` installs
+        the no-op recorder (hot paths pay one null-check), ``"summary"``
+        aggregates counters/gauges/span stats, ``"trace"`` additionally
+        retains every span for JSONL export.  Telemetry never changes
+        scores or golden digests.
     """
 
     runtime: str = "batched"
@@ -162,6 +174,7 @@ class ExecutionPolicy:
     sampling_rate: float = 1.0
     seed: int = 0
     shards: int = 1
+    telemetry: str = "off"
 
     def __post_init__(self) -> None:
         if self.runtime not in _RUNTIMES:
@@ -197,6 +210,10 @@ class ExecutionPolicy:
         if not isinstance(self.shards, int) or self.shards < 1:
             raise ExperimentError(
                 f"shards must be a positive integer, got {self.shards!r}"
+            )
+        if self.telemetry not in _TELEMETRY:
+            raise ExperimentError(
+                f"telemetry must be one of {_TELEMETRY}, got {self.telemetry!r}"
             )
 
     # ------------------------------------------------------------------

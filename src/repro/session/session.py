@@ -40,12 +40,14 @@ configure an unmodified CLI invocation end to end.
 from __future__ import annotations
 
 import warnings
+from pathlib import Path
 from typing import Mapping, Sequence
 
 from ..baselines.base import Task
 from ..data.census import load_brazil, load_us
 from ..data.datasets import CensusDataset
 from ..exceptions import ExperimentError
+from ..obs import make_recorder, use_recorder
 from ..experiments.config import DEFAULT_DIMENSIONALITY, ScalePreset
 from ..experiments.figures import SweepResult, _accuracy_sweep_impl
 from ..experiments.harness import (
@@ -108,6 +110,7 @@ class Session:
         self._prepared_cache = PreparedDataCache()
         self._executor: CellExecutor | None = None
         self._datasets: dict[tuple[str, int | None], CensusDataset] = {}
+        self._recorder = make_recorder(self.policy.telemetry)
 
     # ------------------------------------------------------------------
     # Owned process state
@@ -116,6 +119,35 @@ class Session:
     def prepared_cache(self) -> PreparedDataCache:
         """The session-lifetime prepared-data cache."""
         return self._prepared_cache
+
+    @property
+    def recorder(self):
+        """The session's telemetry recorder (no-op when telemetry is off).
+
+        Recording accumulates across calls for the session's lifetime —
+        one recorder observes every entry point, which is what makes
+        cross-call effects (cache reuse, pool reuse) visible in the
+        counters.
+        """
+        return self._recorder
+
+    def telemetry_summary(self) -> dict:
+        """Aggregated counters/gauges/span stats recorded so far."""
+        return self._recorder.summary()
+
+    def write_trace(self, path: str | Path) -> Path:
+        """Serialize the recorded trace to a JSONL file (see ``repro.obs``).
+
+        Requires ``telemetry`` of ``"summary"`` (aggregates only) or
+        ``"trace"`` (full span events); the meta line embeds the canonical
+        policy so a trace is self-describing.
+        """
+        if not self._recorder.recording:
+            raise ExperimentError(
+                "telemetry is 'off'; construct the Session with "
+                "telemetry='summary' or 'trace' to record a trace"
+            )
+        return self._recorder.write_jsonl(path, meta={"policy": self.policy.to_dict()})
 
     def executor(self) -> CellExecutor:
         """The session's executor (created lazily, reused across calls)."""
@@ -247,20 +279,23 @@ class Session:
         execution comes from the policy (and the session's cache/pool),
         protocol arguments stay per-call with policy-backed defaults.
         """
-        return _evaluate_algorithm_impl(
-            algorithm,
-            dataset,
-            task,
-            dims,
-            epsilon,
-            *self._resolved(preset, sampling_rate, seed),
-            algorithm_kwargs=algorithm_kwargs,
-            runtime=self._point_runtime(),
-            executor=self.executor() if executor is None else executor,
-            tile_size=self.policy.tile_size,
-            stream_version=self.policy.stream_version,
-            prepared_cache=self._prepared_cache,
-        )
+        with use_recorder(self._recorder), self._recorder.span(
+            "session.evaluate", algorithm=algorithm, task=task
+        ):
+            return _evaluate_algorithm_impl(
+                algorithm,
+                dataset,
+                task,
+                dims,
+                epsilon,
+                *self._resolved(preset, sampling_rate, seed),
+                algorithm_kwargs=algorithm_kwargs,
+                runtime=self._point_runtime(),
+                executor=self.executor() if executor is None else executor,
+                tile_size=self.policy.tile_size,
+                stream_version=self.policy.stream_version,
+                prepared_cache=self._prepared_cache,
+            )
 
     def evaluate_panel(
         self,
@@ -276,19 +311,22 @@ class Session:
         executor: str | CellExecutor | None = None,
     ) -> dict[str, EvaluationResult]:
         """Evaluate an algorithm panel as one grouped run (keyed by name)."""
-        return _evaluate_algorithms_impl(
-            algorithms,
-            dataset,
-            task,
-            dims,
-            epsilon,
-            *self._resolved(preset, sampling_rate, seed),
-            runtime=self._point_runtime(),
-            executor=self.executor() if executor is None else executor,
-            tile_size=self.policy.tile_size,
-            stream_version=self.policy.stream_version,
-            prepared_cache=self._prepared_cache,
-        )
+        with use_recorder(self._recorder), self._recorder.span(
+            "session.evaluate_panel", algorithms=list(algorithms), task=task
+        ):
+            return _evaluate_algorithms_impl(
+                algorithms,
+                dataset,
+                task,
+                dims,
+                epsilon,
+                *self._resolved(preset, sampling_rate, seed),
+                runtime=self._point_runtime(),
+                executor=self.executor() if executor is None else executor,
+                tile_size=self.policy.tile_size,
+                stream_version=self.policy.stream_version,
+                prepared_cache=self._prepared_cache,
+            )
 
     def budget_sweep(
         self,
@@ -312,21 +350,24 @@ class Session:
         ``policy.shards > 1`` requires an engine-capable runtime, exactly
         as the legacy signature did.
         """
-        return _evaluate_fm_budget_sweep_impl(
-            dataset,
-            task,
-            dims,
-            epsilons,
-            *self._resolved(preset, sampling_rate, seed),
-            shards=self.policy.shards,
-            post_processing=post_processing,
-            tight_sensitivity=tight_sensitivity,
-            runtime=self.policy.runtime if runtime is None else runtime,
-            executor=self.executor() if executor is None else executor,
-            tile_size=self.policy.tile_size,
-            stream_version=self.policy.stream_version,
-            prepared_cache=self._prepared_cache,
-        )
+        with use_recorder(self._recorder), self._recorder.span(
+            "session.budget_sweep", task=task, points=len(epsilons)
+        ):
+            return _evaluate_fm_budget_sweep_impl(
+                dataset,
+                task,
+                dims,
+                epsilons,
+                *self._resolved(preset, sampling_rate, seed),
+                shards=self.policy.shards,
+                post_processing=post_processing,
+                tight_sensitivity=tight_sensitivity,
+                runtime=self.policy.runtime if runtime is None else runtime,
+                executor=self.executor() if executor is None else executor,
+                tile_size=self.policy.tile_size,
+                stream_version=self.policy.stream_version,
+                prepared_cache=self._prepared_cache,
+            )
 
     def sweep(
         self,
@@ -349,21 +390,24 @@ class Session:
         """
         self._warn_inapplicable("Session.sweep", shards_apply=False)
         preset, _, seed = self._resolved(preset, None, seed)
-        return _accuracy_sweep_impl(
-            dataset,
-            task,
-            parameter,
-            tuple(values),
-            figure=figure,
-            preset=preset,
-            algorithms=algorithms,
-            seed=seed,
-            runtime=self._point_runtime(),
-            executor=self.executor() if executor is None else executor,
-            tile_size=self.policy.tile_size,
-            stream_version=self.policy.stream_version,
-            prepared_cache=self._prepared_cache,
-        )
+        with use_recorder(self._recorder), self._recorder.span(
+            "session.sweep", parameter=parameter, figure=figure
+        ):
+            return _accuracy_sweep_impl(
+                dataset,
+                task,
+                parameter,
+                tuple(values),
+                figure=figure,
+                preset=preset,
+                algorithms=algorithms,
+                seed=seed,
+                runtime=self._point_runtime(),
+                executor=self.executor() if executor is None else executor,
+                tile_size=self.policy.tile_size,
+                stream_version=self.policy.stream_version,
+                prepared_cache=self._prepared_cache,
+            )
 
     def figure(
         self,
@@ -392,18 +436,21 @@ class Session:
             f"Session.figure({name!r})", shards_apply=spec.budget_sweep
         )
         preset, _, seed = self._resolved(preset, None, seed)
-        return run_figure(
-            name,
-            dataset,
-            task,
-            preset=preset,
-            seed=seed,
-            runtime=self._point_runtime(),
-            executor=self.executor() if executor is None else executor,
-            tile_size=self.policy.tile_size,
-            stream_version=self.policy.stream_version,
-            values=values,
-            engine=engine,
-            prepared_cache=self._prepared_cache,
-            shards=self.policy.shards,
-        )
+        with use_recorder(self._recorder), self._recorder.span(
+            "session.figure", figure=name
+        ):
+            return run_figure(
+                name,
+                dataset,
+                task,
+                preset=preset,
+                seed=seed,
+                runtime=self._point_runtime(),
+                executor=self.executor() if executor is None else executor,
+                tile_size=self.policy.tile_size,
+                stream_version=self.policy.stream_version,
+                values=values,
+                engine=engine,
+                prepared_cache=self._prepared_cache,
+                shards=self.policy.shards,
+            )

@@ -27,6 +27,7 @@ import sys
 from ..baselines.base import algorithm_is_private, algorithm_names, canonical_algorithm_name
 from ..core.objectives import LinearRegressionObjective, LogisticRegressionObjective
 from ..exceptions import ReproError
+from ..obs import make_recorder, use_recorder
 from .certify import certify_sensitivity
 from .conformance import audit_all, audit_release, faulty_fm_release
 from .golden import GOLDEN_CONFIGS, GOLDEN_GROUPS, load_store, verify_matrix
@@ -74,6 +75,17 @@ def add_verify_arguments(parser) -> None:
     parser.add_argument(
         "--regen-golden", action="store_true",
         help="re-pin the golden digests for this environment instead of comparing",
+    )
+    parser.add_argument(
+        "--telemetry", choices=("off", "summary", "trace"), default=None,
+        help="telemetry level for the tier-3 case sessions (default off); "
+        "digests are asserted against the store either way, so running "
+        "with 'trace' is the telemetry-neutrality check",
+    )
+    parser.add_argument(
+        "--trace", default=None, metavar="PATH",
+        help="write the tier-3 matrix run's merged telemetry as JSONL to "
+        "PATH (implies --telemetry trace unless a level is given)",
     )
 
 
@@ -227,19 +239,35 @@ def _run_tier3(args) -> int:
         if args.golden_configs
         else None
     )
+    telemetry = args.telemetry
+    if args.trace:
+        if telemetry == "off":
+            raise ReproError(
+                "--trace needs telemetry: drop --telemetry off or pick "
+                "'summary'/'trace'"
+            )
+        telemetry = telemetry or "trace"
+    telemetry = telemetry or "off"
     n_groups = len(groups) if groups else len(GOLDEN_GROUPS)
     n_configs = len(configs) if configs else len(GOLDEN_CONFIGS)
     action = "re-pinning" if args.regen_golden else "verifying"
+    telemetry_note = f" (telemetry={telemetry})" if telemetry != "off" else ""
     print(
         f"tier 3: golden-oracle matrix — {action} {n_groups} groups x "
-        f"{n_configs} configs"
+        f"{n_configs} configs{telemetry_note}"
     )
-    report = verify_matrix(
-        group_ids=groups,
-        config_ids=configs,
-        store_path=args.golden_store,
-        regen=args.regen_golden,
-    )
+    # An outer trace recorder collects the per-case session recorders
+    # (run_golden_case merges each one into it) so --trace yields one
+    # file covering the whole matrix run.
+    outer = make_recorder("trace" if args.trace else "off")
+    with use_recorder(outer):
+        report = verify_matrix(
+            group_ids=groups,
+            config_ids=configs,
+            store_path=args.golden_store,
+            regen=args.regen_golden,
+            telemetry=telemetry,
+        )
     for outcome in report.outcomes:
         digest = outcome.digest[:12] if outcome.equivalent else "DIVERGED"
         if args.regen_golden:
@@ -258,6 +286,9 @@ def _run_tier3(args) -> int:
             "digest comparisons are informational here (re-pin with "
             "--regen-golden to enforce them on this machine)"
         )
+    if args.trace:
+        outer.write_jsonl(args.trace, meta={"entry_point": "verify"})
+        print(f"  trace written to {args.trace}")
     print(f"tier 3: {'OK' if report.passed else 'FAILED'}")
     return 0 if report.passed else 1
 

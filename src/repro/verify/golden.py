@@ -44,6 +44,7 @@ from ..data.census import load_us
 from ..exceptions import ExperimentError
 from ..experiments.config import ScalePreset
 from ..experiments.figures import SweepResult
+from ..obs import active_recorder
 from ..session import ExecutionPolicy, Session
 
 __all__ = [
@@ -133,13 +134,18 @@ def _golden_dataset():
     return load_us(_GOLDEN_RECORDS)
 
 
-def case_policy(group: GoldenGroup, config: GoldenConfig) -> ExecutionPolicy:
+def case_policy(
+    group: GoldenGroup, config: GoldenConfig, telemetry: str = "off"
+) -> ExecutionPolicy:
     """The exact :class:`ExecutionPolicy` of one matrix cell.
 
     What *defines* the digest comes from the group (stream version,
     seed); what must *not* change it comes from the config (runtime,
-    executor, tiling).  The canonical batched-serial-eager cell's policy
-    is what :func:`save_store` embeds next to each pinned digest.
+    executor, tiling).  ``telemetry`` is an observation setting, never a
+    digest input — the conformance tests run the same cell at ``"off"``
+    and ``"trace"`` and assert one digest.  The canonical
+    batched-serial-eager cell's policy (telemetry off) is what
+    :func:`save_store` embeds next to each pinned digest.
     """
     return ExecutionPolicy(
         runtime=config.runtime,
@@ -147,26 +153,36 @@ def case_policy(group: GoldenGroup, config: GoldenConfig) -> ExecutionPolicy:
         tile_size=config.tile_size,
         stream_version=group.stream_version,
         seed=group.seed,
+        telemetry=telemetry,
     )
 
 
-def run_golden_case(group: GoldenGroup, config: GoldenConfig) -> SweepResult:
+def run_golden_case(
+    group: GoldenGroup, config: GoldenConfig, telemetry: str = "off"
+) -> SweepResult:
     """Execute one (group, config) cell of the conformance matrix.
 
     Runs through a one-case :class:`~repro.session.Session` over
     :func:`case_policy` — the same resolver/dispatch path the CLI uses —
     so a pinned digest is reproducible from its embedded policy alone.
+    When ``telemetry`` is on and an outer recorder is active (``repro
+    verify --trace``), the case session's recorded activity is merged
+    into it so one trace file covers the whole matrix run.
     """
     dataset = _golden_dataset()
     values = _GOLDEN_RATES if group.figure == "figure5" else None
-    with Session(case_policy(group, config)) as session:
-        return session.figure(
+    with Session(case_policy(group, config, telemetry=telemetry)) as session:
+        result = session.figure(
             group.figure,
             dataset,
             group.task,
             preset=GOLDEN_PRESET,
             values=values,
         )
+    outer = active_recorder()
+    if outer.recording and session.recorder.recording and outer is not session.recorder:
+        outer.merge(session.recorder.export())
+    return result
 
 
 def digest_sweep_result(result: SweepResult) -> str:
@@ -343,6 +359,7 @@ def verify_matrix(
     store_path: Path | str | None = None,
     regen: bool = False,
     progress=None,
+    telemetry: str = "off",
 ) -> MatrixReport:
     """Run the conformance matrix and compare against the committed store.
 
@@ -358,6 +375,12 @@ def verify_matrix(
         still requires within-group equivalence.
     progress:
         Optional callable ``(message: str) -> None`` for live reporting.
+    telemetry:
+        Telemetry level for every case session (``"off"``, ``"summary"``,
+        ``"trace"``).  Observation only: digests are computed from scores
+        and must be identical at every level — running the matrix at
+        ``"trace"`` against a store pinned at ``"off"`` *is* the
+        telemetry-neutrality check.
     """
     groups = _select(GOLDEN_GROUPS, group_ids, lambda g: g.group_id, "golden groups")
     configs = _select(GOLDEN_CONFIGS, config_ids, lambda c: c.config_id, "golden configs")
@@ -376,7 +399,7 @@ def verify_matrix(
             if progress is not None:
                 progress(f"{group.group_id} / {config.config_id}")
             digests[config.config_id] = digest_sweep_result(
-                run_golden_case(group, config)
+                run_golden_case(group, config, telemetry=telemetry)
             )
         stored = stored_groups.get(group.group_id, {}).get("digest")
         outcomes.append(

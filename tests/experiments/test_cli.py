@@ -123,3 +123,55 @@ class TestEngineCommand:
     def test_invalid_shards_exit_code(self, capsys):
         assert main(["engine", "--shards", "0"]) == 2
         assert "--shards" in capsys.readouterr().err
+
+
+class TestTelemetryFlags:
+    def test_trace_flag_writes_valid_jsonl(self, capsys, tmp_path):
+        from repro.obs import load_trace
+
+        path = tmp_path / "fig4.jsonl"
+        assert main(["figure4", "--scale", "smoke", "--trace", str(path)]) == 0
+        assert "trace written" in capsys.readouterr().out
+        lines = load_trace(path)  # raises on schema violations
+        assert lines[0]["policy"]["telemetry"] == "trace"
+        assert any(l.get("name") == "session.figure" for l in lines)
+
+    def test_trace_with_telemetry_off_rejected(self, capsys, tmp_path):
+        argv = ["figure4", "--scale", "smoke", "--telemetry", "off",
+                "--trace", str(tmp_path / "t.jsonl")]
+        assert main(argv) == 2
+        assert "--trace" in capsys.readouterr().err
+
+    def test_engine_trace(self, capsys, tmp_path):
+        from repro.obs import load_trace
+
+        path = tmp_path / "engine.jsonl"
+        assert main(["engine", "--epsilons", "1.0", "--scale", "smoke",
+                     "--trace", str(path)]) == 0
+        lines = load_trace(path)
+        assert lines[0]["entry_point"] == "engine"
+        names = {l.get("name") for l in lines}
+        assert "engine.ingest" in names
+        assert "engine.sweep_batched" in names
+
+    def test_trace_summarize_command(self, capsys, tmp_path):
+        path = tmp_path / "fig4.jsonl"
+        assert main(["figure4", "--scale", "smoke", "--trace", str(path)]) == 0
+        capsys.readouterr()
+        assert main(["trace", "summarize", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mode=trace" in out
+        assert "session.figure" in out
+        assert "runner.laplace_draws" in out or "counter" in out
+
+    def test_trace_summarize_missing_file(self, capsys, tmp_path):
+        assert main(["trace", "summarize", str(tmp_path / "absent.jsonl")]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_telemetry_off_unchanged_output(self, capsys):
+        """Same figure, telemetry on vs off: identical printed table."""
+        assert main(["figure4", "--scale", "smoke"]) == 0
+        plain = capsys.readouterr().out
+        assert main(["figure4", "--scale", "smoke", "--telemetry", "trace"]) == 0
+        traced = capsys.readouterr().out
+        assert plain == traced

@@ -1,0 +1,244 @@
+"""Recorder unit behavior: spans, counters, gauges, export/merge, modes."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import (
+    MAX_EVENTS,
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    make_recorder,
+    use_recorder,
+    active_recorder,
+)
+
+
+class TestMakeRecorder:
+    def test_off_is_shared_null(self):
+        assert make_recorder("off") is NULL_RECORDER
+        assert isinstance(make_recorder("off"), NullRecorder)
+
+    def test_levels(self):
+        assert make_recorder("summary").mode == "summary"
+        assert make_recorder("trace").mode == "trace"
+
+    def test_unknown_rejected(self):
+        with pytest.raises(ValueError):
+            make_recorder("verbose")
+
+    def test_trace_recorders_are_fresh(self):
+        assert make_recorder("trace") is not make_recorder("trace")
+
+
+class TestNullRecorder:
+    def test_not_recording(self):
+        assert NULL_RECORDER.recording is False
+
+    def test_span_still_measures(self):
+        with NULL_RECORDER.span("work") as span:
+            total = sum(range(1000))
+        assert total == 499500
+        assert span.seconds >= 0.0
+
+    def test_everything_is_a_noop(self):
+        NULL_RECORDER.counter("c", 3)
+        NULL_RECORDER.gauge("g", 1.5)
+        NULL_RECORDER.merge({"counters": {"c": 1}})
+        assert NULL_RECORDER.events() == []
+        assert NULL_RECORDER.summary()["counters"] == {}
+        assert NULL_RECORDER.export()["counters"] == {}
+
+
+class TestSpans:
+    def test_nesting_parents(self):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        events = rec.events()
+        by_name = {e["name"]: e for e in events}
+        assert by_name["inner"]["parent"] == by_name["outer"]["id"]
+        assert by_name["outer"]["parent"] is None
+
+    def test_close_order_is_inner_first(self):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("outer"):
+            with rec.span("inner"):
+                pass
+        assert [e["name"] for e in rec.events()] == ["inner", "outer"]
+
+    def test_attrs_retained(self):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("plan.tile", tile=3):
+            pass
+        assert rec.events()[0]["attrs"] == {"tile": 3}
+
+    def test_span_seconds_flow_into_stats(self):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("w"):
+            pass
+        with rec.span("w"):
+            pass
+        stats = rec.summary()["spans"]["w"]
+        assert stats["count"] == 2
+        assert stats["total_seconds"] >= stats["max_seconds"] >= 0.0
+
+    def test_threads_get_independent_stacks(self):
+        rec = TraceRecorder(mode="trace")
+        done = threading.Event()
+
+        def worker():
+            with rec.span("worker"):
+                pass
+            done.set()
+
+        with rec.span("main"):
+            t = threading.Thread(target=worker)
+            t.start()
+            t.join()
+        assert done.is_set()
+        by_name = {e["name"]: e for e in rec.events()}
+        # The worker thread's span is a root, not a child of "main".
+        assert by_name["worker"]["parent"] is None
+
+
+class TestCountersAndGauges:
+    def test_counter_sums(self):
+        rec = TraceRecorder(mode="summary")
+        rec.counter("hits")
+        rec.counter("hits", 4)
+        assert rec.summary()["counters"]["hits"] == 5
+
+    def test_gauge_last_and_max(self):
+        rec = TraceRecorder(mode="summary")
+        rec.gauge("bytes", 10.0)
+        rec.gauge("bytes", 4.0)
+        assert rec.summary()["gauges"]["bytes"] == {"last": 4.0, "max": 10.0}
+
+
+class TestSummaryMode:
+    def test_no_events_but_full_aggregates(self):
+        rec = TraceRecorder(mode="summary")
+        with rec.span("w"):
+            rec.counter("c")
+        assert rec.events() == []
+        assert rec.summary()["spans"]["w"]["count"] == 1
+        assert rec.summary()["counters"]["c"] == 1
+
+
+class TestExportMerge:
+    def _payload(self):
+        worker = TraceRecorder(mode="trace")
+        with worker.span("w.outer"):
+            with worker.span("w.inner"):
+                worker.counter("c", 2)
+                worker.gauge("g", 7.0)
+        return worker.export()
+
+    def test_merge_adds_counters_and_stats(self):
+        parent = TraceRecorder(mode="trace")
+        parent.counter("c", 1)
+        parent.merge(self._payload())
+        parent.merge(self._payload())
+        assert parent.summary()["counters"]["c"] == 5
+        assert parent.summary()["spans"]["w.inner"]["count"] == 2
+
+    def test_merge_rebases_ids_and_reparents_roots(self):
+        parent = TraceRecorder(mode="trace")
+        payload = self._payload()
+        with parent.span("anchor") as anchor:
+            parent.merge(payload)
+        events = {e["name"]: e for e in parent.events()}
+        # Worker root hangs under the anchor span; inner keeps its
+        # worker-local parent after rebasing.
+        assert events["w.outer"]["parent"] == anchor.span_id
+        assert events["w.inner"]["parent"] == events["w.outer"]["id"]
+        ids = [e["id"] for e in parent.events()]
+        assert len(ids) == len(set(ids))
+
+    def test_merge_without_anchor_keeps_roots(self):
+        parent = TraceRecorder(mode="trace")
+        parent.merge(self._payload())
+        events = {e["name"]: e for e in parent.events()}
+        assert events["w.outer"]["parent"] is None
+
+    def test_merge_is_input_order_deterministic(self):
+        def assemble(payloads):
+            parent = TraceRecorder(mode="trace")
+            for p in payloads:
+                parent.merge(p)
+            return [(e["name"], e["parent"] is None) for e in parent.events()]
+
+        a, b = self._payload(), self._payload()
+        assert assemble([a, b]) == assemble([a, b])
+
+    def test_merge_none_is_noop(self):
+        parent = TraceRecorder(mode="trace")
+        parent.merge(None)
+        assert parent.events() == []
+
+    def test_export_is_picklable_plain_data(self):
+        payload = self._payload()
+        assert json.loads(json.dumps(payload)) == payload
+
+
+class TestEventBound:
+    def test_drop_counted_past_max_events(self, monkeypatch):
+        import repro.obs.recorder as recorder_mod
+
+        monkeypatch.setattr(recorder_mod, "MAX_EVENTS", 2)
+        rec = TraceRecorder(mode="trace")
+        for _ in range(4):
+            with rec.span("w"):
+                pass
+        assert len(rec.events()) == 2
+        assert rec.trace_lines()[0]["dropped_events"] == 2
+        # Aggregates keep counting past the retention bound.
+        assert rec.summary()["spans"]["w"]["count"] == 4
+
+    def test_real_bound_is_large(self):
+        assert MAX_EVENTS >= 100_000
+
+
+class TestActiveRecorder:
+    def test_default_is_null(self):
+        assert active_recorder() is NULL_RECORDER
+
+    def test_use_recorder_swaps_and_restores(self):
+        rec = TraceRecorder(mode="trace")
+        with use_recorder(rec):
+            assert active_recorder() is rec
+        assert active_recorder() is NULL_RECORDER
+
+    def test_restores_on_error(self):
+        rec = TraceRecorder(mode="trace")
+        with pytest.raises(RuntimeError):
+            with use_recorder(rec):
+                raise RuntimeError("boom")
+        assert active_recorder() is NULL_RECORDER
+
+    def test_visible_across_threads(self):
+        rec = TraceRecorder(mode="trace")
+        seen = []
+        with use_recorder(rec):
+            t = threading.Thread(target=lambda: seen.append(active_recorder()))
+            t.start()
+            t.join()
+        assert seen == [rec]
+
+
+class TestJsonl:
+    def test_write_and_structure(self, tmp_path):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("w", k=1):
+            rec.counter("c")
+        path = rec.write_jsonl(tmp_path / "t.jsonl", meta={"entry_point": "test"})
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["version"] == 1
+        assert lines[0]["entry_point"] == "test"
+        assert lines[-1]["type"] == "summary"
+        assert [l["name"] for l in lines[1:-1]] == ["w"]

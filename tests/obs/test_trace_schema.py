@@ -1,0 +1,115 @@
+"""Trace JSONL schema validation and the summarize reporter."""
+
+import json
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.obs import (
+    TRACE_SCHEMA_VERSION,
+    TraceRecorder,
+    load_trace,
+    summarize_trace,
+    validate_trace_lines,
+)
+
+
+def _valid_lines():
+    rec = TraceRecorder(mode="trace")
+    with rec.span("outer"):
+        with rec.span("inner", k=1):
+            rec.counter("c", 2)
+            rec.gauge("g", 3.0)
+    return rec.trace_lines(meta={"entry_point": "test"})
+
+
+class TestValidate:
+    def test_recorder_output_is_valid(self):
+        assert validate_trace_lines(_valid_lines()) == []
+
+    def test_summary_mode_output_is_valid(self):
+        rec = TraceRecorder(mode="summary")
+        with rec.span("w"):
+            pass
+        assert validate_trace_lines(rec.trace_lines()) == []
+
+    def test_empty_document_rejected(self):
+        assert validate_trace_lines([]) != []
+
+    def test_meta_must_come_first(self):
+        lines = _valid_lines()
+        assert validate_trace_lines(lines[1:]) != []
+
+    def test_version_mismatch_flagged(self):
+        lines = _valid_lines()
+        lines[0] = dict(lines[0], version=TRACE_SCHEMA_VERSION + 1)
+        assert any("version" in p for p in validate_trace_lines(lines))
+
+    def test_missing_summary_flagged(self):
+        assert validate_trace_lines(_valid_lines()[:-1]) != []
+
+    def test_span_field_types_enforced(self):
+        lines = _valid_lines()
+        bad = dict(lines[1], seconds="fast")
+        assert validate_trace_lines([lines[0], bad, *lines[2:]]) != []
+
+    def test_duplicate_ids_flagged(self):
+        lines = _valid_lines()
+        assert validate_trace_lines([lines[0], lines[1], lines[1], lines[-1]]) != []
+
+    def test_unresolvable_parent_flagged(self):
+        lines = _valid_lines()
+        orphan = dict(lines[1], parent=987654)
+        assert any(
+            "parent" in p
+            for p in validate_trace_lines([lines[0], orphan, *lines[2:]])
+        )
+
+    def test_negative_duration_flagged(self):
+        lines = _valid_lines()
+        bad = dict(lines[1], seconds=-1.0)
+        assert validate_trace_lines([lines[0], bad, *lines[2:]]) != []
+
+
+class TestLoadTrace:
+    def _write(self, tmp_path, text):
+        path = tmp_path / "trace.jsonl"
+        path.write_text(text)
+        return path
+
+    def test_roundtrip(self, tmp_path):
+        rec = TraceRecorder(mode="trace")
+        with rec.span("w"):
+            pass
+        path = rec.write_jsonl(tmp_path / "t.jsonl")
+        lines = load_trace(path)
+        assert lines[0]["type"] == "meta"
+        assert lines[-1]["type"] == "summary"
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ReproError):
+            load_trace(tmp_path / "absent.jsonl")
+
+    def test_bad_json(self, tmp_path):
+        path = self._write(tmp_path, "{not json\n")
+        with pytest.raises(ReproError):
+            load_trace(path)
+
+    def test_schema_problems_raise(self, tmp_path):
+        path = self._write(tmp_path, json.dumps({"type": "meta", "version": 1}) + "\n")
+        with pytest.raises(ReproError):
+            load_trace(path)
+
+
+class TestSummarize:
+    def test_contains_tables(self):
+        text = summarize_trace(_valid_lines())
+        assert "mode=trace" in text
+        assert "outer" in text and "inner" in text
+        assert "c" in text and "g" in text
+        assert "entry point: test" in text
+
+    def test_empty_trace_has_fallback(self):
+        rec = TraceRecorder(mode="trace")
+        text = summarize_trace(rec.trace_lines())
+        assert "no recorded activity" in text

@@ -119,13 +119,23 @@ class TestHarnessBitCompatibility:
     """evaluate_algorithm must still equal the pre-runtime per-cell loop."""
 
     @staticmethod
-    def historical_scores(algorithm, dataset, task, dims, epsilon, preset, seed):
-        """The harness loop as it existed before the runtime rewiring."""
+    def historical_scores(
+        algorithm, dataset, task, dims, epsilon, preset, seed, stream_version
+    ):
+        """The harness loop as it existed before the runtime rewiring.
+
+        ``stream_version`` is threaded explicitly: the loop's *orchestration*
+        (sampling, folding, per-cell fits) is the historical reference at
+        either derivation format, so the comparison pins both the v2 default
+        and the v1 legacy streams.
+        """
         key = _algorithm_stream_key(algorithm)
         base_n = preset.cardinality(dataset.n)
         scores = []
         for rep in range(preset.repetitions):
-            rep_rng = derive_substream(seed, [key, rep])
+            rep_rng = derive_substream(
+                seed, [key, rep], stream_version=stream_version
+            )
             working = dataset
             if base_n < dataset.n:
                 working = working.take(
@@ -138,12 +148,15 @@ class TestHarnessBitCompatibility:
                     algorithm,
                     task,
                     epsilon=epsilon,
-                    rng=derive_substream(seed, [key, rep, fold_id]),
+                    rng=derive_substream(
+                        seed, [key, rep, fold_id], stream_version=stream_version
+                    ),
                 )
                 model.fit(prepared.X[train_idx], prepared.y[train_idx])
                 scores.append(model.score(prepared.X[test_idx], prepared.y[test_idx]))
         return scores
 
+    @pytest.mark.parametrize("stream_version", [1, 2])
     @pytest.mark.parametrize(
         "algorithm,task",
         [
@@ -154,14 +167,35 @@ class TestHarnessBitCompatibility:
             ("Truncated", "logistic"),
         ],
     )
-    def test_batched_runtime_matches_historical_loop(self, us, algorithm, task):
-        reference = self.historical_scores(algorithm, us, task, 5, 0.8, SMOKE, seed=3)
+    def test_batched_runtime_matches_historical_loop(
+        self, us, algorithm, task, stream_version
+    ):
+        reference = self.historical_scores(
+            algorithm, us, task, 5, 0.8, SMOKE, seed=3, stream_version=stream_version
+        )
         result = evaluate_algorithm(
-            algorithm, us, task, dims=5, epsilon=0.8, preset=SMOKE, seed=3
+            algorithm, us, task, dims=5, epsilon=0.8, preset=SMOKE, seed=3,
+            stream_version=stream_version,
         )
         assert result.mean_score == float(np.mean(reference))
         assert result.std_score == float(np.std(reference))
         assert result.cells == len(reference)
+
+    def test_default_stream_version_is_v2(self, us):
+        """The PR-6 flip: an unpinned run derives v2 streams."""
+        default = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=3
+        )
+        pinned_v2 = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=3,
+            stream_version=2,
+        )
+        pinned_v1 = evaluate_algorithm(
+            "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=3,
+            stream_version=1,
+        )
+        assert default.mean_score == pinned_v2.mean_score
+        assert default.mean_score != pinned_v1.mean_score
 
     def test_runtime_modes_agree_end_to_end(self, us):
         a = evaluate_algorithm(

@@ -104,6 +104,20 @@ class TestDigesting:
         d2 = digest_sweep_result(run_golden_case(sv2, config))
         assert d1 != d2
 
+    def test_telemetry_never_changes_digests(self):
+        """The observability invariant: tracing a case is digest-neutral."""
+        config = GOLDEN_CONFIGS[0]
+        for group_id in ("figure5-linear-sv1", "figure5-linear-sv2"):
+            group = next(g for g in GOLDEN_GROUPS if g.group_id == group_id)
+            off = digest_sweep_result(run_golden_case(group, config))
+            trace = digest_sweep_result(
+                run_golden_case(group, config, telemetry="trace")
+            )
+            summary = digest_sweep_result(
+                run_golden_case(group, config, telemetry="summary")
+            )
+            assert off == trace == summary
+
 
 class TestSmokeMatrix:
     pytestmark = pytest.mark.tier1
@@ -227,3 +241,14 @@ class TestFullMatrix:
     def test_store_is_current(self, report):
         assert default_store_path().exists()
         assert report.passed or not report.environment_match
+
+    def test_full_matrix_is_telemetry_neutral(self, report):
+        """All 48 cases re-run at telemetry='trace' produce the very same
+        group digests as the untraced run."""
+        traced = verify_matrix(telemetry="trace")
+        assert traced.all_equivalent
+        for untraced_outcome, traced_outcome in zip(
+            report.outcomes, traced.outcomes
+        ):
+            assert untraced_outcome.group_id == traced_outcome.group_id
+            assert untraced_outcome.digests == traced_outcome.digests

@@ -1,9 +1,9 @@
 """stream_version=2 end to end: the alias-free derivation across the stack.
 
 PR 3 introduced ``derive_substream(..., stream_version=2)`` behind unit
-pins; ROADMAP plans to flip experiment defaults to it eventually.  These
-tests parametrize the *harness-level* guarantees over both stream versions
-so the flip is prepped: every claim the suite makes for version 1 —
+pins; PR 6 flipped the experiment default to it (v1 stays selectable and
+pinned).  These tests parametrize the *harness-level* guarantees over both
+stream versions: every claim the suite makes for version 1 —
 batched == percell bitwise, tiling-invariance, executor-invariance, the
 engine path's agreement, grouped-panel equality — must already hold for
 version 2.  (The figure-pipeline layer is covered by the golden groups,
@@ -111,11 +111,12 @@ class TestRuntimeEquivalencePerVersion:
 
 class TestVersionsDiffer:
     def test_v2_reshuffles_fm_noise(self, us):
-        """Opting in must actually change the noise streams (the alias fix
-        reseeds every substream) — identical scores would mean the flag is
-        silently ignored somewhere in the stack."""
+        """The two derivations must actually produce different noise streams
+        (the alias fix reseeds every substream) — identical scores would mean
+        the version flag is silently ignored somewhere in the stack."""
         v1 = evaluate_algorithm(
             "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
+            stream_version=1,
         )
         v2 = evaluate_algorithm(
             "FM", us, "linear", dims=5, epsilon=0.8, preset=SMOKE, seed=9,
