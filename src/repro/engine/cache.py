@@ -16,11 +16,28 @@ intermediate state, exactly like the raw data, and the cache directory must
 be treated with the same confidentiality.  Nothing differentially private is
 stored here — privacy is only established downstream when Algorithm 1 adds
 noise.
+
+Durability: entries are ``.acc`` containers — a one-line JSON header
+(format version, payload byte count, SHA-256) followed by the raw
+``.npz`` payload — written to a unique temporary file, fsynced, and
+published by atomic ``os.replace``, so a crash mid-``put`` leaves either
+the old entry or the new one, never a torn file.  ``get`` verifies the
+checksum before trusting an entry; anything structurally wrong or
+bit-flipped is moved into a ``quarantine/`` subdirectory (preserved for
+forensics, out of the key namespace) and reported as a miss, so the
+caller transparently rebuilds instead of consuming corrupted statistics.
+Reads and writes retry transient IO failures
+(:class:`~repro.exceptions.TransientIOError`, the injectable kind) a
+bounded number of times.  Entries written by the historical pure-``.npz``
+format are simply misses under the new suffix — content-addressed
+statistics are always rebuildable.
 """
 
 from __future__ import annotations
 
 import hashlib
+import io
+import json
 import os
 import tempfile
 from pathlib import Path
@@ -33,10 +50,65 @@ from ..core.objectives import (
     LogisticRegressionObjective,
     RegressionObjective,
 )
+from ..exceptions import CacheIntegrityError, TransientIOError
+from ..faults import active_injector
 from ..obs import active_recorder
 from .accumulator import DEFAULT_BLOCK_SIZE, MomentAccumulator
 
 __all__ = ["AccumulatorCache", "dataset_fingerprint", "objective_tag"]
+
+#: Container format version of an ``.acc`` entry's JSON header.
+_ENTRY_FORMAT = 1
+
+#: Bounded retries for transient IO failures on one cache operation.
+_IO_ATTEMPTS = 3
+
+
+def _site_index(key: str) -> int:
+    """A stable per-entry integer for fault-site decisions (keys are hex)."""
+    return int(key[:8], 16)
+
+
+def _encode_entry(accumulator: MomentAccumulator) -> bytes:
+    """Serialize an accumulator into the checksummed ``.acc`` container."""
+    buffer = io.BytesIO()
+    accumulator.save(buffer)
+    payload = buffer.getvalue()
+    header = {
+        "format": _ENTRY_FORMAT,
+        "nbytes": len(payload),
+        "sha256": hashlib.sha256(payload).hexdigest(),
+    }
+    return json.dumps(header, sort_keys=True).encode() + b"\n" + payload
+
+
+def _decode_entry(blob: bytes) -> MomentAccumulator:
+    """Parse + verify an ``.acc`` container; any damage raises
+    :class:`~repro.exceptions.CacheIntegrityError` (headers and payload
+    alike — a bit-flip anywhere must be caught, never deserialized)."""
+    newline = blob.find(b"\n")
+    if newline < 0:
+        raise CacheIntegrityError("cache entry has no header line")
+    try:
+        header = json.loads(blob[:newline])
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CacheIntegrityError(f"cache entry header is unreadable: {exc}") from None
+    if not isinstance(header, dict) or header.get("format") != _ENTRY_FORMAT:
+        raise CacheIntegrityError(
+            f"unsupported cache entry format {header!r}"
+        )
+    payload = blob[newline + 1 :]
+    if len(payload) != header.get("nbytes"):
+        raise CacheIntegrityError(
+            f"cache entry truncated: expected {header.get('nbytes')} payload "
+            f"bytes, found {len(payload)}"
+        )
+    if hashlib.sha256(payload).hexdigest() != header.get("sha256"):
+        raise CacheIntegrityError("cache entry failed its checksum")
+    try:
+        return MomentAccumulator.load(io.BytesIO(payload))
+    except Exception as exc:  # a checksum pass should make this unreachable
+        raise CacheIntegrityError(f"cache entry payload is undecodable: {exc}") from None
 
 
 def dataset_fingerprint(X: np.ndarray, y: np.ndarray) -> str:
@@ -110,38 +182,96 @@ class AccumulatorCache:
 
     def path_for(self, key: str) -> Path:
         """Where a key's accumulator lives (whether or not it exists)."""
-        return self.root / f"{key}.npz"
+        return self.root / f"{key}.acc"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupted entries are moved (created on first quarantine)."""
+        return self.root / "quarantine"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a damaged entry out of the key namespace, keeping the bytes."""
+        recorder = active_recorder()
+        recorder.counter("accumulator_cache.corrupt")
+        recorder.counter("accumulator_cache.quarantined")
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            path.replace(self.quarantine_dir / path.name)
+        except OSError:  # cross-device or permission trouble: drop instead
+            path.unlink(missing_ok=True)
 
     def get(self, key: str) -> MomentAccumulator | None:
-        """Load a cached accumulator, or ``None`` on a miss."""
+        """Load a cached accumulator, or ``None`` on a miss.
+
+        A corrupted entry (failed checksum, torn header, undecodable
+        payload) is quarantined and reported as a miss — the caller
+        rebuilds, and the subsequent :meth:`put` re-publishes a healthy
+        entry under the same key.
+        """
         path = self.path_for(key)
-        if not path.exists():
+        recorder = active_recorder()
+        injector = active_injector()
+        if path.exists() and injector.consume("cache.corrupt", _site_index(key)):
+            injector.corrupt_file(path, "cache.corrupt", _site_index(key))
+        blob: bytes | None = None
+        for attempt in range(_IO_ATTEMPTS):
+            try:
+                if injector.consume("io.transient", _site_index(key)):
+                    raise TransientIOError(f"injected transient read failure: {path}")
+                blob = path.read_bytes() if path.exists() else None
+                break
+            except TransientIOError:
+                recorder.counter("accumulator_cache.io_retries")
+                if attempt == _IO_ATTEMPTS - 1:
+                    raise
+        if blob is None:
             self.misses += 1
-            active_recorder().counter("accumulator_cache.misses")
+            recorder.counter("accumulator_cache.misses")
+            return None
+        try:
+            accumulator = _decode_entry(blob)
+        except CacheIntegrityError:
+            self._quarantine(path)
+            self.misses += 1
+            recorder.counter("accumulator_cache.misses")
             return None
         self.hits += 1
-        active_recorder().counter("accumulator_cache.hits")
-        return MomentAccumulator.load(path)
+        recorder.counter("accumulator_cache.hits")
+        return accumulator
 
     def put(self, key: str, accumulator: MomentAccumulator) -> Path:
         """Store an accumulator under a key; returns the file path.
 
-        The write goes through a temporary file + atomic rename so a
-        concurrent reader never sees a half-written entry.
+        The checksummed container is written to a unique per-writer
+        temporary file, flushed and fsynced, then published by atomic
+        ``os.replace`` — a crash at any point leaves the previous entry
+        (or no entry), never a torn one, and a concurrent reader can
+        never observe a half-written file.
         """
         path = self.path_for(key)
-        # Unique per-writer temporary: concurrent writers to the same key
-        # must never share a tmp file, or the atomic rename publishes a
-        # half-written entry.
-        fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp.npz")
-        os.close(fd)
-        tmp = Path(tmp_name)
-        try:
-            accumulator.save(tmp)
-            tmp.replace(path)
-        finally:
-            tmp.unlink(missing_ok=True)
-        return path
+        blob = _encode_entry(accumulator)
+        recorder = active_recorder()
+        injector = active_injector()
+        for attempt in range(_IO_ATTEMPTS):
+            try:
+                if injector.consume("io.transient", _site_index(key)):
+                    raise TransientIOError(f"injected transient write failure: {path}")
+                fd, tmp_name = tempfile.mkstemp(dir=self.root, suffix=".tmp.acc")
+                tmp = Path(tmp_name)
+                try:
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(blob)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    tmp.replace(path)
+                finally:
+                    tmp.unlink(missing_ok=True)
+                return path
+            except TransientIOError:
+                recorder.counter("accumulator_cache.io_retries")
+                if attempt == _IO_ATTEMPTS - 1:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def get_or_build(
         self, key: str, builder: Callable[[], MomentAccumulator]

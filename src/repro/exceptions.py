@@ -27,6 +27,11 @@ __all__ = [
     "SolverError",
     "ConvergenceError",
     "ExperimentError",
+    "FaultError",
+    "InjectedFaultError",
+    "TransientIOError",
+    "CacheIntegrityError",
+    "ExecutorBrokenError",
 ]
 
 
@@ -125,3 +130,66 @@ class ConvergenceError(SolverError):
 
 class ExperimentError(ReproError):
     """An experiment driver was misconfigured."""
+
+
+class FaultError(ReproError):
+    """Base class for fault-injection and fault-recovery errors."""
+
+
+class InjectedFaultError(FaultError):
+    """A deterministic injected fault fired (see :mod:`repro.faults`).
+
+    Raised for injected faults that simulate an abrupt failure *within*
+    the current process (e.g. a crash between a budget journal's intent
+    and commit records); process-worker crash faults use ``os._exit``
+    instead, so nothing can catch them.
+    """
+
+    def __init__(self, site: str, index: int, attempt: int) -> None:
+        self.site = site
+        self.index = int(index)
+        self.attempt = int(attempt)
+        super().__init__(
+            f"injected fault at site {site!r} (index={index}, attempt={attempt})"
+        )
+
+
+class TransientIOError(FaultError, OSError):
+    """A retryable I/O failure (injected or classified as transient).
+
+    Inherits :class:`OSError` so generic filesystem error handling treats
+    it like the real thing; inherits :class:`FaultError` so retry layers
+    can recognize it as safe to re-attempt.
+    """
+
+
+class CacheIntegrityError(FaultError):
+    """A durable cache entry failed its checksum or structural validation."""
+
+
+class ExecutorBrokenError(FaultError):
+    """An executor exhausted its retry budget without completing a map.
+
+    Carries enough state for a caller to *resume* rather than restart:
+    ``completed`` maps input positions to their finished results and
+    ``pending`` lists the positions still unexecuted.  Re-running pending
+    items elsewhere is bitwise-safe — every cell's RNG substream is keyed
+    by ``(seed, tag)``, never by execution order — which is what lets the
+    runner degrade process → thread → serial without changing any score.
+    """
+
+    def __init__(
+        self,
+        reason: str,
+        completed: dict | None = None,
+        pending: tuple | None = None,
+        failure_mode: str = "raise",
+    ) -> None:
+        self.reason = reason
+        self.completed = dict(completed or {})
+        self.pending = tuple(pending or ())
+        self.failure_mode = failure_mode
+        super().__init__(
+            f"executor gave up after exhausting retries: {reason} "
+            f"({len(self.completed)} items completed, {len(self.pending)} pending)"
+        )

@@ -160,6 +160,29 @@ def build_parser() -> argparse.ArgumentParser:
             "--telemetry trace unless a level is given); inspect with "
             "`python -m repro trace summarize PATH`",
         )
+        p.add_argument(
+            "--faults", default=None, metavar="PLAN",
+            help="deterministic fault-injection plan (chaos testing), e.g. "
+            "'seed=7;worker.crash=0.5x2'. Recovery leaves scores bitwise "
+            "unchanged; default: no injection.",
+        )
+        p.add_argument(
+            "--max-retries", type=int, default=None, metavar="N",
+            help="self-healing bound: zero-progress retry rounds the process "
+            "executors tolerate before giving up (default 2; 0 disables)",
+        )
+        p.add_argument(
+            "--tile-timeout", type=float, default=None, metavar="SECONDS",
+            help="per-tile timeout for process executors; an overdue tile is "
+            "treated as a hung worker, the pool rebuilt and the tile "
+            "retried (default: no timeout)",
+        )
+        p.add_argument(
+            "--failure-mode", choices=("raise", "fallback"), default=None,
+            help="after retry exhaustion: 'raise' (default) propagates the "
+            "executor error; 'fallback' degrades process -> thread -> "
+            "serial, resuming from completed tiles",
+        )
 
     for name, help_text in [
         ("figure4", "accuracy vs dimensionality"),
@@ -437,6 +460,10 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "scale": args.scale,
                 "seed": args.seed,
                 "telemetry": telemetry,
+                "faults": args.faults,
+                "max_retries": args.max_retries,
+                "tile_timeout": args.tile_timeout,
+                "failure_mode": args.failure_mode,
             },
             base=ExecutionPolicy(scale="smoke"),
         )

@@ -9,17 +9,41 @@ Most experiments in the paper run each algorithm once per (fold, repetition)
 on disjoint privacy "lives" — the accountant exists so that library users who
 chain mechanisms (e.g. DPME's histogram release followed by anything else)
 get their total spend checked instead of silently over-spending.
+
+Crash safety: an accountant constructed with ``journal_path=`` keeps a
+write-ahead journal of its ledger.  Every spend writes an *intent* record
+(flushed and fsynced) before mutating the ledger and a *commit* record
+after, so a crash at any instant leaves a journal from which
+:meth:`PrivacyBudget.restore` rebuilds a ledger that is **never behind**
+reality: a committed spend replays as a normal entry, and an intent with
+no commit replays as a spend too — conservatively, because the caller
+might have released output before dying.  (The reverse error — counting a
+release that was never journaled — cannot happen: ``spend`` returns only
+after the commit record is durable, and the mechanism releases output
+only after ``spend`` returns.)  For the Functional Mechanism this is the
+difference between an availability bug and a privacy violation: an
+under-recorded ledger silently re-sells epsilon that was already spent.
 """
 
 from __future__ import annotations
 
+import json
 import math
+import os
+import threading
 from dataclasses import dataclass
+from pathlib import Path
 
 from ..exceptions import BudgetExhaustedError, InvalidBudgetError
 from ..obs import active_recorder
 
 __all__ = ["BudgetLedgerEntry", "PrivacyBudget"]
+
+#: Journal file format version (the ``open`` record pins it).
+_JOURNAL_VERSION = 1
+
+#: Note suffix marking spends recovered from an uncommitted intent.
+_RECOVERED_SUFFIX = " (recovered: uncommitted intent)"
 
 
 @dataclass(frozen=True)
@@ -37,6 +61,12 @@ class PrivacyBudget:
     ----------
     epsilon:
         Total budget available.  Must be positive and finite.
+    journal_path:
+        Optional write-ahead journal file.  When given, every spend is
+        made durable (intent + commit records, fsynced) before and after
+        the in-memory ledger mutation; :meth:`restore` replays the file
+        after a crash.  The file is created on first use and appended to
+        thereafter.
 
     Examples
     --------
@@ -50,10 +80,10 @@ class PrivacyBudget:
     repro.exceptions.BudgetExhaustedError: requested epsilon=1 exceeds remaining budget epsilon=0.75
     """
 
-    #: Tolerance for floating-point accumulation when checking exhaustion.
+    #: Absolute floor of the exhaustion tolerance (historical value).
     _SLACK = 1e-12
 
-    def __init__(self, epsilon: float) -> None:
+    def __init__(self, epsilon: float, journal_path: str | Path | None = None) -> None:
         epsilon = float(epsilon)
         if not math.isfinite(epsilon) or epsilon <= 0.0:
             raise InvalidBudgetError(
@@ -61,6 +91,131 @@ class PrivacyBudget:
             )
         self._total = epsilon
         self._ledger: list[BudgetLedgerEntry] = []
+        self._lock = threading.Lock()
+        # Journal intent ids are never reused — not even when a spend dies
+        # between intent and commit — or a replay could alias two spends.
+        self._next_intent_id = 1
+        self._journal_path = Path(journal_path) if journal_path is not None else None
+        self._journal = None
+        if self._journal_path is not None:
+            fresh = (
+                not self._journal_path.exists()
+                or self._journal_path.stat().st_size == 0
+            )
+            self._journal_path.parent.mkdir(parents=True, exist_ok=True)
+            self._journal = open(self._journal_path, "a", encoding="utf-8")
+            if fresh:
+                self._journal_write(
+                    {"op": "open", "total": self._total, "v": _JOURNAL_VERSION}
+                )
+
+    # ------------------------------------------------------------------
+    # Write-ahead journal
+    # ------------------------------------------------------------------
+    @property
+    def journal_path(self) -> Path | None:
+        """The journal file, or ``None`` for a memory-only accountant."""
+        return self._journal_path
+
+    def _journal_write(self, record: dict) -> None:
+        """Append one record durably: write, flush, fsync."""
+        if self._journal is None:
+            return
+        self._journal.write(json.dumps(record, sort_keys=True) + "\n")
+        self._journal.flush()
+        os.fsync(self._journal.fileno())
+        active_recorder().counter("budget.journal_records")
+
+    def close(self) -> None:
+        """Release the journal handle (the file itself stays)."""
+        if self._journal is not None:
+            self._journal.close()
+            self._journal = None
+
+    def __enter__(self) -> "PrivacyBudget":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    @classmethod
+    def restore(cls, journal_path: str | Path) -> "PrivacyBudget":
+        """Rebuild an accountant by replaying its write-ahead journal.
+
+        Replay is conservative by construction: a committed spend becomes
+        a normal ledger entry, and an intent with **no** commit becomes a
+        ledger entry too (noted as recovered) — the crash may have landed
+        after the mechanism released output, so the epsilon must be
+        treated as gone.  A torn *final* line is ignored: it can only
+        belong to a ``spend`` call that never returned, so no output was
+        released on its behalf (commits are durable before ``spend``
+        returns).  A torn line anywhere *else* means real corruption and
+        raises.  The restored accountant resumes journaling to the same
+        file; recovered intents are closed with a ``recovered`` commit so
+        a second replay agrees with the first.
+        """
+        path = Path(journal_path)
+        try:
+            raw = path.read_bytes()
+        except OSError as exc:
+            raise InvalidBudgetError(f"cannot read budget journal {path}: {exc}")
+        lines = raw.split(b"\n")
+        total: float | None = None
+        # id -> (epsilon, note); committed ids move to the ledger in order.
+        open_intents: dict[int, tuple[float, str]] = {}
+        entries: list[tuple[int, float, str, bool]] = []  # (id, eps, note, recovered)
+        for lineno, line in enumerate(lines):
+            last = lineno == len(lines) - 1
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                if last:  # torn tail: its spend never returned -> ignorable
+                    break
+                raise InvalidBudgetError(
+                    f"budget journal {path} is corrupt at line {lineno + 1}"
+                )
+            op = record.get("op")
+            if op == "open":
+                if total is None:
+                    total = float(record["total"])
+            elif op == "intent":
+                open_intents[int(record["id"])] = (
+                    float(record["epsilon"]),
+                    str(record.get("note", "")),
+                )
+            elif op == "commit":
+                intent = open_intents.pop(int(record["id"]), None)
+                if intent is not None:
+                    epsilon, note = intent
+                    if record.get("recovered", False):
+                        note += _RECOVERED_SUFFIX
+                    entries.append((int(record["id"]), epsilon, note))
+            else:
+                raise InvalidBudgetError(
+                    f"budget journal {path} has unknown record {op!r} "
+                    f"at line {lineno + 1}"
+                )
+        if total is None:
+            raise InvalidBudgetError(f"budget journal {path} has no open record")
+        # Uncommitted intents: the crash window. Count them spent.
+        recovered_ids = sorted(open_intents)
+        for intent_id in recovered_ids:
+            epsilon, note = open_intents[intent_id]
+            entries.append((intent_id, epsilon, note + _RECOVERED_SUFFIX))
+        entries.sort(key=lambda e: e[0])  # ledger order == intent order
+        budget = cls(total, journal_path=path)
+        for _, epsilon, note in entries:
+            budget._ledger.append(BudgetLedgerEntry(epsilon=epsilon, note=note))
+        budget._next_intent_id = max((e[0] for e in entries), default=0) + 1
+        for intent_id in recovered_ids:  # make a second replay agree
+            budget._journal_write({"op": "commit", "id": intent_id, "recovered": True})
+        recorder = active_recorder()
+        recorder.counter("budget.journal_replays")
+        if recovered_ids:
+            recorder.counter("budget.recovered_spends", len(recovered_ids))
+        return budget
 
     # ------------------------------------------------------------------
     # Introspection
@@ -94,12 +249,38 @@ class PrivacyBudget:
     # ------------------------------------------------------------------
     # Spending
     # ------------------------------------------------------------------
+    @property
+    def _slack(self) -> float:
+        """Exhaustion tolerance: relative to the total, floored at 1e-12.
+
+        A fixed absolute slack mishandles both ends of the scale: with a
+        large total (say ``1e6``), seven spends of ``total/7`` accumulate
+        rounding error around ``ulp(total) ~ 1.2e-10`` and the legitimate
+        final spend is refused by a hair; with a tiny total the absolute
+        slack is enormously permissive instead.  Scaling with
+        ``ulp(total)`` keeps the tolerance at "a few representable steps"
+        of the actual budget magnitude (the 1e-12 floor preserves the
+        historical behaviour for totals near 1).
+        """
+        return max(self._SLACK, 16.0 * math.ulp(self._total))
+
     def can_spend(self, epsilon: float) -> bool:
-        """Whether ``epsilon`` more can be spent without exhausting the budget."""
-        return float(epsilon) <= self.remaining + self._SLACK
+        """Whether ``epsilon`` more can be spent without exhausting the budget.
+
+        The comparison allows a relative tolerance (see :attr:`_slack`)
+        so floating-point drift from repeated spends cannot refuse a
+        final spend the exact arithmetic would admit.
+        """
+        return float(epsilon) <= self.remaining + self._slack
 
     def spend(self, epsilon: float, note: str = "") -> None:
         """Record a spend of ``epsilon``, enforcing sequential composition.
+
+        With a journal attached the spend is durable: an *intent* record
+        is fsynced before the ledger mutates and a *commit* record after,
+        so :meth:`restore` can never observe less spent than a caller may
+        have acted on.  (The ``budget.crash`` fault site sits between the
+        two records — exactly the window the journal exists to cover.)
 
         Raises
         ------
@@ -108,12 +289,26 @@ class PrivacyBudget:
         BudgetExhaustedError
             If the spend would exceed the remaining budget.
         """
+        from ..faults import active_injector  # deferred: avoids an import cycle
+
         epsilon = float(epsilon)
         if not math.isfinite(epsilon) or epsilon <= 0.0:
             raise InvalidBudgetError(f"spend must be positive and finite, got {epsilon!r}")
-        if not self.can_spend(epsilon):
-            raise BudgetExhaustedError(requested=epsilon, remaining=self.remaining)
-        self._ledger.append(BudgetLedgerEntry(epsilon=epsilon, note=note))
+        with self._lock:
+            if not self.can_spend(epsilon):
+                raise BudgetExhaustedError(requested=epsilon, remaining=self.remaining)
+            intent_id = self._next_intent_id
+            self._next_intent_id += 1
+            self._journal_write(
+                {"op": "intent", "id": intent_id, "epsilon": epsilon, "note": note}
+            )
+            injector = active_injector()
+            if injector.consume("budget.crash", intent_id):
+                from ..exceptions import InjectedFaultError
+
+                raise InjectedFaultError("budget.crash", intent_id, 0)
+            self._ledger.append(BudgetLedgerEntry(epsilon=epsilon, note=note))
+            self._journal_write({"op": "commit", "id": intent_id})
         recorder = active_recorder()
         if recorder.recording:
             recorder.counter("budget.spend_events")

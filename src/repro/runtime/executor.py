@@ -70,18 +70,39 @@ and ships ``(result, payload)`` home, and the parent merges the payloads
 double-count-free because the wrapper swaps the worker's active recorder.
 Merging happens outside the timed kernels and never touches results, so
 the bitwise contract above is unaffected.
+
+Self-healing (:mod:`repro.faults`): both process executors run under a
+:class:`~repro.faults.RetryPolicy`.  On the default fault-free path the
+only change from the historical executors is that a
+``BrokenProcessPool`` no longer kills the whole map: the completed
+prefix is kept, the pool is rebuilt (bounded exponential backoff,
+``max_retries`` rounds), and only the unfinished items re-run — which is
+bitwise-safe because every cell's substream is keyed by ``(seed, tag)``,
+never by where or when it executes.  When a fault injector is active or
+a ``tile_timeout`` is set, maps route through a per-item submit path
+that can additionally detect hung workers (kill + rebuild + retry) and
+checksum-verify pickled result envelopes (corrupt payloads retry like
+crashes).  Exhausted retries raise
+:class:`~repro.exceptions.ExecutorBrokenError` carrying the completed
+prefix, which the runner can turn into a thread/serial fallback.  Every
+crash, timeout, rebuild, retry and corruption is counted on the active
+recorder under ``executor.*``.
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+import hashlib
 import itertools
 import multiprocessing
 import os
 import pickle
+import time
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence
 
-from ..exceptions import ExperimentError
+from ..exceptions import ExecutorBrokenError, ExperimentError
+from ..faults import FaultInjector, FaultPlan, RetryPolicy, active_injector
 from ..obs import active_recorder, make_recorder, use_recorder
 
 __all__ = [
@@ -138,6 +159,182 @@ def _merge_worker_results(wrapped_results: list, recorder) -> list:
     return results
 
 
+# ----------------------------------------------------------------------
+# Fault-injection plumbing (worker side)
+# ----------------------------------------------------------------------
+#: Exit status of an injected worker crash — ``os._exit``, so no Python
+#: cleanup runs: from the parent's view the child died mid-item, which is
+#: exactly the failure a production pool worker exhibits under OOM kills.
+_CRASH_EXIT = 43
+
+#: Marker heading a checksummed result envelope (submit path under an
+#: active injector); collision with real results is not a concern — no
+#: work item returns a 3-tuple led by this string.
+_SEALED = "__repro_sealed__"
+
+
+class _CorruptPayloadError(Exception):
+    """Parent-side: a result envelope failed its checksum (retryable)."""
+
+
+def _seal(result, injector: FaultInjector, index: int, attempt: int):
+    """Wrap a worker result in a checksummed envelope (maybe corrupting it)."""
+    blob = pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = hashlib.sha256(blob).hexdigest()
+    if injector.decide("payload.corrupt", index, attempt):
+        blob = injector.corrupt_bytes(blob, "payload.corrupt", index)
+    return (_SEALED, digest, blob)
+
+
+def _maybe_unseal(result):
+    """Verify + unwrap an envelope; raw (non-enveloped) results pass through."""
+    if isinstance(result, tuple) and len(result) == 3 and result[0] == _SEALED:
+        _, digest, blob = result
+        if hashlib.sha256(blob).hexdigest() != digest:
+            raise _CorruptPayloadError
+        return pickle.loads(blob)
+    return result
+
+
+def _apply_faults(work: Callable, item, injector: FaultInjector, index: int, attempt: int):
+    """Run one item under the executor fault sites (worker side)."""
+    if injector.decide("worker.crash", index, attempt):
+        os._exit(_CRASH_EXIT)
+    if injector.decide("tile.hang", index, attempt):
+        time.sleep(injector.plan.hang_seconds)
+    return _seal(work(item), injector, index, attempt)
+
+
+#: Injectors rebuilt from plan text inside pooled workers, cached by text
+#: (decisions are stateless, so sharing one per plan is safe).
+_INJECTOR_CACHE: dict[str, FaultInjector] = {}
+
+
+def _injector_for(plan_text: str) -> FaultInjector:
+    injector = _INJECTOR_CACHE.get(plan_text)
+    if injector is None:
+        injector = _INJECTOR_CACHE[plan_text] = FaultInjector(FaultPlan.parse(plan_text))
+    return injector
+
+
+def _pooled_cell_faulted(work: Callable, plan_text: str, item, index: int, attempt: int):
+    """Submit-path work unit for pickled-work pools: faults around one item."""
+    injector = _injector_for(plan_text)
+    if not injector.executor_faults_active:
+        return work(item)
+    return _apply_faults(work, item, injector, index, attempt)
+
+
+def _terminate_workers(pool) -> None:
+    """Kill a pool's worker processes (a hung worker cannot be joined).
+
+    ``_processes`` is private to ``ProcessPoolExecutor`` but has been its
+    worker registry since 3.2; guarded access keeps this a no-op if the
+    attribute ever moves (the subsequent unwaited shutdown still abandons
+    the pool).
+    """
+    for process in list(getattr(pool, "_processes", {}).values()):
+        if process.is_alive():
+            process.terminate()
+
+
+def _resilient_collect(
+    n_items: int,
+    ensure_pool: Callable,
+    discard_pool: Callable,
+    submit: Callable,
+    retry: RetryPolicy,
+    recorder,
+) -> list:
+    """The per-item submit loop both process executors recover through.
+
+    Each round submits every unfinished item (with its attempt count) and
+    collects results in input order.  Crashes (``BrokenProcessPool``),
+    hangs (``tile_timeout`` exceeded) and corrupt result envelopes mark
+    their items failed and — for the first two — condemn the pool, which
+    ``discard_pool`` tears down (killing workers when one is hung) so the
+    next round starts on a fresh fork.  Genuine exceptions raised *by the
+    work* propagate immediately: a deterministic bug would fail every
+    retry identically, and masking it as an executor failure would turn
+    a wrong answer into a slow wrong answer.
+
+    ``retry.max_retries`` bounds consecutive rounds that complete zero
+    items; a round with any progress keeps the loop alive, so a pool
+    that crashes repeatedly while still advancing is drained rather than
+    abandoned.  Exhaustion raises
+    :class:`~repro.exceptions.ExecutorBrokenError` with the completed
+    prefix and pending positions, letting callers resume elsewhere.
+    """
+    results: list = [None] * n_items
+    done = [False] * n_items
+    attempts = [0] * n_items
+    wasted_rounds = 0
+    while not all(done):
+        pending = [i for i in range(n_items) if not done[i]]
+        pool = ensure_pool()
+        futures: dict = {}
+        broke = False
+        try:
+            for i in pending:
+                futures[i] = submit(pool, i, attempts[i])
+        except BrokenProcessPool:
+            # A fast crash can poison the pool while this round is still
+            # being submitted, making submit() itself raise.  Items that
+            # never got a future fail the round; the submitted ones are
+            # harvested below like any other broken-pool round.
+            recorder.counter("executor.worker_crashes")
+            broke = True
+        completed_this_round = 0
+        failed: list[int] = [i for i in pending if i not in futures]
+        hung = False
+        for i in pending:
+            future = futures.get(i)
+            if future is None:
+                continue
+            if broke:
+                # The pool is condemned; harvest items that finished
+                # before the break without blocking on the rest.
+                if not future.done():
+                    failed.append(i)
+                    continue
+            try:
+                timeout = None if broke else retry.tile_timeout
+                results[i] = _maybe_unseal(future.result(timeout=timeout))
+                done[i] = True
+                completed_this_round += 1
+            except concurrent.futures.TimeoutError:
+                recorder.counter("executor.timeouts")
+                failed.append(i)
+                hung = True
+            except _CorruptPayloadError:
+                recorder.counter("executor.payload_corruptions")
+                failed.append(i)
+            except BrokenProcessPool:
+                recorder.counter("executor.worker_crashes")
+                failed.append(i)
+                broke = True
+        if broke or hung:
+            discard_pool(kill=hung)
+            recorder.counter("executor.pool_rebuilds")
+        if not failed:
+            continue
+        for i in failed:
+            attempts[i] += 1
+        if completed_this_round == 0:
+            wasted_rounds += 1
+            if wasted_rounds > retry.max_retries:
+                raise ExecutorBrokenError(
+                    "hung worker" if hung else "worker crash or corrupt result",
+                    completed={i: results[i] for i in range(n_items) if done[i]},
+                    pending=tuple(i for i in range(n_items) if not done[i]),
+                    failure_mode=retry.failure_mode,
+                )
+        recorder.counter("executor.retries", len(failed))
+        with recorder.span("executor.retry", pending=len(failed)):
+            time.sleep(retry.delay(max(0, wasted_rounds - 1)))
+    return results
+
+
 class SerialExecutor(CellExecutor):
     """Run every item on the calling thread (the reference executor).
 
@@ -187,6 +384,22 @@ def _forked_cell(token_and_index: tuple[int, int]):
     return work(items[index])
 
 
+def _forked_cell_faulted(payload: tuple[int, int, int]):
+    """Submit-path work unit for forked pools: faults around one item.
+
+    The injector reaches the child by fork-time inheritance of the
+    active-injector slot (pools are built inside the session's
+    ``use_injector`` scope), so only ``(token, index, attempt)`` crosses
+    the process boundary — the COW contract is unchanged.
+    """
+    token, index, attempt = payload
+    work, items = _SHARED_WORK[token]
+    injector = active_injector()
+    if not injector.executor_faults_active:
+        return work(items[index])
+    return _apply_faults(work, items[index], injector, index, attempt)
+
+
 class ProcessExecutor(CellExecutor):
     """Run items on a forked process pool with shared read-only views.
 
@@ -196,12 +409,22 @@ class ProcessExecutor(CellExecutor):
     in the parent's address space and reach workers via copy-on-write.
     Results must therefore be kept lightweight — the tiled runner returns
     score/time lists, never prepared arrays.
+
+    Self-healing: a ``BrokenProcessPool`` keeps the completed prefix,
+    rebuilds the pool and re-runs only unfinished items, bounded by
+    ``retry.max_retries`` (0 restores fail-fast).  With an active fault
+    injector or a ``tile_timeout``, items run through the per-item
+    submit path (hang detection + envelope checksums) instead of the
+    chunk-free fast path.
     """
 
     name = "process"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, retry: RetryPolicy | None = None
+    ) -> None:
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.retry = retry if retry is not None else RetryPolicy()
 
     def map(self, work: Callable, items: Sequence) -> list:
         if len(items) <= 1:
@@ -213,20 +436,92 @@ class ProcessExecutor(CellExecutor):
         recorder = active_recorder()
         if recorder.recording:
             work = _TelemetryWork(work, recorder.mode)
+        injector = active_injector()
         token = next(_SHARED_TOKENS)
+        # The token must stay registered until every retry round is done
+        # (rebuilt pools fork afresh and re-inherit the registry), and must
+        # be released no matter how the map ends — including a work item
+        # raising — or the registry grows once per failed map.
         _SHARED_WORK[token] = (work, items)
         try:
-            with concurrent.futures.ProcessPoolExecutor(
-                max_workers=self.max_workers, mp_context=context
-            ) as pool:
-                results = list(
-                    pool.map(_forked_cell, [(token, i) for i in range(len(items))])
-                )
+            if injector.executor_faults_active or self.retry.tile_timeout is not None:
+                results = self._map_submit(context, token, len(items), recorder)
+            else:
+                results = self._map_fast(context, token, len(items), recorder)
         finally:
             del _SHARED_WORK[token]
         if recorder.recording:
             results = _merge_worker_results(results, recorder)
         return results
+
+    def _map_fast(self, context, token: int, n_items: int, recorder) -> list:
+        """The fault-free path: plain ``pool.map`` plus rebuild-and-resume."""
+        results: list = [None] * n_items
+        start = 0
+        rebuilds = 0
+        while start < n_items:
+            pool = concurrent.futures.ProcessPoolExecutor(
+                max_workers=self.max_workers, mp_context=context
+            )
+            yielded = 0
+            clean = False
+            try:
+                payloads = [(token, i) for i in range(start, n_items)]
+                for result in pool.map(_forked_cell, payloads):
+                    results[start + yielded] = result
+                    yielded += 1
+                clean = True
+                start = n_items
+            except BrokenProcessPool:
+                # Results stream in input order, so the yielded prefix is
+                # complete; everything after re-runs on a fresh pool
+                # (bitwise-safe: substreams are keyed, not positional).
+                start += yielded
+                recorder.counter("executor.worker_crashes")
+                recorder.counter("executor.pool_rebuilds")
+                if rebuilds >= self.retry.max_retries:
+                    raise ExecutorBrokenError(
+                        "process pool broke",
+                        completed={i: results[i] for i in range(start)},
+                        pending=tuple(range(start, n_items)),
+                        failure_mode=self.retry.failure_mode,
+                    ) from None
+                recorder.counter("executor.retries")
+                with recorder.span("executor.retry", pending=n_items - start):
+                    time.sleep(self.retry.delay(rebuilds))
+                rebuilds += 1
+            finally:
+                pool.shutdown(wait=clean, cancel_futures=not clean)
+        return results
+
+    def _map_submit(self, context, token: int, n_items: int, recorder) -> list:
+        """The chaos path: per-item futures with timeout + envelope checks."""
+        live: dict = {"pool": None}
+
+        def ensure_pool():
+            if live["pool"] is None:
+                live["pool"] = concurrent.futures.ProcessPoolExecutor(
+                    max_workers=self.max_workers, mp_context=context
+                )
+            return live["pool"]
+
+        def discard_pool(kill: bool) -> None:
+            pool, live["pool"] = live["pool"], None
+            if pool is None:
+                return
+            if kill:
+                _terminate_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def submit(pool, index: int, attempt: int):
+            return pool.submit(_forked_cell_faulted, (token, index, attempt))
+
+        try:
+            return _resilient_collect(
+                n_items, ensure_pool, discard_pool, submit, self.retry, recorder
+            )
+        finally:
+            discard_pool(kill=False)
 
 
 class PooledThreadExecutor(CellExecutor):
@@ -290,12 +585,23 @@ class PooledProcessExecutor(CellExecutor):
 
     On platforms without ``fork`` the executor degrades to serial
     execution, like its one-shot sibling.
+
+    Self-healing mirrors :class:`ProcessExecutor`: a dead worker no
+    longer poisons the call — the carcass is dropped, a fresh pool forks,
+    and only unfinished items re-run (bounded by ``retry.max_retries``;
+    0 restores the historical drop-and-raise).  Chaos and timeout maps
+    route through the per-item submit path, where work reaches workers
+    as pickled ``(work, plan_text, item, index, attempt)`` submissions
+    and results come home in checksummed envelopes.
     """
 
     name = "pooled-process"
 
-    def __init__(self, max_workers: int | None = None) -> None:
+    def __init__(
+        self, max_workers: int | None = None, retry: RetryPolicy | None = None
+    ) -> None:
         self.max_workers = max_workers or min(8, os.cpu_count() or 1)
+        self.retry = retry if retry is not None else RetryPolicy()
         self._pool: concurrent.futures.ProcessPoolExecutor | None = None
 
     @property
@@ -316,7 +622,7 @@ class PooledProcessExecutor(CellExecutor):
             return [work(item) for item in items]
         had_pool = self._pool is not None
         try:
-            pool = self._ensure_pool()
+            self._ensure_pool()
         except ValueError:  # pragma: no cover - non-POSIX platforms
             return SerialExecutor().map(work, items)
         recorder = active_recorder()
@@ -326,19 +632,76 @@ class PooledProcessExecutor(CellExecutor):
             nbytes = len(pickle.dumps(work))
             recorder.counter("process.pickled_bytes", nbytes)
             recorder.gauge("process.pickled_bytes_per_call", nbytes)
-        chunksize = -(-len(items) // self.max_workers)
-        try:
-            results = list(pool.map(work, items, chunksize=chunksize))
-        except concurrent.futures.process.BrokenProcessPool:
-            # A dead worker poisons the whole persistent pool.  The call
-            # still fails (like the one-shot executor's would), but drop
-            # the carcass so the session's next call forks a fresh pool
-            # instead of failing forever.
-            self.close()
-            raise
+        injector = active_injector()
+        if injector.executor_faults_active or self.retry.tile_timeout is not None:
+            results = self._map_submit(work, items, injector, recorder)
+        else:
+            results = self._map_fast(work, items, recorder)
         if recorder.recording:
             results = _merge_worker_results(results, recorder)
         return results
+
+    def _map_fast(self, work: Callable, items: Sequence, recorder) -> list:
+        """The fault-free path: chunked ``pool.map`` plus rebuild-and-resume."""
+        n_items = len(items)
+        results: list = [None] * n_items
+        start = 0
+        rebuilds = 0
+        while start < n_items:
+            pool = self._ensure_pool()
+            chunksize = -(-(n_items - start) // self.max_workers)
+            yielded = 0
+            try:
+                for result in pool.map(work, items[start:], chunksize=chunksize):
+                    results[start + yielded] = result
+                    yielded += 1
+                start = n_items
+            except BrokenProcessPool:
+                # A dead worker poisons the whole persistent pool.  Keep
+                # the in-order completed prefix, drop the carcass, fork a
+                # fresh pool and resume from the first unfinished item.
+                start += yielded
+                self.close()
+                recorder.counter("executor.worker_crashes")
+                recorder.counter("executor.pool_rebuilds")
+                if rebuilds >= self.retry.max_retries:
+                    raise ExecutorBrokenError(
+                        "persistent process pool broke",
+                        completed={i: results[i] for i in range(start)},
+                        pending=tuple(range(start, n_items)),
+                        failure_mode=self.retry.failure_mode,
+                    ) from None
+                recorder.counter("executor.retries")
+                with recorder.span("executor.retry", pending=n_items - start):
+                    time.sleep(self.retry.delay(rebuilds))
+                rebuilds += 1
+        return results
+
+    def _map_submit(
+        self, work: Callable, items: Sequence, injector: FaultInjector, recorder
+    ) -> list:
+        """The chaos path: per-item pickled submissions with fault hooks."""
+        plan_text = injector.describe()
+
+        def ensure_pool():
+            return self._ensure_pool()
+
+        def discard_pool(kill: bool) -> None:
+            pool, self._pool = self._pool, None
+            if pool is None:
+                return
+            if kill:
+                _terminate_workers(pool)
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        def submit(pool, index: int, attempt: int):
+            return pool.submit(
+                _pooled_cell_faulted, work, plan_text, items[index], index, attempt
+            )
+
+        return _resilient_collect(
+            len(items), ensure_pool, discard_pool, submit, self.retry, recorder
+        )
 
     def close(self) -> None:
         """Shut the pool down; the next ``map`` builds a fresh one."""

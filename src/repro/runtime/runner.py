@@ -55,13 +55,13 @@ from ..core.objectives import (
     LogisticRegressionObjective,
     RegressionObjective,
 )
-from ..exceptions import ExperimentError
+from ..exceptions import ExecutorBrokenError, ExperimentError
 from ..obs import active_recorder
 from ..regression.linear import _validate_xy as _validate_linear_xy
 from ..regression.logistic import _validate_xy as _validate_logistic_xy
 from ..regression.logistic import sigmoid
 from ..regression.metrics import mean_squared_error, misclassification_rate
-from .executor import CellExecutor, SerialExecutor, get_executor
+from .executor import CellExecutor, SerialExecutor, ThreadExecutor, get_executor
 from .kernels import (
     fm_noise_stack,
     newton_logistic_stack,
@@ -205,6 +205,47 @@ def _scores_for_fold(
     return [score(y_test, z[e]) for e in range(omegas.shape[0])]
 
 
+def _mapped(executor: CellExecutor, work, items) -> list:
+    """``executor.map`` with graceful process → thread → serial degradation.
+
+    When a self-healing process executor exhausts its retries under
+    ``failure_mode="fallback"``, the raised
+    :class:`~repro.exceptions.ExecutorBrokenError` carries the completed
+    prefix; only the pending items re-run, first on a thread pool, then
+    — should that fail too — serially.  Every landing spot produces
+    bitwise-identical results (cell substreams are keyed by
+    ``(seed, tag)``, never by executor), so degradation changes where
+    work runs, not what it computes.  ``failure_mode="raise"`` (the
+    default) propagates instead.
+    """
+    items = list(items)
+    try:
+        return executor.map(work, items)
+    except ExecutorBrokenError as err:
+        if err.failure_mode != "fallback":
+            raise
+        recorder = active_recorder()
+        results: list = [None] * len(items)
+        for i, result in err.completed.items():
+            results[i] = result
+        pending = list(err.pending)
+        for stage in (ThreadExecutor(), SerialExecutor()):
+            recorder.counter("executor.fallbacks")
+            with recorder.span(
+                "executor.fallback", to=stage.name, pending=len(pending)
+            ):
+                try:
+                    recovered = stage.map(work, [items[i] for i in pending])
+                except Exception:
+                    if stage.name == "serial":
+                        raise  # serial is the floor: a failure here is real
+                    continue
+            for i, result in zip(pending, recovered):
+                results[i] = result
+            return results
+        raise  # pragma: no cover - unreachable (serial returns or raises)
+
+
 # ----------------------------------------------------------------------
 # Reference oracle
 # ----------------------------------------------------------------------
@@ -252,7 +293,7 @@ def _run_percell(plan: CellPlan, executor: CellExecutor) -> PlanResult:
     harness cell; for a multi-budget plan it matches the documented
     loop-equivalence of :meth:`repro.engine.EpsilonSweepEngine.sweep`.
     """
-    outcomes = executor.map(_PercellFoldWork(plan), range(len(plan.folds)))
+    outcomes = _mapped(executor, _PercellFoldWork(plan), range(len(plan.folds)))
     scores = {e: [] for e in plan.epsilons}
     fit_seconds = {e: [] for e in plan.epsilons}
     for cell_scores, cell_times in outcomes:
@@ -753,8 +794,8 @@ def _run_group_tiled(
         )
     n_tiles = tiled[0].n_tiles
     inner = executor if n_tiles == 1 else SerialExecutor()
-    tile_outcomes = executor.map(
-        _TileGroupWork(tuple(tiled), mode, inner), list(range(n_tiles))
+    tile_outcomes = _mapped(
+        executor, _TileGroupWork(tuple(tiled), mode, inner), list(range(n_tiles))
     )
     scores: list[dict[float, list[float]]] = [
         {e: [] for e in plan.epsilons} for plan in tiled

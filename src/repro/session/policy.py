@@ -33,6 +33,10 @@ Environment variables (all optional)::
     REPRO_SEED            int
     REPRO_SHARDS          positive int
     REPRO_TELEMETRY       off | summary | trace
+    REPRO_FAULTS          fault-plan spec, e.g. "seed=7;worker.crash=0.5x2"
+    REPRO_MAX_RETRIES     non-negative int (self-healing retry bound)
+    REPRO_TILE_TIMEOUT    positive float seconds, or "none" (no timeout)
+    REPRO_FAILURE_MODE    raise | fallback
     REPRO_POLICY_FILE     path to a JSON policy file (the file layer)
 
 The ``stream_version`` default flip (ROADMAP) has landed: the
@@ -55,6 +59,7 @@ from typing import Mapping
 
 from ..exceptions import ExperimentError
 from ..experiments.config import PRESETS, ScalePreset, preset_by_name
+from ..faults import FAILURE_MODES, FaultPlan
 
 __all__ = [
     "DEFAULT_STREAM_VERSION",
@@ -84,6 +89,10 @@ POLICY_ENV_VARS: dict[str, str] = {
     "seed": "REPRO_SEED",
     "shards": "REPRO_SHARDS",
     "telemetry": "REPRO_TELEMETRY",
+    "faults": "REPRO_FAULTS",
+    "max_retries": "REPRO_MAX_RETRIES",
+    "tile_timeout": "REPRO_TILE_TIMEOUT",
+    "failure_mode": "REPRO_FAILURE_MODE",
 }
 
 _RUNTIMES = ("batched", "percell", "engine", "auto")
@@ -106,7 +115,18 @@ def _parse_env(field: str, raw: str):
     """Parse one ``REPRO_*`` value into its field's type."""
     if field in ("max_workers", "tile_size"):
         return _parse_optional_int(field, raw)
-    if field in ("stream_version", "seed", "shards"):
+    if field == "tile_timeout":
+        if raw.strip().lower() in ("", "none", "null"):
+            return None
+        try:
+            return float(raw)
+        except ValueError:
+            raise ExperimentError(
+                f"{POLICY_ENV_VARS[field]}={raw!r} is not a number (or 'none')"
+            ) from None
+    if field == "faults":
+        return raw.strip() or None
+    if field in ("stream_version", "seed", "shards", "max_retries"):
         try:
             return int(raw)
         except ValueError:
@@ -163,6 +183,25 @@ class ExecutionPolicy:
         aggregates counters/gauges/span stats, ``"trace"`` additionally
         retains every span for JSONL export.  Telemetry never changes
         scores or golden digests.
+    faults:
+        Deterministic fault-injection plan in the ``REPRO_FAULTS``
+        grammar (see :meth:`repro.faults.FaultPlan.parse`), e.g.
+        ``"seed=7;worker.crash=0.5x2"``.  ``None`` (the default) injects
+        nothing.  Injection is chaos-testing machinery: recovery must
+        leave scores and golden digests bitwise unchanged.
+    max_retries:
+        Self-healing retry bound: how many *zero-progress* rounds the
+        process executors tolerate (pool rebuilds + re-submission of only
+        the failed tiles) before giving up.  ``0`` disables retries.
+    tile_timeout:
+        Per-tile wall-clock timeout in seconds for process executors
+        (``None`` = no timeout).  A tile exceeding it is treated as a
+        hung worker: the pool is rebuilt and the tile retried.
+    failure_mode:
+        What exhausting ``max_retries`` means: ``"raise"`` propagates
+        :class:`~repro.exceptions.ExecutorBrokenError`; ``"fallback"``
+        lets the runner degrade process → thread → serial, resuming from
+        the completed prefix.
     """
 
     runtime: str = "batched"
@@ -175,6 +214,10 @@ class ExecutionPolicy:
     seed: int = 0
     shards: int = 1
     telemetry: str = "off"
+    faults: str | None = None
+    max_retries: int = 2
+    tile_timeout: float | None = None
+    failure_mode: str = "raise"
 
     def __post_init__(self) -> None:
         if self.runtime not in _RUNTIMES:
@@ -214,6 +257,35 @@ class ExecutionPolicy:
         if self.telemetry not in _TELEMETRY:
             raise ExperimentError(
                 f"telemetry must be one of {_TELEMETRY}, got {self.telemetry!r}"
+            )
+        if self.faults is not None:
+            if not isinstance(self.faults, str):
+                raise ExperimentError(
+                    f"faults must be a plan string or None, got {self.faults!r}"
+                )
+            try:
+                FaultPlan.parse(self.faults)
+            except ValueError as error:
+                raise ExperimentError(
+                    f"invalid faults plan {self.faults!r}: {error}"
+                ) from None
+        if not isinstance(self.max_retries, int) or self.max_retries < 0:
+            raise ExperimentError(
+                f"max_retries must be a non-negative integer, got "
+                f"{self.max_retries!r}"
+            )
+        if self.tile_timeout is not None and (
+            not isinstance(self.tile_timeout, (int, float))
+            or not float(self.tile_timeout) > 0.0
+        ):
+            raise ExperimentError(
+                f"tile_timeout must be a positive number or None, got "
+                f"{self.tile_timeout!r}"
+            )
+        if self.failure_mode not in FAILURE_MODES:
+            raise ExperimentError(
+                f"failure_mode must be one of {FAILURE_MODES}, got "
+                f"{self.failure_mode!r}"
             )
 
     # ------------------------------------------------------------------

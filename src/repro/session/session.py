@@ -47,6 +47,7 @@ from ..baselines.base import Task
 from ..data.census import load_brazil, load_us
 from ..data.datasets import CensusDataset
 from ..exceptions import ExperimentError
+from ..faults import RetryPolicy, make_injector, use_injector
 from ..obs import make_recorder, use_recorder
 from ..experiments.config import DEFAULT_DIMENSIONALITY, ScalePreset
 from ..experiments.figures import SweepResult, _accuracy_sweep_impl
@@ -111,6 +112,7 @@ class Session:
         self._executor: CellExecutor | None = None
         self._datasets: dict[tuple[str, int | None], CensusDataset] = {}
         self._recorder = make_recorder(self.policy.telemetry)
+        self._injector = make_injector(self.policy.faults)
 
     # ------------------------------------------------------------------
     # Owned process state
@@ -149,6 +151,11 @@ class Session:
             )
         return self._recorder.write_jsonl(path, meta={"policy": self.policy.to_dict()})
 
+    @property
+    def injector(self):
+        """The session's fault injector (the shared no-op when unconfigured)."""
+        return self._injector
+
     def executor(self) -> CellExecutor:
         """The session's executor (created lazily, reused across calls)."""
         if self._executor is None:
@@ -160,8 +167,13 @@ class Session:
                 cls = PooledThreadExecutor if self._reuse_pool else ThreadExecutor
                 self._executor = cls(workers)
             else:
+                retry = RetryPolicy(
+                    max_retries=self.policy.max_retries,
+                    tile_timeout=self.policy.tile_timeout,
+                    failure_mode=self.policy.failure_mode,
+                )
                 cls = PooledProcessExecutor if self._reuse_pool else ProcessExecutor
-                self._executor = cls(workers)
+                self._executor = cls(workers, retry=retry)
         return self._executor
 
     def dataset(
@@ -279,7 +291,7 @@ class Session:
         execution comes from the policy (and the session's cache/pool),
         protocol arguments stay per-call with policy-backed defaults.
         """
-        with use_recorder(self._recorder), self._recorder.span(
+        with use_recorder(self._recorder), use_injector(self._injector), self._recorder.span(
             "session.evaluate", algorithm=algorithm, task=task
         ):
             return _evaluate_algorithm_impl(
@@ -311,7 +323,7 @@ class Session:
         executor: str | CellExecutor | None = None,
     ) -> dict[str, EvaluationResult]:
         """Evaluate an algorithm panel as one grouped run (keyed by name)."""
-        with use_recorder(self._recorder), self._recorder.span(
+        with use_recorder(self._recorder), use_injector(self._injector), self._recorder.span(
             "session.evaluate_panel", algorithms=list(algorithms), task=task
         ):
             return _evaluate_algorithms_impl(
@@ -350,7 +362,7 @@ class Session:
         ``policy.shards > 1`` requires an engine-capable runtime, exactly
         as the legacy signature did.
         """
-        with use_recorder(self._recorder), self._recorder.span(
+        with use_recorder(self._recorder), use_injector(self._injector), self._recorder.span(
             "session.budget_sweep", task=task, points=len(epsilons)
         ):
             return _evaluate_fm_budget_sweep_impl(
@@ -390,7 +402,7 @@ class Session:
         """
         self._warn_inapplicable("Session.sweep", shards_apply=False)
         preset, _, seed = self._resolved(preset, None, seed)
-        with use_recorder(self._recorder), self._recorder.span(
+        with use_recorder(self._recorder), use_injector(self._injector), self._recorder.span(
             "session.sweep", parameter=parameter, figure=figure
         ):
             return _accuracy_sweep_impl(
@@ -436,7 +448,7 @@ class Session:
             f"Session.figure({name!r})", shards_apply=spec.budget_sweep
         )
         preset, _, seed = self._resolved(preset, None, seed)
-        with use_recorder(self._recorder), self._recorder.span(
+        with use_recorder(self._recorder), use_injector(self._injector), self._recorder.span(
             "session.figure", figure=name
         ):
             return run_figure(

@@ -31,9 +31,11 @@ from __future__ import annotations
 
 import hashlib
 import json
+import os
 import platform
 import struct
 import sys
+import tempfile
 from dataclasses import dataclass
 from functools import lru_cache
 from pathlib import Path
@@ -230,8 +232,26 @@ def environment_fingerprint() -> dict[str, str]:
     }
 
 
+def _store_checksum(store: dict) -> str:
+    """SHA-256 over the canonical JSON of the store's payload keys.
+
+    Canonicalization (sorted keys, fixed separators) makes the checksum a
+    function of the *content*, not of the pretty-printing, so a store
+    survives being reformatted but not a flipped digest character.
+    """
+    payload = {key: store[key] for key in sorted(store) if key != "sha256"}
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
 def load_store(path: Path | str | None = None) -> dict:
-    """Parse the digest store; raises ``ExperimentError`` on malformation."""
+    """Parse the digest store; raises ``ExperimentError`` on malformation.
+
+    Stores written since the checksummed format embed a ``sha256``
+    self-checksum which is verified here — a corrupted pin must fail
+    loudly, never silently gate (or un-gate) the conformance matrix.
+    Stores without one (pinned by older code) are accepted.
+    """
     store_path = Path(path) if path is not None else default_store_path()
     try:
         store = json.loads(store_path.read_text())
@@ -245,6 +265,13 @@ def load_store(path: Path | str | None = None) -> dict:
     for key in ("format", "environment", "groups"):
         if key not in store:
             raise ExperimentError(f"golden digest store is missing key {key!r}")
+    declared = store.get("sha256")
+    if declared is not None and declared != _store_checksum(store):
+        raise ExperimentError(
+            f"golden digest store at {store_path} failed its self-checksum; "
+            f"the file is corrupt — restore it from version control or "
+            f"re-pin with `python -m repro verify --tier 3 --regen-golden`"
+        )
     return store
 
 
@@ -278,7 +305,20 @@ def save_store(
             for group_id, digest in sorted(digests.items())
         },
     }
-    store_path.write_text(json.dumps(store, indent=2) + "\n")
+    store["sha256"] = _store_checksum(store)
+    # Atomic publish: the store is the gate for every conformance run, so a
+    # crash mid-pin must leave the previous pins intact, never a torn file.
+    text = json.dumps(store, indent=2) + "\n"
+    fd, tmp_name = tempfile.mkstemp(dir=store_path.parent, suffix=".tmp.json")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "w", encoding="utf-8") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(store_path)
+    finally:
+        tmp.unlink(missing_ok=True)
     return store
 
 

@@ -1,0 +1,82 @@
+"""Chaos neutrality: injected faults must leave pipeline digests bitwise
+identical to fault-free runs.
+
+This is the tentpole acceptance criterion.  A miniature golden case (the
+same figure pipeline / digest function the tier-3 conformance matrix
+uses, at a smaller preset) runs fault-free once, and then under each
+chaos scenario — worker crashes, hung tiles with timeouts, on-disk cache
+corruption — asserting one digest throughout.  Keyed RNG substreams are
+what make this possible: a retried tile redraws identical noise wherever
+(and whenever) it re-executes.
+"""
+
+import pytest
+
+from repro.data.census import load_us
+from repro.experiments.config import ScalePreset
+from repro.session import ExecutionPolicy, Session
+from repro.verify.golden import digest_sweep_result
+
+_PRESET = ScalePreset(name="chaos", max_records=300, folds=2, repetitions=2)
+_RECORDS = 340
+_SEED = 31
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return load_us(_RECORDS)
+
+
+def _digest(policy: ExecutionPolicy, dataset) -> str:
+    with Session(policy) as session:
+        result = session.figure(
+            "figure5", dataset, "linear", preset=_PRESET, values=(0.5, 1.0)
+        )
+    return digest_sweep_result(result)
+
+
+@pytest.fixture(scope="module")
+def clean_digest(dataset):
+    return _digest(ExecutionPolicy(executor="serial", seed=_SEED), dataset)
+
+
+class TestDigestNeutrality:
+    def test_worker_crashes_do_not_change_the_digest(self, dataset, clean_digest):
+        policy = ExecutionPolicy(
+            executor="process",
+            tile_size=1,
+            seed=_SEED,
+            faults="seed=9;worker.crash=1.0x1",
+        )
+        assert _digest(policy, dataset) == clean_digest
+
+    def test_hung_tiles_do_not_change_the_digest(self, dataset, clean_digest):
+        policy = ExecutionPolicy(
+            executor="process",
+            tile_size=1,
+            seed=_SEED,
+            faults="seed=9;hang=20.0;tile.hang=0.5x1",
+            tile_timeout=1.0,
+        )
+        assert _digest(policy, dataset) == clean_digest
+
+    def test_fallback_degradation_does_not_change_the_digest(
+        self, dataset, clean_digest
+    ):
+        policy = ExecutionPolicy(
+            executor="process",
+            tile_size=1,
+            seed=_SEED,
+            faults="seed=9;worker.crash=1.0x99",
+            max_retries=0,
+            failure_mode="fallback",
+        )
+        assert _digest(policy, dataset) == clean_digest
+
+    def test_thread_executor_ignores_fault_plan(self, dataset, clean_digest):
+        """Executor fault sites live in process workers; a thread policy
+        with the same plan must run clean and agree."""
+        policy = ExecutionPolicy(
+            executor="thread", seed=_SEED, faults="seed=9;worker.crash=1.0x1"
+        )
+        assert _digest(policy, dataset) == clean_digest

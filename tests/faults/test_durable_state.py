@@ -1,0 +1,225 @@
+"""Crash-safe durable state: cache entries, the golden store, budget WAL."""
+
+import json
+import os
+import subprocess
+import sys
+
+import numpy as np
+import pytest
+
+from repro.engine.accumulator import MomentAccumulator
+from repro.engine.cache import AccumulatorCache
+from repro.exceptions import (
+    ExperimentError,
+    InvalidBudgetError,
+    TransientIOError,
+)
+from repro.faults import make_injector, use_injector
+from repro.obs import make_recorder, use_recorder
+from repro.privacy.budget import PrivacyBudget
+from repro.verify.golden import load_store, save_store
+
+
+def _accumulator() -> MomentAccumulator:
+    rng = np.random.default_rng(3)
+    X = rng.normal(size=(40, 3))
+    X /= 2.0 * np.linalg.norm(X, axis=1, keepdims=True)  # footnote-1 bound
+    y = np.clip(rng.normal(size=40), -1.0, 1.0)
+    return MomentAccumulator(3).update(X, y)
+
+
+def _assert_same_stats(a: MomentAccumulator, b: MomentAccumulator) -> None:
+    sa, sb = a.snapshot(), b.snapshot()
+    assert sa.n == sb.n
+    for field in ("S2", "S1", "Sxy"):
+        np.testing.assert_array_equal(getattr(sa, field), getattr(sb, field))
+    assert sa.Sy == sb.Sy and sa.Syy == sb.Syy
+
+
+def _chaos(spec: str):
+    return use_injector(make_injector(spec))
+
+
+class TestCacheDurability:
+    def test_round_trip_is_bit_faithful(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        acc = _accumulator()
+        cache.put("a" * 64, acc)
+        _assert_same_stats(cache.get("a" * 64), acc)
+
+    def test_corrupted_entry_is_quarantined_and_rebuilt(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        key = "b" * 64
+        acc = _accumulator()
+        cache.put(key, acc)
+        recorder = make_recorder("summary")
+        with use_recorder(recorder), _chaos("seed=5;cache.corrupt=1.0x1"):
+            rebuilt, hit = cache.get_or_build(key, _accumulator)
+        assert not hit  # the damaged entry must read as a miss
+        _assert_same_stats(rebuilt, acc)
+        # the corrupt bytes moved to quarantine, a healthy entry replaced them
+        assert len(list(cache.quarantine_dir.iterdir())) == 1
+        assert cache.get(key) is not None
+        counters = recorder.summary()["counters"]
+        assert counters.get("accumulator_cache.quarantined") == 1
+
+    def test_manual_truncation_is_also_caught(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        key = "c" * 64
+        cache.put(key, _accumulator())
+        path = cache.path_for(key)
+        path.write_bytes(path.read_bytes()[:-7])
+        assert cache.get(key) is None
+        assert not path.exists()  # quarantined out of the key namespace
+
+    def test_transient_io_errors_are_retried(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        key = "d" * 64
+        recorder = make_recorder("summary")
+        with use_recorder(recorder), _chaos("seed=5;io.transient=1.0x2"):
+            cache.put(key, _accumulator())  # 2 injected failures, 3 attempts
+        assert recorder.summary()["counters"]["accumulator_cache.io_retries"] == 2
+        assert cache.get(key) is not None
+
+    def test_transient_io_exhaustion_raises(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        with _chaos("seed=5;io.transient=1.0x99"):
+            with pytest.raises(TransientIOError):
+                cache.put("e" * 64, _accumulator())
+
+    def test_legacy_npz_entry_is_a_miss(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        key = "f" * 64
+        _accumulator().save(tmp_path / f"{key}.npz")  # historical format
+        assert cache.get(key) is None
+
+    def test_no_tmp_files_left_behind(self, tmp_path):
+        cache = AccumulatorCache(tmp_path)
+        cache.put("1" * 64, _accumulator())
+        leftovers = [p for p in tmp_path.iterdir() if "tmp" in p.name]
+        assert leftovers == []
+
+
+class TestGoldenStoreDurability:
+    def test_save_embeds_verifiable_checksum(self, tmp_path):
+        path = tmp_path / "store.json"
+        store = save_store({"g": "0" * 64}, path)
+        assert store["sha256"]
+        assert load_store(path)["sha256"] == store["sha256"]
+
+    def test_checksum_survives_reformatting(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_store({"g": "0" * 64}, path)
+        path.write_text(json.dumps(json.loads(path.read_text()), indent=8))
+        load_store(path)  # content unchanged -> still verifies
+
+    def test_tampered_digest_fails_the_checksum(self, tmp_path):
+        path = tmp_path / "store.json"
+        save_store({"g": "0" * 64}, path)
+        store = json.loads(path.read_text())
+        store["groups"]["g"]["digest"] = "1" * 64
+        path.write_text(json.dumps(store))
+        with pytest.raises(ExperimentError, match="self-checksum"):
+            load_store(path)
+
+    def test_legacy_store_without_checksum_accepted(self, tmp_path):
+        path = tmp_path / "store.json"
+        path.write_text(
+            json.dumps({"format": 1, "environment": {}, "groups": {}})
+        )
+        load_store(path)
+
+
+class TestBudgetJournal:
+    def test_restore_replays_committed_spends(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        with PrivacyBudget(1.0, journal_path=journal) as budget:
+            budget.spend(0.25, note="first")
+            budget.spend(0.25, note="second")
+        restored = PrivacyBudget.restore(journal)
+        assert restored.spent == pytest.approx(0.5)
+        assert [e.note for e in restored.ledger] == ["first", "second"]
+
+    def test_uncommitted_intent_is_conservatively_spent(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        budget = PrivacyBudget(1.0, journal_path=journal)
+        budget.spend(0.2, note="ok")
+        from repro.exceptions import InjectedFaultError
+
+        with _chaos("seed=1;budget.crash=1.0"):
+            with pytest.raises(InjectedFaultError):
+                budget.spend(0.3, note="interrupted")
+        restored = PrivacyBudget.restore(journal)
+        # never under-recorded: the interrupted spend counts as spent
+        assert restored.spent >= 0.5 - 1e-12
+        assert any("recovered" in e.note for e in restored.ledger)
+        # a second replay reaches the identical ledger (recovery commits
+        # were journaled, making the repair idempotent)
+        again = PrivacyBudget.restore(journal)
+        assert again.spent == restored.spent
+        assert [e.note for e in again.ledger] == [
+            e.note for e in restored.ledger
+        ]
+
+    def test_torn_final_line_is_ignored(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        with PrivacyBudget(1.0, journal_path=journal) as budget:
+            budget.spend(0.5)
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"op": "intent", "id"')  # crash mid-write
+        assert PrivacyBudget.restore(journal).spent == pytest.approx(0.5)
+
+    def test_torn_interior_line_is_fatal(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        with PrivacyBudget(1.0, journal_path=journal) as budget:
+            budget.spend(0.5)
+        lines = journal.read_text().splitlines()
+        lines[0] = lines[0][:-4]
+        journal.write_text("\n".join(lines) + "\n")
+        with pytest.raises(InvalidBudgetError):
+            PrivacyBudget.restore(journal)
+
+    def test_hard_process_crash_mid_spend_never_underrecords(self, tmp_path):
+        """The real thing: a child process dies with ``os._exit`` between
+        the intent and commit records; replay must count the interrupted
+        spend."""
+        journal = tmp_path / "budget.journal"
+        script = f"""
+import os
+from repro.privacy.budget import PrivacyBudget
+
+class _Exiter:
+    def consume(self, site, index):
+        if site == "budget.crash" and index >= 2:  # let the first spend commit
+            os._exit(9)
+        return False
+
+import repro.faults.injector as injector_module
+injector_module._ACTIVE = _Exiter()
+
+budget = PrivacyBudget(1.0, journal_path={str(journal)!r})
+budget.spend(0.25, note="survivor")
+budget.spend(0.5, note="victim")  # dies between intent and commit
+"""
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=os.path.dirname(os.path.dirname(os.path.dirname(__file__))),
+        )
+        assert result.returncode == 9
+        restored = PrivacyBudget.restore(journal)
+        assert restored.spent >= 0.75 - 1e-12  # intended total
+        notes = [e.note for e in restored.ledger]
+        assert notes[0] == "survivor" and "victim" in notes[1]
+
+    def test_journal_telemetry_counters(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        recorder = make_recorder("summary")
+        with use_recorder(recorder):
+            with PrivacyBudget(1.0, journal_path=journal) as budget:
+                budget.spend(0.5)
+            PrivacyBudget.restore(journal).close()
+        counters = recorder.summary()["counters"]
+        assert counters.get("budget.journal_records", 0) >= 3  # open+intent+commit
+        assert counters.get("budget.journal_replays") == 1

@@ -57,6 +57,21 @@ class TestSpending:
             budget.spend(0.1)
         assert budget.remaining == pytest.approx(0.0, abs=1e-9)
 
+    @pytest.mark.parametrize("total", [1.0, 7.0, 1e6, 1e-3])
+    def test_sevenths_exhaust_exactly_at_any_magnitude(self, total):
+        """Regression: ``total/7`` seven times must always be spendable.
+
+        The slack must scale with the total — an absolute 1e-12 tolerance
+        passes at total=1.0 but rejects the seventh spend at total=1e6,
+        where one ulp is already ~1.2e-10.
+        """
+        budget = PrivacyBudget(total)
+        for _ in range(7):
+            budget.spend(total / 7)
+        assert budget.remaining == pytest.approx(0.0, abs=1e-6 * total)
+        with pytest.raises(BudgetExhaustedError):
+            budget.spend(total * 1e-3)
+
     def test_rejects_non_positive_spend(self):
         budget = PrivacyBudget(1.0)
         with pytest.raises(InvalidBudgetError):

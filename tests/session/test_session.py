@@ -90,12 +90,13 @@ class TestExecutorOwnership:
             assert first and second and (first | second) <= workers
 
     def test_broken_pool_is_dropped_and_rebuilt(self):
-        """A dead worker fails the call but not the session: the poisoned
-        pool is dropped so the next map forks a fresh one."""
-        import concurrent.futures.process as cfp
+        """A persistently dying worker fails the call (after the bounded
+        self-healing retries) but not the session: the poisoned pool is
+        dropped so the next map forks a fresh one."""
+        from repro.exceptions import ExecutorBrokenError
 
         with PooledProcessExecutor(max_workers=2) as executor:
-            with pytest.raises(cfp.BrokenProcessPool):
+            with pytest.raises(ExecutorBrokenError):
                 executor.map(_crash_worker, [0, 1, 2])
             assert executor.pool is None
             assert len(executor.map(_worker_pid, [0, 1, 2])) == 3
