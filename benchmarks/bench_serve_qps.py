@@ -1,0 +1,128 @@
+"""Serving-layer throughput: sustained fits/sec + ingest rows/sec.
+
+Boots the real HTTP server in-process (ephemeral port, the CLI's default
+serial-executor policy) and drives it with the deterministic concurrent
+load generator — one client thread per tenant, the single-writer
+discipline the server's locking backstops.  The run measures steady-state
+throughput *with every durability feature on*: every fit's epsilon spend
+goes through the tenant's fsync'd write-ahead journal, and a periodic
+snapshot thread is writing checksummed ``.acc`` containers underneath the
+load the whole time.
+
+The throughput numbers only count if the answers are right, so the same
+run is digest-checked: ``repro.serve.check`` replays the ledgers and
+recomputes every released fit serially offline (no service, no executor)
+and both must match — the ledger exactly (strict mode), the digests
+bitwise.
+
+Floors are env-overridable for shared boxes (``SERVE_QPS_FLOOR``,
+``SERVE_INGEST_FLOOR``); the committed local baseline in
+``BENCH_harness.json`` (``serve_qps``) is an order of magnitude above
+them.
+"""
+
+import json
+import os
+
+import pytest
+from conftest import save_and_print
+
+from repro.serve.app import ServeApp
+from repro.serve.check import verify_report
+from repro.serve.http import ServeHTTP
+from repro.serve.loadgen import LoadgenConfig, run_loadgen
+from repro.session import ExecutionPolicy, Session
+
+TENANTS = int(os.environ.get("SERVE_QPS_TENANTS", "4"))
+BATCHES = int(os.environ.get("SERVE_QPS_BATCHES", "4"))
+ROWS_PER_BATCH = int(os.environ.get("SERVE_QPS_ROWS", "250"))
+FITS = int(os.environ.get("SERVE_QPS_FITS", "8"))
+
+#: Gates, deliberately far below the committed baseline: a regression that
+#: matters (an accidental global lock, a journal fsync per row, a fresh
+#: pool per request on the serial path) lands well under these.
+QPS_FLOOR = float(os.environ.get("SERVE_QPS_FLOOR", "10"))
+INGEST_FLOOR = float(os.environ.get("SERVE_INGEST_FLOOR", "1000"))
+
+
+@pytest.fixture(scope="module")
+def serve_run(results_dir, tmp_path_factory):
+    data_dir = tmp_path_factory.mktemp("serve-qps") / "data"
+    policy = ExecutionPolicy(
+        scale="smoke", telemetry="summary", failure_mode="fallback"
+    )
+    app = ServeApp(data_dir, Session(policy))
+    http = ServeHTTP(app, port=0, snapshot_interval=0.5)
+    thread = http.start_background()
+    try:
+        report = run_loadgen(
+            LoadgenConfig(
+                port=http.bound_port,
+                tenants=TENANTS,
+                batches=BATCHES,
+                rows_per_batch=ROWS_PER_BATCH,
+                dims=3,
+                fits=FITS,
+                epsilons=(0.5, 1.0),
+                seed=321,
+                total_epsilon=1000.0,
+            )
+        )
+    finally:
+        http.request_stop()
+        thread.join(30.0)
+    assert not thread.is_alive()
+    verification = verify_report(report, data_dir, strict=True)
+
+    totals = report["totals"]
+    lines = [
+        f"serve qps ({TENANTS} concurrent tenants, {BATCHES}x"
+        f"{ROWS_PER_BATCH} rows, {FITS} fits x 2 epsilons each, serial "
+        f"executor, WAL + periodic snapshots on)",
+        f"  fits/sec:        {totals['fits_per_second']:9.1f}"
+        f"  (floor {QPS_FLOOR:g})",
+        f"  ingest rows/sec: {totals['ingest_rows_per_second']:9.1f}"
+        f"  (floor {INGEST_FLOOR:g})",
+        f"  models released: {totals['models_released']}"
+        f"  accepted epsilon: {totals['accepted_epsilon']:g}",
+        f"  offline verify:  strict ok={verification['ok']}, "
+        f"{verification['digests_checked']} digests recomputed",
+    ]
+    save_and_print(results_dir, "serve_qps", "\n".join(lines))
+    payload = {
+        "tenants": TENANTS,
+        "batches": BATCHES,
+        "rows_per_batch": ROWS_PER_BATCH,
+        "fits": FITS,
+        "totals": totals,
+        "verification": {
+            k: verification[k] for k in ("ok", "strict", "digests_checked")
+        },
+    }
+    (results_dir / "serve_qps.json").write_text(json.dumps(payload, indent=2) + "\n")
+    return report, verification
+
+
+def test_no_failures_under_sustained_load(serve_run):
+    report, _ = serve_run
+    assert report["totals"]["failures"] == 0, report["tenants"]
+    assert report["totals"]["fits_ok"] == TENANTS * FITS
+
+
+def test_digests_match_serial_offline_run(serve_run):
+    """Throughput counts only if every served fit is bitwise reproducible."""
+    report, verification = serve_run
+    assert verification["ok"], verification["violations"]
+    assert verification["digests_checked"] == report["totals"]["fits_ok"]
+
+
+def test_fit_throughput_floor(serve_run):
+    report, _ = serve_run
+    qps = report["totals"]["fits_per_second"]
+    assert qps >= QPS_FLOOR, f"fits/sec {qps:.1f} under floor {QPS_FLOOR}"
+
+
+def test_ingest_throughput_floor(serve_run):
+    report, _ = serve_run
+    rps = report["totals"]["ingest_rows_per_second"]
+    assert rps >= INGEST_FLOOR, f"rows/sec {rps:.1f} under floor {INGEST_FLOOR}"

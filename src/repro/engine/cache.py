@@ -55,7 +55,13 @@ from ..faults import active_injector
 from ..obs import active_recorder
 from .accumulator import DEFAULT_BLOCK_SIZE, MomentAccumulator
 
-__all__ = ["AccumulatorCache", "dataset_fingerprint", "objective_tag"]
+__all__ = [
+    "AccumulatorCache",
+    "dataset_fingerprint",
+    "decode_entry",
+    "encode_entry",
+    "objective_tag",
+]
 
 #: Container format version of an ``.acc`` entry's JSON header.
 _ENTRY_FORMAT = 1
@@ -69,8 +75,14 @@ def _site_index(key: str) -> int:
     return int(key[:8], 16)
 
 
-def _encode_entry(accumulator: MomentAccumulator) -> bytes:
-    """Serialize an accumulator into the checksummed ``.acc`` container."""
+def encode_entry(accumulator: MomentAccumulator) -> bytes:
+    """Serialize an accumulator into the checksummed ``.acc`` container.
+
+    Public because the container is the repo-wide durable format for
+    accumulator state: :mod:`repro.serve` writes tenant snapshots with
+    exactly these bytes (same header, same checksum discipline), so one
+    decoder — and one corruption test surface — covers both.
+    """
     buffer = io.BytesIO()
     accumulator.save(buffer)
     payload = buffer.getvalue()
@@ -82,7 +94,7 @@ def _encode_entry(accumulator: MomentAccumulator) -> bytes:
     return json.dumps(header, sort_keys=True).encode() + b"\n" + payload
 
 
-def _decode_entry(blob: bytes) -> MomentAccumulator:
+def decode_entry(blob: bytes) -> MomentAccumulator:
     """Parse + verify an ``.acc`` container; any damage raises
     :class:`~repro.exceptions.CacheIntegrityError` (headers and payload
     alike — a bit-flip anywhere must be caught, never deserialized)."""
@@ -229,7 +241,7 @@ class AccumulatorCache:
             recorder.counter("accumulator_cache.misses")
             return None
         try:
-            accumulator = _decode_entry(blob)
+            accumulator = decode_entry(blob)
         except CacheIntegrityError:
             self._quarantine(path)
             self.misses += 1
@@ -249,7 +261,7 @@ class AccumulatorCache:
         never observe a half-written file.
         """
         path = self.path_for(key)
-        blob = _encode_entry(accumulator)
+        blob = encode_entry(accumulator)
         recorder = active_recorder()
         injector = active_injector()
         for attempt in range(_IO_ATTEMPTS):

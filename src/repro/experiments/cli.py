@@ -15,6 +15,14 @@ Usage (installed package)::
     python -m repro verify --tier 1
     python -m repro verify --tier 2 --epsilon 1.0
     python -m repro verify --tier 3 --regen-golden
+    python -m repro serve --data-dir /var/lib/repro --port 8321
+
+``serve`` boots the long-lived multi-tenant DP serving layer
+(:mod:`repro.serve`): tenants stream rows and request budgeted fits over
+HTTP, with durable per-tenant budget ledgers, bounded admission queues,
+and periodic crash-safe snapshots.  Execution flags (``--executor``,
+``--failure-mode``, ``--faults``, ...) configure the service's session
+exactly as they configure a figure run.
 
 Accuracy figures print the paper-style sweep table; timing figures print the
 per-algorithm fit times; ``figure2``/``figure3`` print the worked examples.
@@ -254,6 +262,38 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_verify_arguments(verify)
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant DP serving layer (HTTP, durable ledgers)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8321,
+        help="listen port (0 picks a free one; see --port-file)",
+    )
+    serve.add_argument(
+        "--port-file", default=None, metavar="PATH",
+        help="write the bound port here once listening (for --port 0)",
+    )
+    serve.add_argument(
+        "--data-dir", required=True, metavar="DIR",
+        help="durable tenant state root: budget journals, snapshots, metadata",
+    )
+    serve.add_argument(
+        "--max-inflight", type=int, default=8, metavar="N",
+        help="concurrent request executions (default 8)",
+    )
+    serve.add_argument(
+        "--max-queue", type=int, default=32, metavar="N",
+        help="bounded admission queue depth; beyond it requests are shed "
+        "with a retryable 503 (default 32)",
+    )
+    serve.add_argument(
+        "--snapshot-interval", type=float, default=5.0, metavar="SECONDS",
+        help="periodic durable tenant snapshot cadence (0 disables; default 5)",
+    )
+    add_runtime_arguments(serve)
+
     trace = sub.add_parser(
         "trace",
         help="inspect JSONL telemetry traces written by --trace",
@@ -397,9 +437,70 @@ def _run_engine(args) -> int:
     return 0
 
 
+def _run_serve(args) -> int:
+    """The ``serve`` subcommand: boot the HTTP service and block."""
+    import asyncio
+
+    from ..serve import ServeApp, ServeHTTP
+
+    try:
+        telemetry = _resolve_telemetry(args)
+    except ExperimentError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # A service wants telemetry for its health gauges and graceful
+    # degradation for its fits unless told otherwise — those are the
+    # *base* defaults here, still overridable by flag/env/policy-file.
+    policy = ExecutionPolicy.resolve(
+        explicit={
+            "runtime": args.runtime,
+            "executor": args.executor,
+            "max_workers": args.max_workers,
+            "tile_size": args.tile_size,
+            "stream_version": args.stream_version,
+            "telemetry": telemetry,
+            "faults": args.faults,
+            "max_retries": args.max_retries,
+            "tile_timeout": args.tile_timeout,
+            "failure_mode": args.failure_mode,
+        },
+        base=ExecutionPolicy(
+            scale="smoke", telemetry="summary", failure_mode="fallback"
+        ),
+    )
+    app = ServeApp(args.data_dir, Session(policy))
+    server = ServeHTTP(
+        app,
+        args.host,
+        args.port,
+        max_inflight=args.max_inflight,
+        max_queue=args.max_queue,
+        snapshot_interval=args.snapshot_interval,
+        port_file=args.port_file,
+    )
+
+    def announce(bound: ServeHTTP) -> None:
+        print(
+            f"repro.serve listening on {args.host}:{bound.bound_port} "
+            f"(data={args.data_dir}, tenants_restored={app.restored_tenants})",
+            flush=True,
+        )
+
+    asyncio.run(server.serve(on_started=announce))
+    print("repro.serve: drained and shut down cleanly", flush=True)
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+
+    if args.command == "serve":
+        try:
+            return _run_serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
 
     if args.command == "engine":
         try:

@@ -65,8 +65,11 @@ class PrivacyBudget:
         Optional write-ahead journal file.  When given, every spend is
         made durable (intent + commit records, fsynced) before and after
         the in-memory ledger mutation; :meth:`restore` replays the file
-        after a crash.  The file is created on first use and appended to
-        thereafter.
+        after a crash.  The file must not already contain records —
+        constructing a *fresh* accountant over an existing journal would
+        silently forget every recorded spend (a ledger reset), so that
+        raises :class:`~repro.exceptions.InvalidBudgetError`; use
+        :meth:`restore` to resume an existing journal.
 
     Examples
     --------
@@ -83,7 +86,13 @@ class PrivacyBudget:
     #: Absolute floor of the exhaustion tolerance (historical value).
     _SLACK = 1e-12
 
-    def __init__(self, epsilon: float, journal_path: str | Path | None = None) -> None:
+    def __init__(
+        self,
+        epsilon: float,
+        journal_path: str | Path | None = None,
+        *,
+        _resume: bool = False,
+    ) -> None:
         epsilon = float(epsilon)
         if not math.isfinite(epsilon) or epsilon <= 0.0:
             raise InvalidBudgetError(
@@ -102,6 +111,14 @@ class PrivacyBudget:
                 not self._journal_path.exists()
                 or self._journal_path.stat().st_size == 0
             )
+            if not fresh and not _resume:
+                # Appending a second "open" epoch (or silently ignoring the
+                # recorded history) would re-sell epsilon that was already
+                # spent — the one failure a durable ledger exists to prevent.
+                raise InvalidBudgetError(
+                    f"budget journal {self._journal_path} already has records; "
+                    f"use PrivacyBudget.restore() to resume it"
+                )
             self._journal_path.parent.mkdir(parents=True, exist_ok=True)
             self._journal = open(self._journal_path, "a", encoding="utf-8")
             if fresh:
@@ -205,7 +222,7 @@ class PrivacyBudget:
             epsilon, note = open_intents[intent_id]
             entries.append((intent_id, epsilon, note + _RECOVERED_SUFFIX))
         entries.sort(key=lambda e: e[0])  # ledger order == intent order
-        budget = cls(total, journal_path=path)
+        budget = cls(total, journal_path=path, _resume=True)
         for _, epsilon, note in entries:
             budget._ledger.append(BudgetLedgerEntry(epsilon=epsilon, note=note))
         budget._next_intent_id = max((e[0] for e in entries), default=0) + 1

@@ -559,10 +559,20 @@ class PooledThreadExecutor(CellExecutor):
         return list(pool.map(work, items))
 
     def close(self) -> None:
-        """Shut the pool down; the next ``map`` builds a fresh one."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the pool down; the next ``map`` builds a fresh one.
+
+        The pool reference is dropped *before* shutdown, so a failure
+        mid-teardown can never leave a half-dead pool attached to the
+        executor — the worst case is unreaped threads, never a reused
+        broken pool.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown()
+        except Exception:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def __enter__(self) -> "PooledThreadExecutor":
         return self
@@ -704,10 +714,25 @@ class PooledProcessExecutor(CellExecutor):
         )
 
     def close(self) -> None:
-        """Shut the pool down; the next ``map`` builds a fresh one."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        """Shut the pool down; the next ``map`` builds a fresh one.
+
+        Defensive against a *broken* pool (the state a long-lived session
+        closes from after :class:`~repro.exceptions.ExecutorBrokenError`):
+        the reference is dropped before shutdown so failure mid-teardown
+        cannot leave a half-dead pool attached, and if shutdown raises,
+        surviving workers are terminated outright rather than leaked.
+        """
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        try:
+            pool.shutdown()
+        except Exception:
+            _terminate_workers(pool)
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - teardown must not raise
+                pass
 
     def __enter__(self) -> "PooledProcessExecutor":
         return self

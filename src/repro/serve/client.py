@@ -1,0 +1,163 @@
+"""Stdlib client for the serve API (used by tests, the load generator
+and the benchmark — anything that must speak to a live service without
+new dependencies).
+
+:class:`ServeClient` keeps one persistent HTTP/1.1 connection
+(reconnecting transparently) and raises :class:`ServeResponseError` on
+any non-200 response, carrying the wire error's ``code`` and
+``retryable`` flag.  :meth:`ServeClient.with_retries` implements the
+client half of the overload contract: retry *only* errors the server
+marked retryable (shed, not-ready, deadline), with bounded exponential
+backoff — a non-retryable refusal (budget exhausted, validation) is
+final by definition.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+import time
+
+__all__ = ["ServeClient", "ServeResponseError"]
+
+
+class ServeResponseError(Exception):
+    """A non-200 response from the service."""
+
+    def __init__(self, status: int, payload: dict) -> None:
+        error = payload.get("error", {}) if isinstance(payload, dict) else {}
+        self.status = status
+        self.code = error.get("code", "unknown")
+        self.retryable = bool(error.get("retryable", False))
+        self.payload = payload
+        super().__init__(f"HTTP {status} {self.code}: {error.get('message', payload)}")
+
+
+class ServeClient:
+    """A minimal synchronous client for one serve endpoint."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = int(port)
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: dict | None = None,
+        headers: dict | None = None,
+    ) -> dict:
+        """One request/response cycle; reconnects once on a dead socket."""
+        payload = json.dumps(body).encode() if body is not None else None
+        send_headers = {"Content-Type": "application/json"}
+        if headers:
+            send_headers.update(headers)
+        for attempt in (0, 1):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=payload, headers=send_headers)
+                response = conn.getresponse()
+                raw = response.read()
+                break
+            except (ConnectionError, socket.timeout, http.client.HTTPException, OSError):
+                self.close()
+                if attempt:
+                    raise
+        try:
+            data = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            data = {"error": {"code": "bad_payload", "message": raw[:200].decode("latin-1")}}
+        if response.status != 200:
+            raise ServeResponseError(response.status, data)
+        return data
+
+    def with_retries(
+        self,
+        fn,
+        *,
+        max_retries: int = 5,
+        backoff_seconds: float = 0.05,
+        backoff_cap: float = 1.0,
+    ):
+        """Call ``fn`` retrying only server-marked-retryable rejections."""
+        attempt = 0
+        while True:
+            try:
+                return fn()
+            except ServeResponseError as err:
+                if not err.retryable or attempt >= max_retries:
+                    raise
+                delay = min(backoff_cap, backoff_seconds * (2.0 ** attempt))
+                time.sleep(delay)
+                attempt += 1
+
+    # ------------------------------------------------------------------
+    # Endpoint helpers
+    # ------------------------------------------------------------------
+    def create_tenant(self, tenant: str, total_epsilon: float) -> dict:
+        return self.request(
+            "POST", "/v1/tenants",
+            {"tenant": tenant, "total_epsilon": total_epsilon},
+        )
+
+    def ingest(
+        self, tenant: str, task: str, dims: int, x, y, durable: bool = False
+    ) -> dict:
+        return self.request(
+            "POST", "/v1/ingest",
+            {"tenant": tenant, "task": task, "dims": dims,
+             "x": x, "y": y, "durable": durable},
+        )
+
+    def fit(
+        self,
+        tenant: str,
+        task: str,
+        dims: int,
+        epsilons,
+        seed: int,
+        deadline_ms: float | None = None,
+    ) -> dict:
+        body = {"tenant": tenant, "task": task, "dims": dims,
+                "epsilons": list(epsilons), "seed": seed}
+        headers = {}
+        if deadline_ms is not None:
+            headers["X-Deadline-Ms"] = str(deadline_ms)
+        return self.request("POST", "/v1/fit", body, headers)
+
+    def status(self, tenant: str) -> dict:
+        return self.request("GET", f"/v1/tenants/{tenant}")
+
+    def snapshot(self) -> dict:
+        return self.request("POST", "/v1/snapshot")
+
+    def healthz(self) -> dict:
+        return self.request("GET", "/healthz")
+
+    def readyz(self) -> dict:
+        return self.request("GET", "/readyz")
+
+    def shutdown(self) -> dict:
+        return self.request("POST", "/v1/shutdown")

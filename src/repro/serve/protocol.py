@@ -1,0 +1,362 @@
+"""Wire protocol of the ``repro.serve`` service.
+
+Everything a request or response carries crosses the wire as one JSON
+object; this module is the single place that validates, normalizes and
+classifies those payloads, so the transport layer (:mod:`repro.serve.http`)
+and the application core (:mod:`repro.serve.app`) never parse fields
+themselves.
+
+Error taxonomy
+--------------
+Every failure surfaces as a :class:`ServeError` with three client-facing
+attributes: an HTTP ``status``, a stable machine-readable ``code``, and a
+``retryable`` flag.  The flag is the load-shedding contract: a *retryable*
+rejection (``overloaded``, ``not_ready``, ``deadline_exceeded``, an
+injected fault) means "the request was refused *before* anything
+irreversible happened — back off and resend"; a non-retryable one
+(``budget_exhausted``, validation errors) means resending the identical
+request can never succeed.  A client must never retry a non-retryable
+error and may always retry a retryable one, because the service guarantees
+retryable rejections happen before any privacy budget is spent.
+
+Fit digests
+-----------
+:func:`fit_digest` fingerprints a released fit: the exact bytes of every
+released coefficient vector plus the request identity (task, dims,
+epsilons, seed, row count).  Because serve noise streams are keyed by
+``(seed, epsilon index)`` through :func:`repro.privacy.rng.derive_substream`
+— never by wall-clock, thread or retry count — the digest of a fit served
+under injected crashes equals the digest of the same fit computed offline
+from the same rows, which is what the chaos suite asserts.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "BadRequestError",
+    "BudgetRefusedError",
+    "Deadline",
+    "DeadlineExceededError",
+    "InternalServeError",
+    "NotReadyError",
+    "OverloadedError",
+    "ServeError",
+    "TenantExistsError",
+    "UnknownTenantError",
+    "fit_digest",
+    "parse_fit_request",
+    "parse_ingest_request",
+    "parse_tenant_request",
+]
+
+#: Wire format version embedded in every response envelope.
+PROTOCOL_VERSION = 1
+
+#: Tasks a tenant can stream rows for (the paper's two case studies).
+SERVE_TASKS = ("linear", "logistic")
+
+#: Hard cap on rows per ingest request (admission control for payloads:
+#: a bigger batch should be split client-side, not buffered server-side).
+MAX_INGEST_ROWS = 100_000
+
+#: Hard cap on epsilons per fit request.
+MAX_FIT_EPSILONS = 64
+
+
+class ServeError(Exception):
+    """A request-level failure with a wire classification.
+
+    ``status`` is the HTTP status code, ``code`` the stable machine
+    string, ``retryable`` whether resending the identical request can
+    succeed (and is safe: retryable errors are raised before any budget
+    spend becomes durable).
+    """
+
+    status = 500
+    code = "internal"
+    retryable = False
+
+    def __init__(self, message: str, **details) -> None:
+        super().__init__(message)
+        self.message = message
+        self.details = details
+
+    def to_wire(self) -> dict:
+        """The JSON error body a transport should send."""
+        body = {
+            "error": {
+                "code": self.code,
+                "message": self.message,
+                "retryable": self.retryable,
+            }
+        }
+        if self.details:
+            body["error"]["details"] = self.details
+        return body
+
+
+class BadRequestError(ServeError):
+    """Malformed or out-of-domain request payload."""
+
+    status = 400
+    code = "bad_request"
+    retryable = False
+
+
+class UnknownTenantError(ServeError):
+    """The named tenant does not exist (and auto-creation is off)."""
+
+    status = 404
+    code = "unknown_tenant"
+    retryable = False
+
+
+class TenantExistsError(ServeError):
+    """Explicit tenant creation collided with an existing tenant."""
+
+    status = 409
+    code = "tenant_exists"
+    retryable = False
+
+
+class BudgetRefusedError(ServeError):
+    """The tenant's durable ledger refused the spend (over-budget).
+
+    Deliberately non-retryable: the ledger is monotone, so the identical
+    request can never succeed later.
+    """
+
+    status = 409
+    code = "budget_exhausted"
+    retryable = False
+
+
+class OverloadedError(ServeError):
+    """Load shed: the bounded admission queue is full.
+
+    The explicit, *retryable* alternative to unbounded queueing — the
+    request was rejected before any state was touched.
+    """
+
+    status = 503
+    code = "overloaded"
+    retryable = True
+
+
+class NotReadyError(ServeError):
+    """The service is starting up or draining; try another replica/later."""
+
+    status = 503
+    code = "not_ready"
+    retryable = True
+
+
+class DeadlineExceededError(ServeError):
+    """The request's deadline expired before the irreversible step.
+
+    Raised only *before* the budget spend becomes durable, so it is safe
+    to retry; once a spend is committed the fit always runs to completion.
+    """
+
+    status = 504
+    code = "deadline_exceeded"
+    retryable = True
+
+
+class InternalServeError(ServeError):
+    """An unexpected server-side failure."""
+
+    status = 500
+    code = "internal"
+    retryable = False
+
+
+@dataclass(frozen=True)
+class Deadline:
+    """A request deadline on the monotonic clock.
+
+    Constructed at *parse* time, so queue wait counts against it — a
+    request that spends its whole deadline waiting for an admission slot
+    is rejected retryably instead of executing late.
+    """
+
+    expires_at: float
+
+    @classmethod
+    def after_ms(cls, ms: float, now: float | None = None) -> "Deadline":
+        start = time.monotonic() if now is None else now
+        return cls(expires_at=start + float(ms) / 1000.0)
+
+    def remaining(self, now: float | None = None) -> float:
+        """Seconds left; negative once expired."""
+        current = time.monotonic() if now is None else now
+        return self.expires_at - current
+
+    @property
+    def expired(self) -> bool:
+        return self.remaining() <= 0.0
+
+
+# ----------------------------------------------------------------------
+# Request validation
+# ----------------------------------------------------------------------
+def _require(body: dict, field: str, kind, what: str):
+    value = body.get(field)
+    if not isinstance(value, kind) or isinstance(value, bool):
+        raise BadRequestError(f"field {field!r} must be {what}", field=field)
+    return value
+
+
+def _tenant_name(body: dict) -> str:
+    name = _require(body, "tenant", str, "a string")
+    if not name or len(name) > 128 or not all(
+        c.isalnum() or c in "-_." for c in name
+    ):
+        raise BadRequestError(
+            "tenant names are 1-128 chars of [alnum-_.]", field="tenant"
+        )
+    return name
+
+
+def _task(body: dict) -> str:
+    task = _require(body, "task", str, "a string")
+    if task not in SERVE_TASKS:
+        raise BadRequestError(
+            f"task must be one of {SERVE_TASKS}, got {task!r}", field="task"
+        )
+    return task
+
+
+def _dims(body: dict) -> int:
+    dims = _require(body, "dims", int, "an integer")
+    if not 1 <= dims <= 256:
+        raise BadRequestError("dims must be in [1, 256]", field="dims")
+    return dims
+
+
+def parse_tenant_request(body: dict) -> tuple[str, float]:
+    """Validate a tenant-creation body: ``{tenant, total_epsilon}``."""
+    name = _tenant_name(body)
+    total = body.get("total_epsilon")
+    if not isinstance(total, (int, float)) or isinstance(total, bool):
+        raise BadRequestError(
+            "field 'total_epsilon' must be a number", field="total_epsilon"
+        )
+    total = float(total)
+    if not math.isfinite(total) or total <= 0.0:
+        raise BadRequestError(
+            f"total_epsilon must be positive and finite, got {total!r}",
+            field="total_epsilon",
+        )
+    return name, total
+
+
+def parse_ingest_request(body: dict) -> tuple[str, str, int, np.ndarray, np.ndarray, bool]:
+    """Validate an ingest body: ``{tenant, task, dims, x, y[, durable]}``.
+
+    ``x`` is a list of ``dims``-length rows, ``y`` the matching targets.
+    Domain checks beyond shape (``||x||_2 <= 1``, ``|y| <= 1``) are the
+    accumulator's own validation — one implementation, one error message.
+    """
+    name = _tenant_name(body)
+    task = _task(body)
+    dims = _dims(body)
+    rows = _require(body, "x", list, "a list of rows")
+    targets = _require(body, "y", list, "a list of numbers")
+    if not rows:
+        raise BadRequestError("ingest needs at least one row", field="x")
+    if len(rows) > MAX_INGEST_ROWS:
+        raise BadRequestError(
+            f"at most {MAX_INGEST_ROWS} rows per ingest request; split the "
+            f"batch client-side",
+            field="x",
+        )
+    if len(targets) != len(rows):
+        raise BadRequestError(
+            f"x has {len(rows)} rows but y has {len(targets)} entries", field="y"
+        )
+    try:
+        X = np.asarray(rows, dtype=float)
+        y = np.asarray(targets, dtype=float)
+    except (TypeError, ValueError):
+        raise BadRequestError("x/y entries must be numbers") from None
+    if X.ndim != 2 or X.shape[1] != dims:
+        raise BadRequestError(
+            f"each row must have exactly dims={dims} features", field="x"
+        )
+    durable = body.get("durable", False)
+    if not isinstance(durable, bool):
+        raise BadRequestError("field 'durable' must be a boolean", field="durable")
+    return name, task, dims, X, y, durable
+
+
+def parse_fit_request(body: dict) -> tuple[str, str, int, tuple[float, ...], int]:
+    """Validate a fit body: ``{tenant, task, dims, epsilons, seed}``.
+
+    ``epsilons`` may be a single number or a list; ``seed`` keys the
+    release's noise substreams and is required, so a fit is reproducible
+    (and therefore digest-checkable) by construction.
+    """
+    name = _tenant_name(body)
+    task = _task(body)
+    dims = _dims(body)
+    raw = body.get("epsilons", body.get("epsilon"))
+    if isinstance(raw, (int, float)) and not isinstance(raw, bool):
+        raw = [raw]
+    if not isinstance(raw, list) or not raw:
+        raise BadRequestError(
+            "field 'epsilons' must be a positive number or non-empty list",
+            field="epsilons",
+        )
+    if len(raw) > MAX_FIT_EPSILONS:
+        raise BadRequestError(
+            f"at most {MAX_FIT_EPSILONS} epsilons per fit", field="epsilons"
+        )
+    epsilons = []
+    for value in raw:
+        if (
+            not isinstance(value, (int, float))
+            or isinstance(value, bool)
+            or not math.isfinite(float(value))
+            or float(value) <= 0.0
+        ):
+            raise BadRequestError(
+                f"epsilons must be positive finite numbers, got {value!r}",
+                field="epsilons",
+            )
+        epsilons.append(float(value))
+    seed = _require(body, "seed", int, "an integer")
+    return name, task, dims, tuple(epsilons), seed
+
+
+# ----------------------------------------------------------------------
+# Fit digests
+# ----------------------------------------------------------------------
+def fit_digest(
+    task: str,
+    dims: int,
+    epsilons: tuple[float, ...],
+    seed: int,
+    n_rows: int,
+    omegas: np.ndarray,
+) -> str:
+    """SHA-256 fingerprint of one released fit (request identity + bytes).
+
+    Bitwise-stable across executors, retries and injected faults — the
+    chaos acceptance criterion compares exactly this value against a
+    clean offline recomputation.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"fit:v{PROTOCOL_VERSION}:{task}:d{dims}:n{n_rows}:seed{seed}:".encode()
+    )
+    digest.update(np.asarray(epsilons, dtype=float).tobytes())
+    digest.update(np.ascontiguousarray(np.asarray(omegas, dtype=float)).tobytes())
+    return digest.hexdigest()

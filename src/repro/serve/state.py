@@ -1,0 +1,389 @@
+"""Durable per-tenant state for :mod:`repro.serve`.
+
+One tenant owns three things, all rooted under
+``<data_dir>/tenants/<name>/``:
+
+``meta.json``
+    The tenant's identity and total budget, written atomically at
+    creation (temp file + fsync + ``os.replace``).
+``budget.journal``
+    The :class:`~repro.privacy.budget.PrivacyBudget` write-ahead journal.
+    On startup a non-empty journal is resumed via
+    :meth:`~repro.privacy.budget.PrivacyBudget.restore` — never
+    re-created — so spends survive ``kill -9`` by construction.
+``acc/<task>-d<dims>.acc``
+    One checksummed ``.acc`` container (the PR-7 cache format, via
+    :func:`repro.engine.cache.encode_entry`) per (task, dims)
+    accumulator, re-written atomically by periodic snapshots.  A corrupt
+    container found at startup is quarantined, exactly like a corrupt
+    cache entry: rows ingested since the last good snapshot are lost
+    (they are data, re-sendable by the tenant) but budget spends are
+    not, because the ledger has its own journal.
+
+Concurrency model — single writer per tenant
+--------------------------------------------
+All mutation of a tenant's accumulators happens under that tenant's
+lock, acquired through :meth:`TenantState.locked`.  The service keeps
+the discipline of one *logical* writer per tenant (a tenant's rows
+arrive from one client stream); the lock is the backstop that turns an
+accidental second writer into a counted, serialized wait instead of a
+corrupted accumulator.  Every contended acquisition increments the
+``serve.lock_contention`` counter, so a deployment can alert on
+discipline violations instead of discovering them as wrong answers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import threading
+from contextlib import contextmanager
+from pathlib import Path
+
+import numpy as np
+
+from ..engine.accumulator import MomentAccumulator
+from ..engine.cache import decode_entry, encode_entry
+from ..exceptions import CacheIntegrityError, TransientIOError
+from ..faults import active_injector
+from ..obs import active_recorder
+from ..privacy.budget import PrivacyBudget
+from .protocol import (
+    BadRequestError,
+    TenantExistsError,
+    UnknownTenantError,
+)
+
+__all__ = ["TenantRegistry", "TenantState"]
+
+#: ``meta.json`` format version.
+_META_VERSION = 1
+
+#: Bounded retries for transient IO on snapshot writes/reads (matches the
+#: accumulator cache's policy).
+_IO_ATTEMPTS = 3
+
+
+def _site_index(tenant: str, key: str = "") -> int:
+    """Stable fault-site index for a tenant's durable files."""
+    digest = hashlib.sha256(f"{tenant}:{key}".encode()).hexdigest()
+    return int(digest[:8], 16)
+
+
+def _atomic_write(path: Path, blob: bytes) -> None:
+    """Write ``blob`` to ``path`` via temp file + fsync + atomic replace."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(blob)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp.replace(path)
+    finally:
+        tmp.unlink(missing_ok=True)
+
+
+def _with_io_retries(site: int, operation, what: str):
+    """Run ``operation`` with bounded ``io.transient`` retries.
+
+    The injected-fault check sits *inside* the loop, like the cache's,
+    so a transient plan with ``xN`` repetitions exhausts its triggers
+    against the retries rather than failing the request outright.
+    """
+    recorder = active_recorder()
+    injector = active_injector()
+    for attempt in range(_IO_ATTEMPTS):
+        try:
+            if injector.consume("io.transient", site):
+                raise TransientIOError(f"injected transient IO failure: {what}")
+            return operation()
+        except TransientIOError:
+            recorder.counter("serve.io_retries")
+            if attempt == _IO_ATTEMPTS - 1:
+                raise
+    raise AssertionError("unreachable")  # pragma: no cover
+
+
+class TenantState:
+    """One tenant's accumulators, durable budget, and writer lock."""
+
+    def __init__(self, name: str, root: Path, budget: PrivacyBudget) -> None:
+        self.name = name
+        self.root = root
+        self.budget = budget
+        self._lock = threading.Lock()
+        self._accumulators: dict[str, MomentAccumulator] = {}
+        # Keys whose accumulator changed since their last durable snapshot.
+        self._dirty: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Locking discipline
+    # ------------------------------------------------------------------
+    @contextmanager
+    def locked(self):
+        """Acquire this tenant's writer lock, counting contention.
+
+        The fast path is an uncontended non-blocking acquire; when that
+        fails — a second writer is active — the ``serve.lock_contention``
+        counter increments before the blocking wait, making violations
+        of the single-writer discipline observable.
+        """
+        acquired = self._lock.acquire(blocking=False)
+        if not acquired:
+            active_recorder().counter("serve.lock_contention")
+            self._lock.acquire()
+        try:
+            yield self
+        finally:
+            self._lock.release()
+
+    # ------------------------------------------------------------------
+    # Accumulator access (call under ``locked()``)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def acc_key(task: str, dims: int) -> str:
+        return f"{task}-d{dims}"
+
+    def accumulator(self, task: str, dims: int) -> MomentAccumulator:
+        """The (task, dims) accumulator, created on first use."""
+        key = self.acc_key(task, dims)
+        acc = self._accumulators.get(key)
+        if acc is None:
+            acc = MomentAccumulator(dim=dims)
+            self._accumulators[key] = acc
+        return acc
+
+    def ingest(self, task: str, dims: int, X: np.ndarray, y: np.ndarray) -> int:
+        """Stream rows into the (task, dims) accumulator; returns its total rows.
+
+        Caller holds the lock.  Accumulator domain validation (row norms,
+        target range) raises ``ValueError`` which the app maps to a 400.
+        """
+        acc = self.accumulator(task, dims)
+        acc.update(X, y)
+        self._dirty.add(self.acc_key(task, dims))
+        return acc.n_rows
+
+    def status(self) -> dict:
+        """A JSON-ready view of this tenant (call under ``locked()``)."""
+        return {
+            "tenant": self.name,
+            "budget": {
+                "total": self.budget.total,
+                "spent": self.budget.spent,
+                "remaining": self.budget.remaining,
+                "entries": len(self.budget.ledger),
+            },
+            "accumulators": {
+                key: {"n_rows": acc.n_rows, "dims": acc.dim}
+                for key, acc in sorted(self._accumulators.items())
+            },
+        }
+
+    # ------------------------------------------------------------------
+    # Durable snapshots
+    # ------------------------------------------------------------------
+    @property
+    def acc_dir(self) -> Path:
+        return self.root / "acc"
+
+    def snapshot(self, force: bool = False) -> int:
+        """Write dirty accumulators to checksummed ``.acc`` files atomically.
+
+        Returns the number of containers written.  Runs under the tenant
+        lock so a snapshot can never observe a half-applied ingest.
+        Transient IO failures retry boundedly; a persistent failure
+        raises (snapshot callers treat it as a degraded-but-alive
+        condition — the accumulators stay dirty and the next cycle
+        retries).
+        """
+        written = 0
+        # Plain blocking acquire: the snapshot thread contending with the
+        # tenant's writer is expected, not a discipline violation, so it
+        # must not inflate ``serve.lock_contention``.
+        with self._lock:
+            keys = sorted(self._accumulators) if force else sorted(self._dirty)
+            for key in keys:
+                acc = self._accumulators.get(key)
+                if acc is None:
+                    self._dirty.discard(key)
+                    continue
+                blob = encode_entry(acc)
+                path = self.acc_dir / f"{key}.acc"
+                site = _site_index(self.name, key)
+                _with_io_retries(
+                    site, lambda: _atomic_write(path, blob), str(path)
+                )
+                self._dirty.discard(key)
+                written += 1
+        if written:
+            active_recorder().counter("serve.snapshot_writes", written)
+        return written
+
+    def load_snapshots(self) -> int:
+        """Restore accumulators from ``acc/*.acc``; returns count loaded.
+
+        A container that fails its checksum is moved to ``quarantine/``
+        (bytes preserved for forensics) and skipped: the tenant restarts
+        that accumulator empty, which loses re-sendable rows but never
+        fabricates statistics.
+        """
+        recorder = active_recorder()
+        loaded = 0
+        if not self.acc_dir.is_dir():
+            return 0
+        for path in sorted(self.acc_dir.glob("*.acc")):
+            key = path.stem
+            site = _site_index(self.name, key)
+            blob = _with_io_retries(site, path.read_bytes, str(path))
+            try:
+                acc = decode_entry(blob)
+            except CacheIntegrityError:
+                quarantine = self.root / "quarantine"
+                quarantine.mkdir(parents=True, exist_ok=True)
+                try:
+                    path.replace(quarantine / path.name)
+                except OSError:
+                    path.unlink(missing_ok=True)
+                recorder.counter("serve.snapshot_quarantined")
+                continue
+            self._accumulators[key] = acc
+            loaded += 1
+        return loaded
+
+    def close(self) -> None:
+        self.budget.close()
+
+
+class TenantRegistry:
+    """All tenants under one data directory, restored on startup.
+
+    The registry lock only guards the tenant *map* (creation, lookup);
+    per-tenant mutation is each tenant's own lock.
+    """
+
+    def __init__(self, data_dir: str | Path) -> None:
+        self.root = Path(data_dir)
+        self.tenants_dir = self.root / "tenants"
+        self.tenants_dir.mkdir(parents=True, exist_ok=True)
+        self._tenants: dict[str, TenantState] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    def _tenant_root(self, name: str) -> Path:
+        return self.tenants_dir / name
+
+    def _journal_path(self, name: str) -> Path:
+        return self._tenant_root(name) / "budget.journal"
+
+    def _load_tenant(self, name: str) -> TenantState:
+        """Rebuild one tenant from its directory (meta + journal + snapshots)."""
+        root = self._tenant_root(name)
+        meta_path = root / "meta.json"
+        try:
+            meta = json.loads(meta_path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise BadRequestError(
+                f"tenant directory {root} has unreadable meta.json: {exc}"
+            ) from None
+        total = float(meta["total_epsilon"])
+        journal = self._journal_path(name)
+        if journal.exists() and journal.stat().st_size > 0:
+            budget = PrivacyBudget.restore(journal)
+        else:
+            budget = PrivacyBudget(total, journal_path=journal)
+        tenant = TenantState(name, root, budget)
+        tenant.load_snapshots()
+        return tenant
+
+    def restore_all(self) -> int:
+        """Load every tenant directory present on disk; returns the count."""
+        count = 0
+        with self._lock:
+            for path in sorted(self.tenants_dir.iterdir()):
+                if not path.is_dir() or not (path / "meta.json").exists():
+                    continue
+                name = path.name
+                if name in self._tenants:
+                    continue
+                self._tenants[name] = self._load_tenant(name)
+                count += 1
+        if count:
+            active_recorder().counter("serve.tenants_restored", count)
+        return count
+
+    # ------------------------------------------------------------------
+    def create(self, name: str, total_epsilon: float) -> TenantState:
+        """Create a new tenant with a fresh durable budget.
+
+        ``meta.json`` is published atomically *after* the journal's open
+        record is durable, so a crash mid-create leaves at worst a
+        directory without meta — invisible to :meth:`restore_all` and
+        safely re-creatable.
+        """
+        with self._lock:
+            if name in self._tenants:
+                raise TenantExistsError(f"tenant {name!r} already exists", tenant=name)
+            root = self._tenant_root(name)
+            meta_path = root / "meta.json"
+            if meta_path.exists():
+                # On-disk but not loaded: a restart raced tenant creation.
+                self._tenants[name] = self._load_tenant(name)
+                raise TenantExistsError(f"tenant {name!r} already exists", tenant=name)
+            root.mkdir(parents=True, exist_ok=True)
+            budget = PrivacyBudget(total_epsilon, journal_path=self._journal_path(name))
+            meta = {
+                "v": _META_VERSION,
+                "tenant": name,
+                "total_epsilon": float(total_epsilon),
+            }
+            _atomic_write(meta_path, json.dumps(meta, sort_keys=True).encode())
+            tenant = TenantState(name, root, budget)
+            self._tenants[name] = tenant
+        active_recorder().counter("serve.tenants_created")
+        return tenant
+
+    def get(self, name: str) -> TenantState:
+        with self._lock:
+            tenant = self._tenants.get(name)
+        if tenant is None:
+            raise UnknownTenantError(f"no tenant named {name!r}", tenant=name)
+        return tenant
+
+    def names(self) -> list[str]:
+        with self._lock:
+            return sorted(self._tenants)
+
+    def snapshot_all(self, force: bool = False) -> int:
+        """Snapshot every tenant; returns containers written.
+
+        Per-tenant IO failures are contained: one tenant's persistent
+        disk trouble must not stop the others' snapshots (its
+        accumulators stay dirty and retry next cycle).
+        """
+        written = 0
+        for name in self.names():
+            try:
+                tenant = self.get(name)
+            except UnknownTenantError:  # pragma: no cover - removed mid-loop
+                continue
+            try:
+                written += tenant.snapshot(force=force)
+            except (TransientIOError, OSError):
+                active_recorder().counter("serve.snapshot_failures")
+        return written
+
+    def close(self) -> None:
+        """Release every tenant's journal handle (files stay)."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for tenant in tenants:
+            try:
+                tenant.close()
+            except Exception:  # closing must never mask the caller's exit
+                pass

@@ -113,6 +113,8 @@ class Session:
         self._datasets: dict[tuple[str, int | None], CensusDataset] = {}
         self._recorder = make_recorder(self.policy.telemetry)
         self._injector = make_injector(self.policy.faults)
+        # Resources registered via adopt(), torn down LIFO by close().
+        self._adopted: list = []
 
     # ------------------------------------------------------------------
     # Owned process state
@@ -204,15 +206,51 @@ class Session:
         self._prepared_cache = PreparedDataCache()
         self._datasets.clear()
 
+    def adopt(self, resource):
+        """Register a closeable resource for teardown by :meth:`close`.
+
+        Long-lived owners (the serving layer, notebooks) hang journal
+        handles, registries and caches off one session; adopting them
+        means a single ``close()`` — or the context-manager exit, even an
+        exceptional one — releases everything, LIFO, without each call
+        site re-implementing teardown ordering.  Returns the resource.
+        """
+        self._adopted.append(resource)
+        return resource
+
     def close(self) -> None:
-        """Shut down any held executor pool (idempotent).
+        """Shut down the held executor pool and adopted resources (idempotent).
+
+        Teardown is unconditional and never raises: the executor
+        reference is cleared *before* its ``close()`` runs, so a pool
+        broken by :class:`~repro.exceptions.ExecutorBrokenError` cannot
+        stay attached when its shutdown fails, and every adopted resource
+        is closed (LIFO) regardless of earlier failures.  Failures are
+        counted (``session.close_errors``) instead of propagated — a
+        teardown error must never mask the exception that triggered the
+        context-manager exit.
 
         The session stays usable — the next call lazily rebuilds the
         pool — so ``close()`` is a resource release, not a lifecycle end.
         """
-        if self._executor is not None and hasattr(self._executor, "close"):
-            self._executor.close()
-        self._executor = None
+        executor, self._executor = self._executor, None
+        adopted, self._adopted = self._adopted, []
+        failures = 0
+        if executor is not None and hasattr(executor, "close"):
+            try:
+                executor.close()
+            except Exception:
+                failures += 1
+        for resource in reversed(adopted):
+            closer = getattr(resource, "close", None)
+            if closer is None:
+                continue
+            try:
+                closer()
+            except Exception:
+                failures += 1
+        if failures:
+            self._recorder.counter("session.close_errors", failures)
 
     def __enter__(self) -> "Session":
         return self

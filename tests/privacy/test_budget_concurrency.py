@@ -1,0 +1,193 @@
+"""Concurrent spenders against one durable ledger.
+
+The serving layer points many request threads at one tenant's
+``PrivacyBudget``; these tests pin down what that must mean:
+
+* interleaved spends compose sequentially — the ledger total is the
+  exact fsum of every accepted spend, no lost updates;
+* over-subscription is refused atomically — accepted spends never
+  exceed the total, no matter the interleaving;
+* a process that dies *mid-spend* (``os._exit`` between the intent and
+  commit journal records) can only ever over-count, never under-count.
+"""
+
+import math
+import os
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError, InvalidBudgetError
+from repro.privacy.budget import PrivacyBudget
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.dirname(__file__)))
+
+
+def _hammer(budget, amounts, accepted, barrier):
+    barrier.wait()
+    for amount in amounts:
+        try:
+            budget.spend(amount, note=f"t{threading.get_ident()}")
+        except BudgetExhaustedError:
+            continue
+        accepted.append(amount)
+
+
+class TestThreadedSpenders:
+    def test_interleaved_spends_never_lose_an_update(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        budget = PrivacyBudget(10_000.0, journal_path=journal)
+        threads, accepted = [], []
+        amounts = [0.013, 0.107, 0.005, 0.29] * 25  # 100 spends per thread
+        barrier = threading.Barrier(8)
+        for _ in range(8):
+            mine = []
+            accepted.append(mine)
+            threads.append(
+                threading.Thread(target=_hammer, args=(budget, amounts, mine, barrier))
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        flat = [a for chunk in accepted for a in chunk]
+        assert len(flat) == 8 * len(amounts)  # nothing refused, nothing lost
+        assert budget.spent == pytest.approx(math.fsum(flat), abs=1e-9)
+        assert len(budget.ledger) == len(flat)
+        budget.close()
+
+        # and the journal replays to the same exact total
+        restored = PrivacyBudget.restore(journal)
+        assert restored.spent == budget.spent
+        assert len(restored.ledger) == len(flat)
+        restored.close()
+
+    def test_oversubscription_refused_atomically(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        total = 1.0
+        budget = PrivacyBudget(total, journal_path=journal)
+        amounts = [0.3] * 10
+        barrier = threading.Barrier(6)
+        chunks = []
+        threads = []
+        for _ in range(6):
+            mine = []
+            chunks.append(mine)
+            threads.append(
+                threading.Thread(target=_hammer, args=(budget, amounts, mine, barrier))
+            )
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(30.0)
+        flat = [a for chunk in chunks for a in chunk]
+        # exactly 3 spends of 0.3 fit in 1.0 — whoever won the race
+        assert len(flat) == 3
+        assert budget.spent == pytest.approx(0.9)
+        assert budget.spent <= total + 1e-12
+        budget.close()
+        restored = PrivacyBudget.restore(journal)
+        assert restored.spent == pytest.approx(0.9)
+        restored.close()
+
+
+class TestHardCrash:
+    def test_concurrent_spenders_with_midspend_kill_never_underrecord(
+        self, tmp_path
+    ):
+        """Two threads spend concurrently while an armed injector kills the
+        whole process between one spend's intent and commit records: the
+        replayed ledger must cover every spend the process *reported*
+        accepted (written to stdout post-commit), and may legally exceed
+        them by at most the one interrupted spend."""
+        journal = tmp_path / "budget.journal"
+        script = f"""
+import os, sys, threading
+from repro.privacy.budget import PrivacyBudget
+
+class _Exiter:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._count = 0
+    def consume(self, site, index):
+        if site != "budget.crash":
+            return False
+        with self._lock:
+            self._count += 1
+            if self._count == 7:  # die mid-way through the workload
+                sys.stdout.flush()
+                os._exit(9)
+        return False
+
+import repro.faults.injector as injector_module
+injector_module._ACTIVE = _Exiter()
+
+budget = PrivacyBudget(1000.0, journal_path={str(journal)!r})
+lock = threading.Lock()
+
+def spender(tag):
+    for i in range(10):
+        budget.spend(0.125, note=f"{{tag}}-{{i}}")
+        with lock:
+            print(f"ACCEPTED {{tag}}-{{i}}", flush=True)
+
+threads = [threading.Thread(target=spender, args=(t,)) for t in "ab"]
+for t in threads: t.start()
+for t in threads: t.join()
+"""
+        result = subprocess.run(
+            [sys.executable, "-c", script],
+            env={**os.environ, "PYTHONPATH": "src"},
+            cwd=_REPO_ROOT,
+            capture_output=True,
+            text=True,
+        )
+        assert result.returncode == 9, result.stderr
+        accepted = [
+            line for line in result.stdout.splitlines()
+            if line.startswith("ACCEPTED")
+        ]
+        assert accepted, "process died before any spend committed"
+        restored = PrivacyBudget.restore(journal)
+        reported = 0.125 * len(accepted)
+        # conservative replay: never below what callers saw accepted...
+        assert restored.spent >= reported - 1e-12
+        # ...and at most the in-flight spends above it (one per thread)
+        assert restored.spent <= reported + 2 * 0.125 + 1e-12
+        restored.close()
+
+    def test_restored_ledger_keeps_composing_sequentially(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        budget = PrivacyBudget(2.0, journal_path=journal)
+        budget.spend(0.5, note="before crash")
+        budget.close()
+        restored = PrivacyBudget.restore(journal)
+        restored.spend(0.5, note="after restore")
+        with pytest.raises(BudgetExhaustedError):
+            restored.spend(1.5)  # 1.0 spent, only 1.0 left
+        assert restored.spent == pytest.approx(1.0)
+        restored.close()
+        # a second replay sees both generations of spends
+        final = PrivacyBudget.restore(journal)
+        assert [e.note for e in final.ledger] == ["before crash", "after restore"]
+        final.close()
+
+
+class TestConstructorGuard:
+    def test_fresh_budget_refuses_to_shadow_a_live_journal(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        budget = PrivacyBudget(5.0, journal_path=journal)
+        budget.spend(1.0)
+        budget.close()
+        with pytest.raises(InvalidBudgetError, match="restore"):
+            PrivacyBudget(5.0, journal_path=journal)
+
+    def test_empty_journal_file_is_fine(self, tmp_path):
+        journal = tmp_path / "budget.journal"
+        journal.touch()
+        budget = PrivacyBudget(5.0, journal_path=journal)
+        budget.spend(1.0)
+        budget.close()
+        assert PrivacyBudget.restore(journal).spent == pytest.approx(1.0)

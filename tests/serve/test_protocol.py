@@ -1,0 +1,167 @@
+"""Wire-protocol contracts: validation, error taxonomy, deadlines, digests."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.protocol import (
+    BadRequestError,
+    BudgetRefusedError,
+    Deadline,
+    DeadlineExceededError,
+    NotReadyError,
+    OverloadedError,
+    ServeError,
+    UnknownTenantError,
+    fit_digest,
+    parse_fit_request,
+    parse_ingest_request,
+    parse_tenant_request,
+)
+
+
+class TestErrorTaxonomy:
+    def test_retryable_errors_carry_the_flag_on_the_wire(self):
+        for cls in (OverloadedError, NotReadyError, DeadlineExceededError):
+            wire = cls("x").to_wire()
+            assert wire["error"]["retryable"] is True
+            assert wire["error"]["code"] == cls.code
+
+    def test_non_retryable_errors_are_final(self):
+        for cls in (BadRequestError, BudgetRefusedError, UnknownTenantError):
+            assert cls("x").to_wire()["error"]["retryable"] is False
+
+    def test_budget_refusal_is_a_conflict_not_a_server_error(self):
+        # Over-spend is the *ledger working*, not the service failing:
+        # 409, non-retryable, so clients cannot hammer an exhausted tenant.
+        assert BudgetRefusedError.status == 409
+        assert BudgetRefusedError.retryable is False
+
+    def test_overload_is_shed_retryably(self):
+        assert OverloadedError.status == 503
+        assert OverloadedError.retryable is True
+
+    def test_details_ride_along(self):
+        wire = OverloadedError("full", queue_waiting=9).to_wire()
+        assert wire["error"]["details"] == {"queue_waiting": 9}
+
+    def test_all_serve_errors_share_the_base(self):
+        for cls in (BadRequestError, OverloadedError, DeadlineExceededError):
+            assert issubclass(cls, ServeError)
+
+
+class TestDeadline:
+    def test_counts_down_on_the_monotonic_clock(self):
+        deadline = Deadline.after_ms(10_000)
+        assert 9.0 < deadline.remaining() <= 10.0
+        assert not deadline.expired
+
+    def test_expires(self):
+        deadline = Deadline.after_ms(1, now=time.monotonic() - 1.0)
+        assert deadline.expired
+        assert deadline.remaining() < 0
+
+    def test_anchoring_at_receipt_charges_queue_wait(self):
+        received = time.monotonic()
+        deadline = Deadline.after_ms(50, now=received)
+        assert deadline.expires_at == pytest.approx(received + 0.05)
+
+
+class TestTenantRequest:
+    def test_valid(self):
+        assert parse_tenant_request({"tenant": "acme-1", "total_epsilon": 2}) == (
+            "acme-1", 2.0,
+        )
+
+    @pytest.mark.parametrize("name", ["", "a" * 129, "bad/name", "a b", 7, None])
+    def test_bad_names(self, name):
+        with pytest.raises(BadRequestError):
+            parse_tenant_request({"tenant": name, "total_epsilon": 1.0})
+
+    @pytest.mark.parametrize("total", [0, -1.0, float("inf"), float("nan"), "1", True, None])
+    def test_bad_totals(self, total):
+        with pytest.raises(BadRequestError):
+            parse_tenant_request({"tenant": "t", "total_epsilon": total})
+
+
+class TestIngestRequest:
+    def _body(self, **overrides):
+        body = {
+            "tenant": "t", "task": "linear", "dims": 2,
+            "x": [[0.1, 0.2], [0.3, 0.1]], "y": [0.5, -0.5],
+        }
+        body.update(overrides)
+        return body
+
+    def test_valid(self):
+        name, task, dims, X, y, durable = parse_ingest_request(self._body())
+        assert (name, task, dims, durable) == ("t", "linear", 2, False)
+        assert X.shape == (2, 2) and y.shape == (2,)
+
+    def test_row_width_must_match_dims(self):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(x=[[0.1], [0.2]]))
+
+    def test_xy_length_mismatch(self):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(y=[0.5]))
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(x=[], y=[]))
+
+    def test_non_numeric_entries_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(x=[["a", "b"], [0.1, 0.2]]))
+
+    def test_unknown_task_rejected(self):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(task="poisson"))
+
+
+class TestFitRequest:
+    def test_scalar_epsilon_normalizes_to_tuple(self):
+        *_, epsilons, seed = parse_fit_request(
+            {"tenant": "t", "task": "linear", "dims": 2, "epsilon": 0.5, "seed": 1}
+        )
+        assert epsilons == (0.5,) and seed == 1
+
+    def test_seed_is_mandatory(self):
+        # Reproducibility (and therefore digest checking) by construction.
+        with pytest.raises(BadRequestError):
+            parse_fit_request(
+                {"tenant": "t", "task": "linear", "dims": 2, "epsilons": [1.0]}
+            )
+
+    @pytest.mark.parametrize("eps", [[], [0.0], [-1.0], [float("nan")], ["1"], [True]])
+    def test_bad_epsilons(self, eps):
+        with pytest.raises(BadRequestError):
+            parse_fit_request(
+                {"tenant": "t", "task": "linear", "dims": 2,
+                 "epsilons": eps, "seed": 1}
+            )
+
+
+class TestFitDigest:
+    def test_deterministic(self):
+        omegas = np.arange(6.0).reshape(2, 3)
+        a = fit_digest("linear", 3, (0.5, 1.0), 7, 100, omegas)
+        b = fit_digest("linear", 3, (0.5, 1.0), 7, 100, omegas.copy())
+        assert a == b
+
+    def test_sensitive_to_every_identity_field(self):
+        omegas = np.arange(6.0).reshape(2, 3)
+        base = fit_digest("linear", 3, (0.5, 1.0), 7, 100, omegas)
+        assert fit_digest("logistic", 3, (0.5, 1.0), 7, 100, omegas) != base
+        assert fit_digest("linear", 3, (0.5, 2.0), 7, 100, omegas) != base
+        assert fit_digest("linear", 3, (0.5, 1.0), 8, 100, omegas) != base
+        assert fit_digest("linear", 3, (0.5, 1.0), 7, 101, omegas) != base
+
+    def test_sensitive_to_a_single_bit_of_output(self):
+        omegas = np.arange(6.0).reshape(2, 3)
+        flipped = omegas.copy()
+        flipped[1, 2] = np.nextafter(flipped[1, 2], np.inf)
+        assert fit_digest("linear", 3, (1.0,), 7, 10, omegas) != fit_digest(
+            "linear", 3, (1.0,), 7, 10, flipped
+        )
