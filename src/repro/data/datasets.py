@@ -46,6 +46,13 @@ class RegressionTask:
     country: str
     feature_names: tuple[str, ...]
 
+    def __post_init__(self) -> None:
+        # Canonicalize once at construction: downstream layers (plan
+        # boundary, kernels) require C-contiguous float64 and would
+        # otherwise copy per repetition, defeating prepared-array sharing.
+        object.__setattr__(self, "X", np.ascontiguousarray(self.X, dtype=np.float64))
+        object.__setattr__(self, "y", np.ascontiguousarray(self.y, dtype=np.float64))
+
     @property
     def n(self) -> int:
         """Number of records."""

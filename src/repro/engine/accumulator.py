@@ -370,11 +370,16 @@ class MomentAccumulator:
     def save(self, path) -> None:
         """Write the accumulator to an ``.npz`` file (non-mutating).
 
-        The pending tail is stored sealed: a loaded accumulator reproduces
-        the same statistics bit-for-bit, but subsequent ``update`` calls
-        start a fresh tail.
+        Sealed blocks are stored as their partials; a pending partial
+        tail is stored as its **raw rows**, so a loaded accumulator does
+        not merely reproduce the same statistics — it *resumes streaming*
+        with the exact canonical block boundaries of the original.
+        Without that, a save/load cycle between two ``update`` calls
+        would seal the tail early, shift every later block boundary, and
+        change the final statistics at rounding scale (observable as a
+        digest divergence in serve's evict-and-reload path).
         """
-        units = self._sealed_units()
+        units = self._units
         d = self._dim
         np.savez(
             path,
@@ -385,11 +390,23 @@ class MomentAccumulator:
             Sy=np.array([u.Sy for u in units]),
             Syy=np.array([u.Syy for u in units]),
             counts=np.array([u.count for u in units], dtype=np.int64),
+            tail_X=(
+                self._tail_X if self._tail_X is not None else np.zeros((0, d))
+            ),
+            tail_y=(
+                self._tail_y if self._tail_y is not None else np.zeros((0,))
+            ),
         )
 
     @classmethod
     def load(cls, path, validate: bool = True) -> "MomentAccumulator":
-        """Reconstruct an accumulator saved by :meth:`save`."""
+        """Reconstruct an accumulator saved by :meth:`save`.
+
+        Files from before the tail-preserving format (no ``tail_X``
+        entry) load fine: their tail was sealed at save time, so they
+        restore as all-sealed blocks — statistics identical, block
+        boundaries already shifted by the old save.
+        """
         with np.load(path) as data:
             dim, block_size, n = (int(v) for v in data["meta"])
             out = cls(dim, block_size=block_size, validate=validate)
@@ -404,5 +421,8 @@ class MomentAccumulator:
                 )
                 for i in range(data["counts"].shape[0])
             ]
+            if "tail_X" in data.files and data["tail_X"].shape[0]:
+                out._tail_X = np.ascontiguousarray(data["tail_X"])
+                out._tail_y = np.ascontiguousarray(data["tail_y"])
             out._n = n
         return out

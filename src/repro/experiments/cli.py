@@ -191,6 +191,15 @@ def build_parser() -> argparse.ArgumentParser:
             "executor error; 'fallback' degrades process -> thread -> "
             "serial, resuming from completed tiles",
         )
+        p.add_argument(
+            "--backend", choices=("numpy", "torch"), default=None,
+            help="array backend for the stacked linear algebra (default "
+            "numpy, the bit-identity reference). 'torch' (optional extra; "
+            "CUDA when available) is certified numerically conforming by "
+            "`python -m repro verify --tier numeric`. Noise is always drawn "
+            "by the keyed numpy substreams, so privacy calibration is "
+            "backend-invariant.",
+        )
 
     for name, help_text in [
         ("figure4", "accuracy vs dimensionality"),
@@ -291,6 +300,17 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument(
         "--snapshot-interval", type=float, default=5.0, metavar="SECONDS",
         help="periodic durable tenant snapshot cadence (0 disables; default 5)",
+    )
+    serve.add_argument(
+        "--max-resident-tenants", type=int, default=None, metavar="N",
+        help="LRU cap on in-memory tenants; the least recently touched are "
+        "snapshotted to disk and transparently reloaded on next touch "
+        "(default: unbounded)",
+    )
+    serve.add_argument(
+        "--tenant-idle-ttl", type=float, default=None, metavar="SECONDS",
+        help="evict tenants idle this long at each snapshot cycle, after a "
+        "forced snapshot (default: never)",
     )
     add_runtime_arguments(serve)
 
@@ -463,12 +483,18 @@ def _run_serve(args) -> int:
             "max_retries": args.max_retries,
             "tile_timeout": args.tile_timeout,
             "failure_mode": args.failure_mode,
+            "backend": args.backend,
         },
         base=ExecutionPolicy(
             scale="smoke", telemetry="summary", failure_mode="fallback"
         ),
     )
-    app = ServeApp(args.data_dir, Session(policy))
+    app = ServeApp(
+        args.data_dir,
+        Session(policy),
+        max_resident_tenants=args.max_resident_tenants,
+        tenant_idle_ttl=args.tenant_idle_ttl,
+    )
     server = ServeHTTP(
         app,
         args.host,
@@ -565,6 +591,7 @@ def main(argv: Sequence[str] | None = None) -> int:
                 "max_retries": args.max_retries,
                 "tile_timeout": args.tile_timeout,
                 "failure_mode": args.failure_mode,
+                "backend": args.backend,
             },
             base=ExecutionPolicy(scale="smoke"),
         )

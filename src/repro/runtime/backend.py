@@ -1,0 +1,297 @@
+"""Pluggable array backends for the stacked ``(B, d, d)`` kernels.
+
+The runtime funnels every hot path through a handful of stacked linear-
+algebra calls (``solve``, ``eigh``, ``eigvalsh``, ``pinv`` over ``(B, d,
+d)`` stacks — see :mod:`repro.runtime.kernels`).  This module makes the
+engine behind those calls a policy knob: the default :class:`NumpyBackend`
+delegates to the exact ``np.linalg`` gufuncs the kernels have always
+called (bitwise identical by construction), while :class:`TorchBackend`
+routes the same stacks through ``torch.linalg`` — on CUDA when available,
+CPU otherwise — for workloads where the batch dimension (reps x folds x
+epsilon) is large enough to pay for the transfer.
+
+Selection is layered like every other execution knob:
+``ExecutionPolicy(backend=...)`` > ``REPRO_BACKEND`` > the ``numpy``
+default, surfaced on the CLI as ``--backend``.  A
+:class:`~repro.session.Session` installs its policy's backend as ambient
+state for the duration of each entry point (the same module-global slot
+pattern as :func:`repro.obs.active_recorder` /
+:func:`repro.faults.active_injector`), and forked process workers inherit
+the slot through copy-on-write exactly like the injector does.
+
+Determinism contract
+--------------------
+* **Noise never moves across backends.**  Every Laplace draw is made by
+  the keyed numpy substreams (:func:`repro.privacy.rng.derive_substream`)
+  and *transferred in*, so privacy calibration and RNG call order are
+  backend-invariant by construction — a backend can only change the
+  floating-point rounding of the deterministic linear algebra applied
+  after the draws.
+* **The numpy backend is the bit-identity reference.**  Its methods *are*
+  the ``np.linalg`` calls the pre-shim kernels made; golden digests are
+  pinned against it.
+* **Non-numpy backends are numerically conforming, not bit-identical.**
+  Different LAPACK builds reassociate; ``repro.verify``'s ``numeric``
+  tier (:mod:`repro.verify.numeric`) certifies per-coordinate atol/ulp
+  bounds on released coefficients plus identical protocol digests.
+* **Failure semantics are translated.**  Singular systems raise
+  ``np.linalg.LinAlgError`` from every backend, so the kernels' per-cell
+  retry ladders behave identically regardless of engine.
+
+Input canonicalization
+----------------------
+:func:`canonical_array` is the plan-boundary gate (also applied by every
+public kernel): arrays are made C-contiguous ``float64`` so that both
+backends see identical canonical inputs.  Real-float inputs of lower
+precision are upcast; integer, boolean, object and complex dtypes are
+rejected outright — silently reinterpreting a label array or an ID column
+as measurements is exactly the bug class the gate exists to stop.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from contextlib import contextmanager
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ArrayBackend",
+    "NumpyBackend",
+    "TorchBackend",
+    "active_backend",
+    "available_backends",
+    "backend_available",
+    "canonical_array",
+    "get_backend",
+    "use_backend",
+]
+
+#: Names accepted by :func:`get_backend` and ``ExecutionPolicy(backend=...)``.
+BACKEND_NAMES = ("numpy", "torch")
+
+
+# ----------------------------------------------------------------------
+# Input canonicalization (the plan-boundary dtype gate)
+# ----------------------------------------------------------------------
+def canonical_array(a, name: str = "array") -> np.ndarray:
+    """``a`` as a C-contiguous float64 ndarray, or a loud refusal.
+
+    * float64 passes through (already-contiguous arrays are returned
+      as-is — the common case costs one flag check);
+    * float16/float32 upcast losslessly to float64 — the documented fix
+      for the silent-precision-propagation bug: the stacked kernels used
+      to accept float32 and hand back float32 results, so two callers
+      could get different-precision answers from the same data;
+    * integer, boolean, object, complex and wider-than-64-bit float
+      dtypes raise :class:`~repro.exceptions.ExperimentError` — the gate
+      rejects rather than guesses, because such inputs are almost always
+      a caller bug (labels, IDs, un-decoded columns).
+    """
+    arr = np.asarray(a)
+    if arr.dtype == np.float64:
+        return np.ascontiguousarray(arr)
+    if arr.dtype.kind == "f" and arr.dtype.itemsize < 8:
+        return np.ascontiguousarray(arr, dtype=np.float64)
+    raise ExperimentError(
+        f"{name} has dtype {arr.dtype}; the stacked kernels require real "
+        f"floating-point input (float64, or float16/float32 which upcast "
+        f"losslessly). Convert explicitly — integer/bool/object/complex "
+        f"data is rejected rather than silently reinterpreted."
+    )
+
+
+# ----------------------------------------------------------------------
+# Backends
+# ----------------------------------------------------------------------
+class ArrayBackend:
+    """Interface: the batched linear-algebra engine behind the kernels.
+
+    Methods take and return numpy ``float64`` arrays — device transfer is
+    an implementation detail, so the kernels stay single-source.  Every
+    method must raise ``np.linalg.LinAlgError`` on singular/non-converged
+    input regardless of engine (the kernels' retry ladders depend on it).
+    """
+
+    name: str = "abstract"
+    #: Where this backend executes ("cpu", "cuda", ...).
+    device: str = "cpu"
+
+    def solve(self, A: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Stacked ``solve`` with ``np.linalg.solve`` broadcasting rules."""
+        raise NotImplementedError
+
+    def eigh(self, A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Stacked symmetric eigendecomposition ``(eigenvalues, eigenvectors)``."""
+        raise NotImplementedError
+
+    def eigvalsh(self, A: np.ndarray) -> np.ndarray:
+        """Stacked symmetric eigenvalues only."""
+        raise NotImplementedError
+
+    def pinv(self, A: np.ndarray) -> np.ndarray:
+        """Moore–Penrose pseudo-inverse (per matrix)."""
+        raise NotImplementedError
+
+
+class NumpyBackend(ArrayBackend):
+    """The reference backend: the exact ``np.linalg`` gufunc calls.
+
+    Bit-identity with the pre-shim kernels holds by construction — each
+    method *is* the call the kernel made before the shim existed, applied
+    to the same canonical arrays in the same order.
+    """
+
+    name = "numpy"
+    device = "cpu"
+
+    def solve(self, A: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return np.linalg.solve(A, b)
+
+    def eigh(self, A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        eigenvalues, eigenvectors = np.linalg.eigh(A)
+        return eigenvalues, eigenvectors
+
+    def eigvalsh(self, A: np.ndarray) -> np.ndarray:
+        return np.linalg.eigvalsh(A)
+
+    def pinv(self, A: np.ndarray) -> np.ndarray:
+        return np.linalg.pinv(A)
+
+
+class TorchBackend(ArrayBackend):
+    """Batched linear algebra through ``torch.linalg`` (CUDA when available).
+
+    torch is imported lazily at construction — the package is an optional
+    extra (``pip install .[torch]``) and must never be a hard dependency.
+    All math runs in ``float64``; results come home as numpy arrays, and
+    torch's ``LinAlgError`` (a ``RuntimeError`` subclass, *not* numpy's)
+    is translated to ``np.linalg.LinAlgError`` so the kernels' singular-
+    cell retry paths work unchanged.
+    """
+
+    name = "torch"
+
+    def __init__(self) -> None:
+        try:
+            import torch
+        except ImportError:
+            raise ExperimentError(
+                "backend 'torch' requested but torch is not installed; "
+                "install the optional extra (pip install torch) or use "
+                "backend='numpy'"
+            ) from None
+        self._torch = torch
+        self.device = "cuda" if torch.cuda.is_available() else "cpu"
+
+    def _up(self, a: np.ndarray):
+        """numpy -> float64 tensor on this backend's device."""
+        torch = self._torch
+        tensor = torch.from_numpy(np.ascontiguousarray(a, dtype=np.float64))
+        return tensor.to(self.device) if self.device != "cpu" else tensor
+
+    def _down(self, t) -> np.ndarray:
+        """tensor -> owned numpy float64 array (copy: tensors may be reused)."""
+        return np.array(t.detach().cpu().numpy(), dtype=np.float64)
+
+    def _translate(self, error: Exception) -> Exception:
+        return np.linalg.LinAlgError(str(error))
+
+    def solve(self, A: np.ndarray, b: np.ndarray) -> np.ndarray:
+        torch = self._torch
+        try:
+            return self._down(torch.linalg.solve(self._up(A), self._up(b)))
+        except RuntimeError as error:  # torch.linalg.LinAlgError included
+            raise self._translate(error) from None
+
+    def eigh(self, A: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        torch = self._torch
+        try:
+            eigenvalues, eigenvectors = torch.linalg.eigh(self._up(A))
+        except RuntimeError as error:
+            raise self._translate(error) from None
+        return self._down(eigenvalues), self._down(eigenvectors)
+
+    def eigvalsh(self, A: np.ndarray) -> np.ndarray:
+        torch = self._torch
+        try:
+            return self._down(torch.linalg.eigvalsh(self._up(A)))
+        except RuntimeError as error:
+            raise self._translate(error) from None
+
+    def pinv(self, A: np.ndarray) -> np.ndarray:
+        torch = self._torch
+        try:
+            return self._down(torch.linalg.pinv(self._up(A)))
+        except RuntimeError as error:
+            raise self._translate(error) from None
+
+
+_BACKEND_CLASSES = {"numpy": NumpyBackend, "torch": TorchBackend}
+#: Constructed backends are cached — they are stateless engines, and the
+#: torch one carries a (costly) imported module reference.
+_BACKEND_INSTANCES: dict[str, ArrayBackend] = {}
+
+
+def backend_available(name: str) -> bool:
+    """Whether ``name`` can actually be constructed on this machine."""
+    if name not in _BACKEND_CLASSES:
+        return False
+    if name == "torch":
+        return importlib.util.find_spec("torch") is not None
+    return True
+
+
+def available_backends() -> tuple[str, ...]:
+    """The backend names usable right now (numpy always; torch if installed)."""
+    return tuple(name for name in BACKEND_NAMES if backend_available(name))
+
+
+def get_backend(backend: str | ArrayBackend) -> ArrayBackend:
+    """Resolve a backend by name (``numpy|torch``) or pass one through."""
+    if isinstance(backend, ArrayBackend):
+        return backend
+    try:
+        cls = _BACKEND_CLASSES[backend]
+    except KeyError:
+        raise ExperimentError(
+            f"unknown backend {backend!r}; expected one of {sorted(_BACKEND_CLASSES)}"
+        ) from None
+    instance = _BACKEND_INSTANCES.get(backend)
+    if instance is None:
+        instance = _BACKEND_INSTANCES[backend] = cls()
+    return instance
+
+
+# ----------------------------------------------------------------------
+# Ambient backend slot (mirrors repro.obs.active_recorder)
+# ----------------------------------------------------------------------
+_ACTIVE: ArrayBackend = NumpyBackend()
+_BACKEND_INSTANCES["numpy"] = _ACTIVE
+
+
+def active_backend() -> ArrayBackend:
+    """The backend the stacked kernels should dispatch through right now."""
+    return _ACTIVE
+
+
+@contextmanager
+def use_backend(backend: str | ArrayBackend):
+    """Install ``backend`` as the active backend for the duration.
+
+    Re-entrant like :func:`repro.obs.use_recorder`: nesting the same
+    backend is transparent, nesting a different one shadows the outer one
+    until exit.  Session entry points wrap themselves in this, and forked
+    process workers inherit the slot through copy-on-write.
+    """
+    global _ACTIVE
+    resolved = get_backend(backend)
+    previous = _ACTIVE
+    _ACTIVE = resolved
+    try:
+        yield resolved
+    finally:
+        _ACTIVE = previous

@@ -2,15 +2,32 @@
 
 Every kernel here replaces a loop of scalar d x d linear-algebra calls with
 one stacked ``(B, d, d)`` LAPACK invocation, under a strict contract:
-**bitwise identity with the per-cell reference path**.  NumPy's linalg
-gufuncs (``solve``, ``eigh``, ``eigvalsh``) and ``matmul`` apply the same
-LAPACK/BLAS routine to each stacked matrix that the scalar call would apply
-to the matrix alone, so stacking changes scheduling — one Python-level call,
-contiguous batched input — without changing a single floating-point
-operation.  Operations that do NOT honour that contract (``einsum``
-re-associates reductions; a multi-column GEMM is not a loop of GEMVs) are
-deliberately avoided; scoring matvecs use broadcastified ``matmul`` for the
-same reason.
+**bitwise identity with the per-cell reference path** (on the default numpy
+backend).  NumPy's linalg gufuncs (``solve``, ``eigh``, ``eigvalsh``) and
+``matmul`` apply the same LAPACK/BLAS routine to each stacked matrix that
+the scalar call would apply to the matrix alone, so stacking changes
+scheduling — one Python-level call, contiguous batched input — without
+changing a single floating-point operation.  Operations that do NOT honour
+that contract (``einsum`` re-associates reductions; a multi-column GEMM is
+not a loop of GEMVs) are deliberately avoided; scoring matvecs use
+broadcastified ``matmul`` for the same reason.
+
+Backend dispatch (:mod:`repro.runtime.backend`): the stacked ``solve`` /
+``eigh`` / ``eigvalsh`` / ``pinv`` invocations go through the ambient
+:func:`~repro.runtime.backend.active_backend`.  The default numpy backend
+*is* those ``np.linalg`` calls, preserving bit-identity; the torch backend
+runs the same stacks on torch (CUDA when available) and is certified
+numerically conforming — never bit-identical — by ``repro.verify``'s
+``numeric`` tier.  Elementwise arithmetic, masking, and the rare per-cell
+fallback loops stay in numpy: noise is always drawn by the keyed numpy
+substreams and transferred in, so RNG order and privacy calibration are
+backend-invariant by construction.
+
+Input canonicalization: every public kernel gates its array arguments
+through :func:`~repro.runtime.backend.canonical_array` — C-contiguous
+float64, lower-precision floats upcast, integer/bool/object/complex
+rejected — so both backends see identical canonical inputs and callers can
+no longer smuggle float32 through and silently get float32 answers back.
 
 The three kernels:
 
@@ -36,6 +53,7 @@ import numpy as np
 
 from ..regression.logistic import sigmoid
 from ..regression.solvers import NewtonSolver, SolverResult
+from .backend import active_backend, canonical_array
 
 __all__ = [
     "fm_noise_stack",
@@ -81,7 +99,16 @@ def fm_noise_stack(
     Returns the noisy stacks ``(E, d, d)`` and ``(E, d)``.  The constant
     coefficient's draw (``raw[:, 0]``) does not influence the minimizer and
     is skipped (the stream position is still consumed by the caller's draw).
+
+    The noise mapping itself is pure elementwise numpy arithmetic and runs
+    identically under every array backend — ``raw`` is drawn by the keyed
+    numpy substreams and only its *consumption* (the spectral repair and
+    solve downstream) dispatches through the backend shim.
     """
+    M = canonical_array(M, "M")
+    alpha = canonical_array(alpha, "alpha")
+    raw = canonical_array(raw, "raw")
+    scales = canonical_array(scales, "scales")
     d = alpha.shape[0]
     E = raw.shape[0]
     draws = scales[:, None, None] * raw[:, 1 + d :].reshape(E, d, d)
@@ -150,11 +177,14 @@ def spectral_trim_stack(
     cells' closed-form solves to the caller (directly, or merged with other
     stacks).
     """
+    M = canonical_array(M, "M")
+    alpha = canonical_array(alpha, "alpha")
+    noise_std = canonical_array(noise_std, "noise_std")
+    backend = active_backend()
     B, d = alpha.shape
-    noise_std = np.asarray(noise_std, dtype=float)
     lam = multiplier * noise_std
     regularized = M + lam[:, None, None] * np.eye(d)
-    eigenvalues, eigenvectors = np.linalg.eigh(regularized)
+    eigenvalues, eigenvectors = backend.eigh(regularized)
     tol = np.maximum(eigen_tol, noise_relative_tol * noise_std)
     keep = eigenvalues > tol[:, None]
     trimmed = np.count_nonzero(~keep, axis=1)
@@ -173,7 +203,7 @@ def spectral_trim_stack(
     if compute_repaired:
         # `repaired` mirrors the per-cell flag: trimming happened, or the
         # ridge was needed to make the raw noisy matrix positive definite.
-        raw_eigenvalues = np.linalg.eigvalsh(M)
+        raw_eigenvalues = backend.eigvalsh(M)
         raw_posdef = raw_eigenvalues.min(axis=1) > eigen_tol
         repaired = ~(full & raw_posdef)
     return SpectralTrimState(
@@ -208,6 +238,7 @@ def spectral_solve_stack(
     callers that consume just ``omega`` (the score-only harness path)
     should skip it; it costs a second full batched ``eigvalsh``.
     """
+    alpha = canonical_array(alpha, "alpha")
     state = spectral_trim_stack(
         M,
         alpha,
@@ -218,7 +249,7 @@ def spectral_solve_stack(
         compute_repaired=compute_repaired,
     )
     if state.full.any():
-        state.omega[state.full] = np.linalg.solve(
+        state.omega[state.full] = active_backend().solve(
             2.0 * state.regularized[state.full], -alpha[state.full, :, None]
         )[..., 0]
     return SpectralBatchResult(
@@ -234,12 +265,15 @@ def posdef_split_stack(M: np.ndarray, alpha: np.ndarray) -> tuple[np.ndarray, np
     mask) await the stacked ``solve(2M, -alpha)`` — directly or merged with
     other plans' solve stacks.
     """
+    M = canonical_array(M, "M")
+    alpha = canonical_array(alpha, "alpha")
+    backend = active_backend()
     B, d = alpha.shape
-    eigenvalues = np.linalg.eigvalsh(M)
+    eigenvalues = backend.eigvalsh(M)
     posdef = eigenvalues.min(axis=1) > 0.0
     omega = np.empty((B, d), dtype=float)
     for i in np.flatnonzero(~posdef):
-        omega[i] = np.linalg.pinv(2.0 * M[i]) @ (-alpha[i])
+        omega[i] = backend.pinv(2.0 * M[i]) @ (-alpha[i])
     return omega, posdef
 
 
@@ -251,9 +285,13 @@ def posdef_or_pinv_solve_stack(M: np.ndarray, alpha: np.ndarray) -> np.ndarray:
     eigenvalue, like :meth:`QuadraticForm.minimize`), else the minimum-norm
     stationary point through the pseudo-inverse.
     """
+    M = canonical_array(M, "M")
+    alpha = canonical_array(alpha, "alpha")
     omega, posdef = posdef_split_stack(M, alpha)
     if posdef.any():
-        omega[posdef] = np.linalg.solve(2.0 * M[posdef], -alpha[posdef, :, None])[..., 0]
+        omega[posdef] = active_backend().solve(
+            2.0 * M[posdef], -alpha[posdef, :, None]
+        )[..., 0]
     return omega
 
 
@@ -272,16 +310,19 @@ def normal_equations_solve_stack(
     identifying which, so on failure the solve is retried cell by cell —
     bitwise identical for the non-singular cells either way.
     """
+    gram = canonical_array(gram, "gram")
+    moment = canonical_array(moment, "moment")
+    backend = active_backend()
     B = moment.shape[0]
     try:
-        weights = np.linalg.solve(gram, moment[..., None])[..., 0]
+        weights = backend.solve(gram, moment[..., None])[..., 0]
         failed = ~np.all(np.isfinite(weights), axis=1)
     except np.linalg.LinAlgError:
         weights = np.empty_like(moment)
         failed = np.zeros(B, dtype=bool)
         for i in range(B):
             try:
-                weights[i] = np.linalg.solve(gram[i], moment[i])
+                weights[i] = backend.solve(gram[i], moment[i])
                 failed[i] = not np.all(np.isfinite(weights[i]))
             except np.linalg.LinAlgError:
                 failed[i] = True
@@ -339,17 +380,18 @@ def _stacked_newton_direction(
     for each cell individually — the non-singular cells' solutions are
     bitwise identical either way.
     """
+    backend = active_backend()
     d = grad.shape[1]
     identity = np.eye(d)
     try:
-        return np.linalg.solve(hess + base_damping * identity, -grad[..., None])[..., 0]
+        return backend.solve(hess + base_damping * identity, -grad[..., None])[..., 0]
     except np.linalg.LinAlgError:
         direction = np.empty_like(grad)
         for i in range(grad.shape[0]):
             damping = base_damping
             for _ in range(8):
                 try:
-                    direction[i] = np.linalg.solve(
+                    direction[i] = backend.solve(
                         hess[i] + damping * identity, -grad[i]
                     )
                     break
@@ -388,6 +430,8 @@ def newton_logistic_stack(
     gufunc batching, explicit per-cell dot products), so the returned
     iterates are bitwise identical to a per-cell loop.
     """
+    X = canonical_array(X, "X")
+    y = canonical_array(y, "y")
     defaults = NewtonSolver()
     if max_iterations is None:
         max_iterations = defaults.max_iterations

@@ -48,7 +48,7 @@ from ..experiments.harness import objective_for
 from ..faults import RetryPolicy, use_injector
 from ..obs import use_recorder
 from ..privacy.rng import derive_substream
-from ..runtime import ProcessExecutor, SerialExecutor, ThreadExecutor
+from ..runtime import ProcessExecutor, SerialExecutor, ThreadExecutor, use_backend
 from ..runtime.runner import _mapped
 from ..session import Session
 from .protocol import (
@@ -116,11 +116,27 @@ class ServeApp:
         policy, recorder and fault injector; the app adopts its tenant
         registry into the session so one ``close()`` tears everything
         down.  ``None`` builds a session from the environment.
+    max_resident_tenants / tenant_idle_ttl:
+        Tenant-cache bounds forwarded to :class:`TenantRegistry`: an LRU
+        cap on in-memory tenants and a seconds-since-last-touch TTL.
+        Evicted tenants are snapshotted first and transparently reloaded
+        on the next touch.  ``None`` (the default) keeps the historical
+        keep-everything behavior.
     """
 
-    def __init__(self, data_dir: str | Path, session: Session | None = None) -> None:
+    def __init__(
+        self,
+        data_dir: str | Path,
+        session: Session | None = None,
+        max_resident_tenants: int | None = None,
+        tenant_idle_ttl: float | None = None,
+    ) -> None:
         self.session = session if session is not None else Session()
-        self.registry = TenantRegistry(data_dir)
+        self.registry = TenantRegistry(
+            data_dir,
+            max_resident=max_resident_tenants,
+            idle_ttl=tenant_idle_ttl,
+        )
         self._started_at = time.monotonic()
         self._closed = False
         self._close_lock = threading.Lock()
@@ -133,6 +149,7 @@ class ServeApp:
         self._ambience = ExitStack()
         self._ambience.enter_context(use_recorder(self.session.recorder))
         self._ambience.enter_context(use_injector(self.session.injector))
+        self._ambience.enter_context(use_backend(self.session.backend))
         try:
             with self._scope("serve.restore"):
                 self.restored_tenants = self.registry.restore_all()
@@ -168,8 +185,11 @@ class ServeApp:
     def ingest(self, body: dict) -> dict:
         name, task, dims, X, y, durable = parse_ingest_request(body)
         self._check_ready()
-        tenant = self.registry.get(name)
-        with self._scope("serve.ingest", tenant=name, rows=len(X)) as recorder:
+        # Leases pin the tenant resident for the request's whole extent so
+        # the idle/LRU evictor can never close its journal mid-flight.
+        with self.registry.lease(name) as tenant, self._scope(
+            "serve.ingest", tenant=name, rows=len(X)
+        ) as recorder:
             with tenant.locked():
                 try:
                     n_rows = tenant.ingest(task, dims, X, y)
@@ -190,8 +210,9 @@ class ServeApp:
     def fit(self, body: dict, deadline: Deadline | None = None) -> dict:
         name, task, dims, epsilons, seed = parse_fit_request(body)
         self._check_ready()
-        tenant = self.registry.get(name)
-        with self._scope("serve.fit", tenant=name, points=len(epsilons)) as recorder:
+        with self.registry.lease(name) as tenant, self._scope(
+            "serve.fit", tenant=name, points=len(epsilons)
+        ) as recorder:
             if deadline is not None and deadline.expired:
                 raise DeadlineExceededError(
                     "deadline expired before fit started", tenant=name
@@ -301,8 +322,9 @@ class ServeApp:
         return np.asarray(rows, dtype=float)
 
     def status(self, name: str) -> dict:
-        tenant = self.registry.get(name)
-        with self._scope("serve.status", tenant=name):
+        with self.registry.lease(name) as tenant, self._scope(
+            "serve.status", tenant=name
+        ):
             with tenant.locked():
                 return tenant.status()
 
@@ -313,10 +335,12 @@ class ServeApp:
             return {"snapshots_written": int(written)}
 
     def periodic_snapshot(self) -> int:
-        """One background snapshot cycle (dirty tenants only); never raises."""
+        """One background snapshot + eviction cycle; never raises."""
         try:
             with self._scope("serve.snapshot", periodic=True):
-                return self.registry.snapshot_all()
+                written = self.registry.snapshot_all()
+                self.registry.evict_idle()
+                return written
         except Exception:
             self.session.recorder.counter("serve.snapshot_failures")
             return 0

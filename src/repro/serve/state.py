@@ -39,6 +39,7 @@ import json
 import os
 import tempfile
 import threading
+import time
 from contextlib import contextmanager
 from pathlib import Path
 
@@ -119,6 +120,11 @@ class TenantState:
         self._accumulators: dict[str, MomentAccumulator] = {}
         # Keys whose accumulator changed since their last durable snapshot.
         self._dirty: set[str] = set()
+        # Registry bookkeeping (both guarded by the *registry* lock):
+        # requests currently leasing this tenant, and whether this object
+        # was evicted (stale references must re-checkout, never mutate).
+        self._inflight = 0
+        self._evicted = False
 
     # ------------------------------------------------------------------
     # Locking discipline
@@ -201,27 +207,33 @@ class TenantState:
         condition — the accumulators stay dirty and the next cycle
         retries).
         """
-        written = 0
         # Plain blocking acquire: the snapshot thread contending with the
         # tenant's writer is expected, not a discipline violation, so it
         # must not inflate ``serve.lock_contention``.
         with self._lock:
-            keys = sorted(self._accumulators) if force else sorted(self._dirty)
-            for key in keys:
-                acc = self._accumulators.get(key)
-                if acc is None:
-                    self._dirty.discard(key)
-                    continue
-                blob = encode_entry(acc)
-                path = self.acc_dir / f"{key}.acc"
-                site = _site_index(self.name, key)
-                _with_io_retries(
-                    site, lambda: _atomic_write(path, blob), str(path)
-                )
-                self._dirty.discard(key)
-                written += 1
+            written = self._snapshot_locked(force=force)
         if written:
             active_recorder().counter("serve.snapshot_writes", written)
+        return written
+
+    def _snapshot_locked(self, force: bool = False) -> int:
+        """:meth:`snapshot`'s body, for callers already holding the lock
+        (the registry's evictor, which tested the lock non-blockingly)."""
+        written = 0
+        keys = sorted(self._accumulators) if force else sorted(self._dirty)
+        for key in keys:
+            acc = self._accumulators.get(key)
+            if acc is None:
+                self._dirty.discard(key)
+                continue
+            blob = encode_entry(acc)
+            path = self.acc_dir / f"{key}.acc"
+            site = _site_index(self.name, key)
+            _with_io_retries(
+                site, lambda: _atomic_write(path, blob), str(path)
+            )
+            self._dirty.discard(key)
+            written += 1
         return written
 
     def load_snapshots(self) -> int:
@@ -262,15 +274,39 @@ class TenantState:
 class TenantRegistry:
     """All tenants under one data directory, restored on startup.
 
-    The registry lock only guards the tenant *map* (creation, lookup);
-    per-tenant mutation is each tenant's own lock.
+    The registry lock only guards the tenant *map* (creation, lookup,
+    lease counts, eviction); per-tenant mutation is each tenant's own
+    lock — lock ordering is always registry before tenant.
+
+    Residency is bounded: without eviction the map grows by one
+    :class:`TenantState` (accumulators, ledger, journal handle) per
+    tenant ever touched and never shrinks — a memory leak under
+    many-tenant load.  ``max_resident`` (LRU) and ``idle_ttl`` (seconds
+    since last touch) bound it; an evicted tenant is snapshotted to disk
+    first and transparently reloaded on its next touch, so eviction is
+    invisible to clients beyond the ``serve.tenant_evictions`` counter —
+    the budget journal and forced accumulator snapshot make the reloaded
+    fit bitwise identical to an unevicted one.  Tenants currently leased
+    (or whose lock is held) are skipped, never torn down mid-request.
     """
 
-    def __init__(self, data_dir: str | Path) -> None:
+    def __init__(
+        self,
+        data_dir: str | Path,
+        max_resident: int | None = None,
+        idle_ttl: float | None = None,
+    ) -> None:
+        if max_resident is not None and max_resident < 1:
+            raise BadRequestError(f"max_resident must be >= 1, got {max_resident}")
+        if idle_ttl is not None and idle_ttl <= 0:
+            raise BadRequestError(f"idle_ttl must be positive, got {idle_ttl}")
         self.root = Path(data_dir)
         self.tenants_dir = self.root / "tenants"
         self.tenants_dir.mkdir(parents=True, exist_ok=True)
+        self.max_resident = max_resident
+        self.idle_ttl = idle_ttl
         self._tenants: dict[str, TenantState] = {}
+        self._last_touch: dict[str, float] = {}
         self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
@@ -311,7 +347,9 @@ class TenantRegistry:
                 if name in self._tenants:
                     continue
                 self._tenants[name] = self._load_tenant(name)
+                self._last_touch[name] = time.monotonic()
                 count += 1
+            self._evict_locked()
         if count:
             active_recorder().counter("serve.tenants_restored", count)
         return count
@@ -344,15 +382,118 @@ class TenantRegistry:
             _atomic_write(meta_path, json.dumps(meta, sort_keys=True).encode())
             tenant = TenantState(name, root, budget)
             self._tenants[name] = tenant
+            self._last_touch[name] = time.monotonic()
+            self._evict_locked(protect=name)
         active_recorder().counter("serve.tenants_created")
         return tenant
 
     def get(self, name: str) -> TenantState:
+        """Look up a resident tenant, reloading it from disk if evicted."""
         with self._lock:
-            tenant = self._tenants.get(name)
+            return self._checkout_locked(name, lease=False)
+
+    def _checkout_locked(self, name: str, lease: bool) -> TenantState:
+        tenant = self._tenants.get(name)
         if tenant is None:
-            raise UnknownTenantError(f"no tenant named {name!r}", tenant=name)
+            # Transparent reload: an evicted (or pre-restart) tenant whose
+            # directory exists comes back as if it had never left memory.
+            root = self._tenant_root(name)
+            if not (root / "meta.json").exists():
+                raise UnknownTenantError(f"no tenant named {name!r}", tenant=name)
+            tenant = self._load_tenant(name)
+            self._tenants[name] = tenant
+            active_recorder().counter("serve.tenant_reloads")
+        self._last_touch[name] = time.monotonic()
+        if lease:
+            tenant._inflight += 1
+        # A reload can overflow the resident cap; rebalance immediately
+        # (the tenant being handed out is explicitly protected).
+        self._evict_locked(protect=name)
         return tenant
+
+    @contextmanager
+    def lease(self, name: str):
+        """Check a tenant out for the duration of one request.
+
+        A leased tenant is pinned resident: the evictor skips it, so the
+        caller may safely use ``tenant.budget`` and ``tenant.locked()``
+        for the lease's whole extent without racing an eviction's journal
+        close.  This is the handler-facing accessor; :meth:`get` remains
+        for point lookups that do not outlive the registry lock's scope.
+        """
+        with self._lock:
+            tenant = self._checkout_locked(name, lease=True)
+        try:
+            yield tenant
+        finally:
+            with self._lock:
+                tenant._inflight -= 1
+
+    # ------------------------------------------------------------------
+    # Eviction (call under the registry lock)
+    # ------------------------------------------------------------------
+    def _evict_one_locked(self, name: str) -> bool:
+        """Snapshot, close and drop one tenant; False when busy or IO-stuck."""
+        tenant = self._tenants[name]
+        if tenant._inflight > 0:
+            return False
+        # Non-blocking probe: a held lock means an active writer (or the
+        # snapshot thread); never tear a tenant down mid-mutation.
+        if not tenant._lock.acquire(blocking=False):
+            return False
+        try:
+            try:
+                written = tenant._snapshot_locked(force=True)
+            except (TransientIOError, OSError):
+                # Keep it resident; dirtiness is preserved and the next
+                # cycle retries — losing rows to save memory is never a
+                # valid trade.
+                active_recorder().counter("serve.snapshot_failures")
+                return False
+            tenant._evicted = True
+        finally:
+            tenant._lock.release()
+        if written:
+            active_recorder().counter("serve.snapshot_writes", written)
+        tenant.budget.close()
+        del self._tenants[name]
+        self._last_touch.pop(name, None)
+        return True
+
+    def _evict_locked(self, protect: str | None = None) -> int:
+        """Apply the idle-TTL then the LRU cap; returns tenants evicted.
+
+        ``protect`` names a tenant mid-checkout that must stay resident
+        regardless of pressure.
+        """
+        if self.idle_ttl is None and self.max_resident is None:
+            return 0
+        evicted = 0
+        now = time.monotonic()
+        if self.idle_ttl is not None:
+            for name in list(self._tenants):
+                if name == protect:
+                    continue
+                touched = self._last_touch.get(name, now)
+                if now - touched >= self.idle_ttl:
+                    evicted += self._evict_one_locked(name)
+        if self.max_resident is not None:
+            for name in sorted(
+                self._tenants, key=lambda n: self._last_touch.get(n, 0.0)
+            ):
+                if len(self._tenants) <= self.max_resident:
+                    break
+                if name == protect:
+                    continue
+                evicted += self._evict_one_locked(name)
+        if evicted:
+            active_recorder().counter("serve.tenant_evictions", evicted)
+        return evicted
+
+    def evict_idle(self) -> int:
+        """One eviction cycle (the periodic snapshot loop's other half)."""
+        with self._lock:
+            return self._evict_locked()
 
     def names(self) -> list[str]:
         with self._lock:
@@ -382,6 +523,7 @@ class TenantRegistry:
         with self._lock:
             tenants = list(self._tenants.values())
             self._tenants.clear()
+            self._last_touch.clear()
         for tenant in tenants:
             try:
                 tenant.close()

@@ -1,0 +1,465 @@
+"""The "numerically conforming" verification tier for non-default backends.
+
+The golden tiers pin *bitwise* identity — the right contract for the numpy
+reference backend, where every execution path must reproduce one digest.
+A torch backend (different BLAS, different reduction order, possibly a
+GPU) cannot honestly promise bit-identity; what it can promise is:
+
+* the **protocol** is identical — the same plan structure, the same keyed
+  substream draws, the same privacy-spend sequence.  Noise is always
+  drawn by the keyed numpy substreams and transferred in, so this holds
+  by construction; the digest check here proves the construction.
+* the **released values** agree with the numpy reference within a
+  certified per-coordinate tolerance (absolute *or* ULP distance).
+
+The teeth battery proves the tier separates harmless float drift from
+real bugs: a few-ULP reassociation perturbation must be accepted, while
+the classic ``Delta / (2 epsilon)`` miscalibration, a dropped Laplace
+draw, and an understated sensitivity (``2 d`` instead of Lemma 1's
+``2 (d + 1)^2``) must each be rejected.  The faults mirror
+:data:`repro.verify.conformance.FAULT_KINDS` at the stacked-kernel level:
+each one leaves the protocol digest *unchanged* (the same stream is drawn
+either way) and corrupts only the released coefficients — exactly the
+failure class this tier exists to catch.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..exceptions import ExperimentError
+from ..experiments.figures import SweepResult
+from ..experiments.harness import objective_for
+from ..privacy.rng import derive_substream
+from ..runtime import backend_available, fm_noise_stack, spectral_solve_stack, use_backend
+from .conformance import FAULT_KINDS
+from .golden import GOLDEN_CONFIGS, GOLDEN_GROUPS, run_golden_case
+
+__all__ = [
+    "DEFAULT_TOLERANCE",
+    "FAULT_KINDS",
+    "NumericCheck",
+    "NumericReport",
+    "NumericTolerance",
+    "ReleaseOutcome",
+    "compare_releases",
+    "compare_sweeps",
+    "fm_release_stack",
+    "structure_digest",
+    "ulp_distance",
+    "ulp_perturb",
+    "verify_numeric",
+]
+
+#: Substream tag namespacing every draw this tier makes (distinct from the
+#: harness algorithm keys, so numeric-tier draws can never alias a sweep's).
+_NUMERIC_STREAM_TAG = 0x4E554D  # "NUM"
+
+#: The release battery: both objectives at a Table-2-sized dimensionality,
+#: spanning three decades of budget (tight noise to loose noise).
+_RELEASE_CASES = (("linear", 3), ("logistic", 4))
+_RELEASE_EPSILONS = (0.1, 1.0, 10.0)
+_RELEASE_ROWS = 96
+
+#: Golden subset the sweep-level comparison runs (one group suffices: every
+#: group exercises the identical kernel dispatch; the release battery
+#: already spans both objectives).
+_SWEEP_GROUP = "figure6-linear-sv2"
+
+
+def ulp_distance(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Per-coordinate ULP distance between two float64 arrays.
+
+    Bit patterns are mapped through the sign-fold transform (negative
+    patterns reflected below zero) so the int64 images are ordered
+    exactly as the floats are, making the distance a count of
+    representable doubles strictly between the operands.  Any NaN on
+    either side yields ``inf`` — a backend returning NaN where the
+    reference has a number is never "close".
+    """
+    a = np.ascontiguousarray(a, dtype=np.float64)
+    b = np.ascontiguousarray(b, dtype=np.float64)
+    if a.shape != b.shape:
+        raise ExperimentError(f"shape mismatch {a.shape} vs {b.shape}")
+
+    def folded(x: np.ndarray) -> np.ndarray:
+        bits = x.view(np.int64)
+        return np.where(bits >= 0, bits, np.iinfo(np.int64).min - bits)
+
+    # Exact arbitrary-precision differencing (folded images can differ by
+    # more than int64 holds when signs differ); the final float64 cast is
+    # approximate only for distances far beyond any sane tolerance.
+    exact = np.abs(folded(a).astype(object) - folded(b).astype(object))
+    distance = np.array([float(v) for v in exact.reshape(-1)]).reshape(a.shape)
+    return np.where(np.isnan(a) | np.isnan(b), np.inf, distance)
+
+
+def ulp_perturb(values: np.ndarray, ulps: int = 4) -> np.ndarray:
+    """``values`` nudged ``ulps`` representable doubles away, per coordinate.
+
+    Alternating directions (even flat-index coordinates toward ``+inf``,
+    odd toward ``-inf``) model reassociation drift without a random draw.
+    """
+    out = np.ascontiguousarray(values, dtype=np.float64).copy()
+    flat = out.reshape(-1)
+    direction = np.where(np.arange(flat.size) % 2 == 0, np.inf, -np.inf)
+    for _ in range(int(ulps)):
+        flat[:] = np.nextafter(flat, direction)
+    return out
+
+
+@dataclass(frozen=True)
+class NumericTolerance:
+    """A certified per-coordinate acceptance bound.
+
+    A coordinate conforms when its absolute difference is at most
+    ``atol`` *or* its ULP distance is at most ``max_ulps`` — the OR keeps
+    the bound meaningful across magnitudes (``atol`` governs near zero,
+    where a ULP is vanishingly small; ``max_ulps`` governs large values,
+    where a fixed ``atol`` would be needlessly loose).
+    """
+
+    atol: float = 1e-9
+    max_ulps: int = 256
+
+    def conforms(self, reference: np.ndarray, candidate: np.ndarray) -> bool:
+        reference = np.ascontiguousarray(reference, dtype=np.float64)
+        candidate = np.ascontiguousarray(candidate, dtype=np.float64)
+        abs_ok = np.abs(reference - candidate) <= self.atol
+        ulp_ok = ulp_distance(reference, candidate) <= self.max_ulps
+        return bool(np.all(abs_ok | ulp_ok))
+
+
+DEFAULT_TOLERANCE = NumericTolerance()
+
+
+@dataclass(frozen=True)
+class ReleaseOutcome:
+    """One FM release through the stacked kernels, with its protocol."""
+
+    protocol: dict
+    protocol_digest: str
+    omega: np.ndarray  # (E, d) released coefficients, one row per epsilon
+
+
+def _array_digest(a: np.ndarray) -> str:
+    return hashlib.sha256(np.ascontiguousarray(a, dtype=np.float64).tobytes()).hexdigest()
+
+
+def _protocol_digest(protocol: dict) -> str:
+    canonical = json.dumps(protocol, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode()).hexdigest()
+
+
+def fm_release_stack(
+    task: str,
+    dim: int,
+    epsilons: tuple[float, ...] = _RELEASE_EPSILONS,
+    seed: int = 0,
+    backend: str = "numpy",
+    fault: str | None = None,
+) -> ReleaseOutcome:
+    """FM released coefficients for one synthetic fold across all epsilons.
+
+    Replicates the runner's FM path end to end — keyed data draw, keyed
+    standardized Laplace draw, :func:`fm_noise_stack`, then
+    :func:`spectral_solve_stack` under ``backend`` — against data and
+    noise that are *always* drawn by the keyed numpy substreams.  The
+    protocol record covers everything that defines the draw and the
+    spend sequence but deliberately **not** the noise scales: a
+    miscalibrated implementation therefore produces an identical
+    protocol digest and is caught by the coefficient comparison, which
+    is the teeth this tier needs.
+
+    ``fault`` injects one of :data:`FAULT_KINDS` into the consumption of
+    the (unchanged) drawn stream, for the tier's self-validation.
+    """
+    if fault is not None and fault not in FAULT_KINDS:
+        raise ExperimentError(f"fault must be one of {FAULT_KINDS}, got {fault!r}")
+    objective = objective_for(task, dim)
+    d = objective.dim
+    epsilon_values = np.asarray(epsilons, dtype=float)
+    E = epsilon_values.size
+
+    # Stable task tag (str hash() is salted per process).
+    task_tag = int.from_bytes(hashlib.sha256(task.encode()).digest()[:2], "big")
+    data_key = [_NUMERIC_STREAM_TAG, 0, task_tag, d]
+    data_rng = derive_substream(seed, data_key)
+    X = data_rng.uniform(-1.0, 1.0, size=(_RELEASE_ROWS, d))
+    # Footnote-1 normalization: rows scaled into the unit L2 ball.
+    norms = np.linalg.norm(X, axis=1)
+    X /= np.maximum(norms, 1.0)[:, None]
+    if task == "logistic":
+        y = (data_rng.uniform(size=_RELEASE_ROWS) > 0.5).astype(float)
+    else:
+        y = data_rng.uniform(-1.0, 1.0, size=_RELEASE_ROWS)
+
+    noise_key = [_NUMERIC_STREAM_TAG, 1, task_tag, d]
+    raw = derive_substream(seed, noise_key).laplace(0.0, 1.0, size=(E, 1 + d + d * d))
+
+    sensitivity = objective.sensitivity()
+    effective = sensitivity
+    if fault == "half_noise":
+        effective = sensitivity / 2.0
+    elif fault == "wrong_sensitivity":
+        effective = 2.0 * d
+    scales = effective / epsilon_values
+    consumed = np.zeros_like(raw) if fault == "dropped_draw" else raw
+
+    form = objective.aggregate_quadratic(X, y)
+    with use_backend(backend):
+        noisy_M, noisy_alpha = fm_noise_stack(form.M, form.alpha, consumed, scales)
+        result = spectral_solve_stack(
+            noisy_M,
+            noisy_alpha,
+            np.sqrt(2.0) * scales,
+            compute_repaired=False,
+        )
+
+    protocol = {
+        "task": task,
+        "dim": d,
+        "rows": _RELEASE_ROWS,
+        "seed": int(seed),
+        "epsilons": [float(e) for e in epsilon_values],
+        "spend_sequence": [["fm.release", float(e)] for e in epsilon_values],
+        "substream_keys": {"data": data_key, "noise": noise_key},
+        "data_digest": hashlib.sha256(
+            np.ascontiguousarray(X).tobytes() + np.ascontiguousarray(y).tobytes()
+        ).hexdigest(),
+        "noise_digest": _array_digest(raw),
+    }
+    return ReleaseOutcome(
+        protocol=protocol,
+        protocol_digest=_protocol_digest(protocol),
+        omega=result.omega,
+    )
+
+
+@dataclass(frozen=True)
+class ReleaseComparison:
+    """Verdict of one reference-vs-candidate release comparison."""
+
+    protocol_match: bool
+    max_abs_diff: float
+    max_ulp: float
+    conforming: bool
+
+
+def compare_releases(
+    reference: ReleaseOutcome,
+    candidate: ReleaseOutcome,
+    tolerance: NumericTolerance = DEFAULT_TOLERANCE,
+) -> ReleaseComparison:
+    """Protocol digests must be identical; coefficients must be within
+    ``tolerance`` per coordinate."""
+    protocol_match = reference.protocol_digest == candidate.protocol_digest
+    diff = np.abs(reference.omega - candidate.omega)
+    ulps = ulp_distance(reference.omega, candidate.omega)
+    conforming = protocol_match and tolerance.conforms(reference.omega, candidate.omega)
+    return ReleaseComparison(
+        protocol_match=protocol_match,
+        max_abs_diff=float(diff.max()),
+        max_ulp=float(ulps.max()),
+        conforming=conforming,
+    )
+
+
+# ----------------------------------------------------------------------
+# Sweep-level comparison over the golden subset
+# ----------------------------------------------------------------------
+def structure_digest(result: SweepResult) -> str:
+    """The golden digest minus the score bytes: plan structure only.
+
+    Covers figure/panel/task/parameter, the sweep values, the series
+    order, and each point's ``(cells, n_train)`` — everything a backend
+    must reproduce exactly even when its floats drift.
+    """
+    digest = hashlib.sha256()
+    digest.update(
+        f"{result.figure}|{result.panel}|{result.task}|{result.parameter}".encode()
+    )
+    values = np.asarray(result.values, dtype=float)
+    digest.update(struct.pack(f"<{values.size}d", *values))
+    for name, points in result.series.items():
+        digest.update(name.encode())
+        for point in points:
+            digest.update(struct.pack("<qq", point.cells, point.n_train))
+    return digest.hexdigest()
+
+
+def compare_sweeps(
+    reference: SweepResult,
+    candidate: SweepResult,
+    tolerance: NumericTolerance = DEFAULT_TOLERANCE,
+) -> ReleaseComparison:
+    """Structure digests must be identical; per-point score statistics
+    must be within ``tolerance``."""
+    protocol_match = structure_digest(reference) == structure_digest(candidate)
+    if not protocol_match:
+        return ReleaseComparison(
+            protocol_match=False,
+            max_abs_diff=float("inf"),
+            max_ulp=float("inf"),
+            conforming=False,
+        )
+
+    def scores(result: SweepResult) -> np.ndarray:
+        return np.array(
+            [
+                [point.mean_score, point.std_score]
+                for points in result.series.values()
+                for point in points
+            ]
+        )
+
+    ref_scores, cand_scores = scores(reference), scores(candidate)
+    return ReleaseComparison(
+        protocol_match=True,
+        max_abs_diff=float(np.abs(ref_scores - cand_scores).max()),
+        max_ulp=float(ulp_distance(ref_scores, cand_scores).max()),
+        conforming=tolerance.conforms(ref_scores, cand_scores),
+    )
+
+
+# ----------------------------------------------------------------------
+# The tier driver
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class NumericCheck:
+    label: str
+    ok: bool
+    detail: str = ""
+
+
+@dataclass(frozen=True)
+class NumericReport:
+    """Verdict of one numeric-conformance run."""
+
+    candidate: str
+    candidate_available: bool
+    checks: tuple[NumericCheck, ...] = field(default_factory=tuple)
+
+    @property
+    def passed(self) -> bool:
+        return all(check.ok for check in self.checks)
+
+
+def _release_checks(
+    candidate: str,
+    candidate_available: bool,
+    seed: int,
+    tolerance: NumericTolerance,
+) -> list[NumericCheck]:
+    checks: list[NumericCheck] = []
+    for task, dim in _RELEASE_CASES:
+        case = f"{task} d={dim}"
+        reference = fm_release_stack(task, dim, seed=seed)
+
+        # The reference backend is deterministic down to the bit.
+        repeat = compare_releases(fm_release_stack(task, dim, seed=seed), reference)
+        checks.append(
+            NumericCheck(
+                f"numpy self-consistency ({case})",
+                repeat.protocol_match and repeat.max_ulp == 0.0,
+                f"max ulp {repeat.max_ulp:g}",
+            )
+        )
+
+        # Teeth, accepting half: reassociation-scale drift conforms.
+        perturbed = ReleaseOutcome(
+            protocol=reference.protocol,
+            protocol_digest=reference.protocol_digest,
+            omega=ulp_perturb(reference.omega, ulps=4),
+        )
+        accepted = compare_releases(reference, perturbed, tolerance)
+        checks.append(
+            NumericCheck(
+                f"4-ulp perturbation accepted ({case})",
+                accepted.conforming,
+                f"max ulp {accepted.max_ulp:g} <= {tolerance.max_ulps}",
+            )
+        )
+
+        # Teeth, rejecting half: every classic calibration bug is flagged
+        # despite its identical protocol digest.
+        for kind in FAULT_KINDS:
+            faulty = fm_release_stack(task, dim, seed=seed, fault=kind)
+            verdict = compare_releases(reference, faulty, tolerance)
+            checks.append(
+                NumericCheck(
+                    f"fault {kind} rejected ({case})",
+                    verdict.protocol_match and not verdict.conforming,
+                    f"max abs diff {verdict.max_abs_diff:.3g}",
+                )
+            )
+
+        if candidate_available:
+            cand = fm_release_stack(task, dim, seed=seed, backend=candidate)
+            verdict = compare_releases(reference, cand, tolerance)
+            checks.append(
+                NumericCheck(
+                    f"{candidate} release conforms ({case})",
+                    verdict.conforming,
+                    f"max abs diff {verdict.max_abs_diff:.3g}, "
+                    f"max ulp {verdict.max_ulp:g}",
+                )
+            )
+    return checks
+
+
+def verify_numeric(
+    candidate: str = "torch",
+    seed: int = 0,
+    tolerance: NumericTolerance = DEFAULT_TOLERANCE,
+    sweep_group: str | None = _SWEEP_GROUP,
+) -> NumericReport:
+    """Run the numeric-conformance tier against ``candidate``.
+
+    Always runs the reference self-consistency and teeth batteries (they
+    validate the tier itself and need no optional dependency).  When the
+    candidate backend is importable, additionally certifies its releases
+    and — unless ``sweep_group`` is ``None`` — a full golden-subset sweep
+    against the numpy reference.  A missing candidate is reported as
+    skipped, not failed: the numpy-only environment must stay green.
+    """
+    available = candidate == "numpy" or backend_available(candidate)
+    checks = _release_checks(candidate, available, seed, tolerance)
+
+    if available and sweep_group is not None:
+        groups = {group.group_id: group for group in GOLDEN_GROUPS}
+        if sweep_group not in groups:
+            raise ExperimentError(
+                f"unknown golden group {sweep_group!r}; available: {sorted(groups)}"
+            )
+        group = groups[sweep_group]
+        config = GOLDEN_CONFIGS[0]  # the canonical batched-serial-eager cell
+        reference = run_golden_case(group, config)
+        cand = run_golden_case(group, config, backend=candidate)
+        verdict = compare_sweeps(reference, cand, tolerance)
+        checks.append(
+            NumericCheck(
+                f"{candidate} golden sweep conforms ({sweep_group})",
+                verdict.conforming,
+                f"structure {'match' if verdict.protocol_match else 'MISMATCH'}, "
+                f"max abs diff {verdict.max_abs_diff:.3g}, "
+                f"max ulp {verdict.max_ulp:g}",
+            )
+        )
+    elif not available:
+        checks.append(
+            NumericCheck(
+                f"candidate backend {candidate!r} unavailable — skipped",
+                True,
+                "reference battery verified; install the optional extra to "
+                "certify the candidate",
+            )
+        )
+    return NumericReport(
+        candidate=candidate, candidate_available=available, checks=tuple(checks)
+    )

@@ -160,6 +160,24 @@ class TestSerialization:
         reference = MomentAccumulator(X.shape[1], block_size=4096).update(X[:20], y[:20])
         assert bit_identical(acc.snapshot(), reference.snapshot())
 
+    def test_mid_stream_round_trip_resumes_exact_block_boundaries(
+        self, tmp_path, stream_data, bit_identical
+    ):
+        """A save/load cycle between two updates must be invisible: the
+        pending partial tail round-trips as raw rows, so later blocks
+        form at the same canonical boundaries (serve's evict-and-reload
+        path relies on this for fit-digest identity)."""
+        X, y = stream_data
+        acc = MomentAccumulator(X.shape[1], block_size=256).update(X[:100], y[:100])
+        path = tmp_path / "mid.npz"
+        acc.save(path)
+        resumed = MomentAccumulator.load(path).update(X[100:500], y[100:500])
+        reference = MomentAccumulator(X.shape[1], block_size=256).update(
+            X[:500], y[:500]
+        )
+        assert resumed.n_rows == 500
+        assert bit_identical(resumed.snapshot(), reference.snapshot())
+
 
 class TestMechanismEntryPoint:
     def test_perturb_from_accumulator_matches_quadratic_path(self, stream_data):

@@ -1,0 +1,250 @@
+"""The pluggable array backend: canonicalization, dispatch, invariance.
+
+Three contracts under test:
+
+* ``canonical_array`` is the plan boundary's dtype gate — identity for
+  conforming data (cache sharing intact), upcast for narrow floats,
+  loud rejection for integer/object dtypes (guessing an int column was
+  a feature is how silent garbage enters a DP release);
+* the numpy backend is the *bit-identity reference*: routing the stacked
+  kernels through the shim changes nothing, down to the last bit;
+* a non-default backend slots in ambiently (``use_backend``) and via
+  policy, skipping cleanly when the optional dependency is absent.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.config import SMOKE
+from repro.runtime import (
+    BACKEND_NAMES,
+    NumpyBackend,
+    active_backend,
+    available_backends,
+    backend_available,
+    canonical_array,
+    fm_noise_stack,
+    get_backend,
+    newton_logistic_stack,
+    plan_cells,
+    run_plan,
+    spectral_solve_stack,
+    use_backend,
+)
+from repro.session import ExecutionPolicy
+
+BACKENDS = ("numpy", "torch")
+
+
+def _needs(backend):
+    if backend != "numpy" and not backend_available(backend):
+        pytest.skip(f"optional backend {backend!r} not installed")
+
+
+class TestCanonicalArray:
+    def test_conforming_input_is_identity(self):
+        a = np.zeros((4, 3))
+        assert canonical_array(a) is a
+
+    def test_float32_upcasts(self):
+        a = np.ones((2, 2), dtype=np.float32)
+        out = canonical_array(a)
+        assert out.dtype == np.float64
+        assert np.array_equal(out, a.astype(np.float64))
+
+    def test_strided_view_becomes_contiguous(self):
+        base = np.arange(24, dtype=np.float64).reshape(4, 6)
+        view = base[:, ::2]
+        out = canonical_array(view)
+        assert out.flags["C_CONTIGUOUS"]
+        assert np.array_equal(out, view)
+
+    def test_fortran_order_becomes_c_order(self):
+        a = np.asfortranarray(np.arange(6, dtype=np.float64).reshape(2, 3))
+        out = canonical_array(a)
+        assert out.flags["C_CONTIGUOUS"]
+        assert np.array_equal(out, a)
+
+    @pytest.mark.parametrize("bad", [np.arange(4), np.array(["x", "y"], dtype=object)])
+    def test_integer_and_object_dtypes_rejected(self, bad):
+        with pytest.raises(ExperimentError, match="dtype"):
+            canonical_array(bad, "demo")
+
+
+class TestKernelCanonicalization:
+    """Satellite pin: kernels fed float32/strided inputs match canonical."""
+
+    def _quad_stack(self, dtype=np.float64, strided=False):
+        rng = np.random.default_rng(7)
+        B, d = 4, 3
+        A = rng.normal(size=(B, d, d))
+        M = (A @ A.transpose(0, 2, 1) + 3.0 * np.eye(d)).astype(dtype)
+        alpha = rng.normal(size=(B, d)).astype(dtype)
+        noise_std = np.full(B, 0.25, dtype=dtype)
+        if strided:
+            M2 = np.repeat(M, 2, axis=0)[::2]
+            assert not M2.flags["C_CONTIGUOUS"] or M2.base is not None
+            M = np.asarray(M2)
+        return M, alpha, noise_std
+
+    def test_spectral_solve_float32_matches_upcast(self):
+        M, alpha, noise_std = self._quad_stack(np.float32)
+        narrow = spectral_solve_stack(M, alpha, noise_std)
+        wide = spectral_solve_stack(
+            M.astype(np.float64), alpha.astype(np.float64),
+            noise_std.astype(np.float64),
+        )
+        assert np.array_equal(narrow.omega, wide.omega)
+
+    def test_spectral_solve_strided_matches_contiguous(self):
+        M, alpha, noise_std = self._quad_stack()
+        doubled = np.repeat(M, 2, axis=0)
+        strided = doubled[::2]
+        assert np.array_equal(strided, M)
+        a = spectral_solve_stack(strided, alpha, noise_std)
+        b = spectral_solve_stack(np.ascontiguousarray(strided), alpha, noise_std)
+        assert np.array_equal(a.omega, b.omega)
+
+    def test_fm_noise_stack_rejects_integer_raw(self):
+        M, alpha, _ = self._quad_stack()
+        raw = np.zeros((2, 1 + 3 + 9), dtype=np.int64)
+        with pytest.raises(ExperimentError, match="dtype"):
+            fm_noise_stack(M, alpha, raw, np.array([1.0, 2.0]))
+
+    def test_newton_rejects_integer_labels(self):
+        X = np.zeros((8, 2))
+        y = np.zeros(8, dtype=np.int64)
+        folds = np.array([[True] * 8])
+        with pytest.raises(ExperimentError, match="dtype"):
+            newton_logistic_stack(X, y, folds, np.zeros((1, 2)))
+
+
+class TestBackendRegistry:
+    def test_names_and_availability(self):
+        assert BACKEND_NAMES == ("numpy", "torch")
+        assert backend_available("numpy")
+        assert "numpy" in available_backends()
+
+    def test_get_backend_numpy(self):
+        backend = get_backend("numpy")
+        assert isinstance(backend, NumpyBackend)
+        assert backend.name == "numpy"
+        # Instance pass-through.
+        assert get_backend(backend) is backend
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="backend"):
+            get_backend("mkl")
+
+    def test_default_ambient_backend_is_numpy(self):
+        assert active_backend().name == "numpy"
+
+    def test_use_backend_nests_and_restores(self):
+        outer = active_backend()
+        with use_backend("numpy") as inner:
+            assert active_backend() is inner
+            with use_backend(NumpyBackend()) as innermost:
+                assert active_backend() is innermost
+            assert active_backend() is inner
+        assert active_backend() is outer
+
+    def test_torch_backend_unavailable_raises_cleanly(self):
+        if backend_available("torch"):
+            backend = get_backend("torch")
+            assert backend.name == "torch"
+        else:
+            with pytest.raises(ExperimentError, match="torch"):
+                get_backend("torch")
+
+    def test_numpy_backend_singular_raises_linalgerror(self):
+        singular = np.zeros((1, 2, 2))
+        with pytest.raises(np.linalg.LinAlgError):
+            get_backend("numpy").solve(singular, np.ones((1, 2, 1)))
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_candidate_singular_raises_linalgerror(self, backend):
+        """Every backend translates its failure to numpy's exception, so
+        kernel retry ladders behave identically."""
+        _needs(backend)
+        singular = np.zeros((1, 2, 2))
+        with pytest.raises(np.linalg.LinAlgError):
+            get_backend(backend).solve(singular, np.ones((1, 2, 1)))
+
+
+class TestPolicyResolution:
+    def test_default_and_explicit(self):
+        assert ExecutionPolicy().backend == "numpy"
+        assert ExecutionPolicy(backend="torch").backend == "torch"
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ExperimentError, match="backend"):
+            ExecutionPolicy(backend="mkl")
+
+    def test_env_layer(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "torch")
+        assert ExecutionPolicy.resolve().backend == "torch"
+        monkeypatch.setenv("REPRO_BACKEND", "numpy")
+        assert ExecutionPolicy.resolve().backend == "numpy"
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BACKEND", "torch")
+        resolved = ExecutionPolicy.resolve(explicit={"backend": "numpy"})
+        assert resolved.backend == "numpy"
+
+    def test_cli_flag_parses(self):
+        from repro.experiments.cli import build_parser
+
+        args = build_parser().parse_args(["figure6", "--backend", "torch"])
+        assert args.backend == "torch"
+        args = build_parser().parse_args(["figure6"])
+        assert args.backend is None
+
+
+class TestBackendInvariance:
+    """The shim's headline: numpy == pre-shim bits; torch conforms."""
+
+    def _scores(self, us, backend, algorithm="FM", task="linear", seed=3):
+        plan = plan_cells(
+            algorithm, us, task, dims=5, epsilons=(0.8,), preset=SMOKE, seed=seed
+        )
+        with use_backend(backend):
+            return run_plan(plan, mode="batched").scores[0.8]
+
+    def test_numpy_shim_is_bitwise_identical_to_ambient_default(self, us):
+        # The ambient default *is* a NumpyBackend; an explicitly installed
+        # one must not change a bit.
+        ambient = self._scores(us, active_backend())
+        explicit = self._scores(us, "numpy")
+        assert ambient == explicit
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("algorithm,task", [("FM", "linear"), ("FM", "logistic")])
+    def test_backend_equivalence(self, us, backend, algorithm, task):
+        """Parametrized equivalence: numpy exactly, torch within the
+        numeric tier's certified tolerance."""
+        _needs(backend)
+        reference = np.asarray(self._scores(us, "numpy", algorithm, task))
+        candidate = np.asarray(self._scores(us, backend, algorithm, task))
+        if backend == "numpy":
+            assert np.array_equal(reference, candidate)
+        else:
+            from repro.verify.numeric import DEFAULT_TOLERANCE
+
+            assert DEFAULT_TOLERANCE.conforms(reference, candidate)
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_session_policy_installs_backend(self, backend):
+        _needs(backend)
+        from repro.session import Session
+
+        with Session(ExecutionPolicy(scale="smoke", backend=backend)) as session:
+            assert session.backend.name == backend
+
+    def test_session_with_missing_backend_fails_at_construction(self):
+        if backend_available("torch"):
+            pytest.skip("torch installed; the failure path needs it absent")
+        from repro.session import Session
+
+        with pytest.raises(ExperimentError, match="torch"):
+            Session(ExecutionPolicy(scale="smoke", backend="torch"))

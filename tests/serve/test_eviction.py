@@ -1,0 +1,145 @@
+"""Tenant-cache eviction: bounded residency, transparent reload, bit-identity.
+
+The leak this guards against: ``TenantRegistry`` historically kept every
+``TenantState`` (accumulators, ledger, journal handle) in memory forever —
+unbounded growth under many-tenant load.  Eviction must bound the map
+*without* being observable in results: a forced snapshot before the drop
+plus journal-backed budgets make the post-eviction fit bitwise identical
+to an unevicted run.
+"""
+
+import numpy as np
+
+from repro.serve.app import ServeApp
+from repro.serve.loadgen import synthetic_batch
+from repro.serve.state import TenantRegistry
+from repro.session import ExecutionPolicy, Session
+
+
+def _policy(**overrides):
+    base = dict(
+        scale="smoke", telemetry="summary", executor="serial",
+        failure_mode="fallback",
+    )
+    base.update(overrides)
+    return ExecutionPolicy(**base)
+
+
+def _app(tmp_path, **app_kwargs):
+    return ServeApp(tmp_path / "data", Session(_policy()), **app_kwargs)
+
+
+def _ingest_body(tenant, rows=60, dims=3, batch=0):
+    X, y = synthetic_batch(11, 0, batch, rows, dims)
+    return {
+        "tenant": tenant, "task": "linear", "dims": dims,
+        "x": X.tolist(), "y": y.tolist(),
+    }
+
+
+def _fit_body(tenant, epsilons=(0.5, 1.0), seed=42, dims=3):
+    return {
+        "tenant": tenant, "task": "linear", "dims": dims,
+        "epsilons": list(epsilons), "seed": seed,
+    }
+
+
+class TestBoundedResidency:
+    def test_lru_cap_bounds_map_under_many_tenant_load(self, tmp_path):
+        with _app(tmp_path, max_resident_tenants=3) as app:
+            for i in range(12):
+                name = f"t{i:02d}"
+                app.create_tenant({"tenant": name, "total_epsilon": 10.0})
+                app.ingest(_ingest_body(name))
+                assert len(app.registry._tenants) <= 3
+            summary = app.session.telemetry_summary()
+            assert summary["counters"]["serve.tenant_evictions"] >= 9
+            # Every tenant is still reachable (reload from disk) ...
+            for i in range(12):
+                assert app.status(f"t{i:02d}")["accumulators"]
+            # ... and residency never exceeded the cap to answer that.
+            assert len(app.registry._tenants) <= 3
+
+    def test_idle_ttl_evicts_on_periodic_cycle(self, tmp_path):
+        with _app(tmp_path, tenant_idle_ttl=1e-6) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            app.ingest(_ingest_body("acme"))
+            app.periodic_snapshot()  # cycle: snapshot + evict (idle >> ttl)
+            assert "acme" not in app.registry._tenants
+            # Transparent reload on next touch.
+            assert app.status("acme")["accumulators"]
+
+    def test_leased_tenant_is_never_evicted(self, tmp_path):
+        with _app(tmp_path, tenant_idle_ttl=1e-6) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            with app.registry.lease("acme") as tenant:
+                app.registry.evict_idle()
+                assert "acme" in app.registry._tenants
+                assert not tenant._evicted
+            app.registry.evict_idle()
+            assert "acme" not in app.registry._tenants
+
+    def test_registry_rejects_nonsense_bounds(self, tmp_path):
+        import pytest
+
+        from repro.serve.protocol import BadRequestError
+
+        with pytest.raises(BadRequestError):
+            TenantRegistry(tmp_path / "d1", max_resident=0)
+        with pytest.raises(BadRequestError):
+            TenantRegistry(tmp_path / "d2", idle_ttl=0.0)
+
+
+class TestEvictionBitIdentity:
+    import pytest as _pytest
+
+    @_pytest.mark.parametrize("evict_point", ["mid-stream", "before-fit"])
+    def test_post_eviction_fit_is_bitwise_identical(self, tmp_path, evict_point):
+        """The regression teeth: evict either between two ingests (the
+        accumulator's partial tail must survive the snapshot as raw rows,
+        or block boundaries shift and bits move) or between ingest and
+        fit, then compare against an unevicted control run — digests and
+        coefficient bits must match exactly."""
+
+        def run(root, evict):
+            with ServeApp(
+                root, Session(_policy()), tenant_idle_ttl=1e-6
+            ) as app:
+                app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+                app.ingest(_ingest_body("acme"))
+                if evict and evict_point == "mid-stream":
+                    assert app.registry.evict_idle() == 1
+                    assert "acme" not in app.registry._tenants
+                app.ingest(_ingest_body("acme", batch=1))  # reloads if evicted
+                if evict and evict_point == "before-fit":
+                    assert app.registry.evict_idle() == 1
+                    assert "acme" not in app.registry._tenants
+                result = app.fit(_fit_body("acme"))
+                return result
+
+        control = run(tmp_path / "control", evict=False)
+        evicted = run(tmp_path / "evicted", evict=True)
+        assert evicted["digest"] == control["digest"]
+        assert np.array_equal(
+            np.asarray(evicted["omegas"], dtype=float),
+            np.asarray(control["omegas"], dtype=float),
+        )
+        assert evicted["n_rows"] == control["n_rows"]
+        assert evicted["spent_epsilon"] == control["spent_epsilon"]
+
+    def test_budget_survives_eviction(self, tmp_path):
+        with _app(tmp_path, tenant_idle_ttl=1e-6) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 2.0})
+            app.ingest(_ingest_body("acme"))
+            app.fit(_fit_body("acme", epsilons=(0.5, 1.0)))
+            app.registry.evict_idle()
+            # The reloaded ledger remembers the 1.5 spend: the next fit
+            # must refuse, not double-spend.
+            import pytest
+
+            from repro.serve.protocol import BudgetRefusedError
+
+            with pytest.raises(BudgetRefusedError):
+                app.fit(_fit_body("acme", epsilons=(0.4, 0.4)))
+            status = app.status("acme")
+            assert status["budget"]["spent"] == 1.5

@@ -10,14 +10,16 @@ class TestParser:
 
     def test_defaults(self):
         args = build_parser().parse_args(["verify"])
-        assert args.tier == 1
+        assert args.tier == "1"
         assert args.epsilon == 1.0
         assert args.trials is None
         assert not args.regen_golden
+        assert args.backend == "torch"
 
     def test_tier_choices(self):
         parser = build_parser()
-        assert parser.parse_args(["verify", "--tier", "3"]).tier == 3
+        assert parser.parse_args(["verify", "--tier", "3"]).tier == "3"
+        assert parser.parse_args(["verify", "--tier", "numeric"]).tier == "numeric"
         with pytest.raises(SystemExit):
             parser.parse_args(["verify", "--tier", "4"])
 

@@ -1,0 +1,156 @@
+"""The numeric-conformance tier has teeth.
+
+The tier's whole value is the separation it enforces: ulp-scale
+reassociation drift (what an honest alternative backend produces) must be
+*accepted*, while the classic calibration bugs — ``Delta / (2 epsilon)``,
+a dropped Laplace draw, an understated sensitivity — must be *rejected*
+even though each leaves the protocol digest untouched.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.verify.numeric import (
+    DEFAULT_TOLERANCE,
+    FAULT_KINDS,
+    NumericTolerance,
+    ReleaseOutcome,
+    compare_releases,
+    fm_release_stack,
+    ulp_distance,
+    ulp_perturb,
+    verify_numeric,
+)
+
+
+class TestUlpDistance:
+    def test_zero_for_identical(self):
+        a = np.array([0.0, 1.0, -3.5, 1e300])
+        assert np.all(ulp_distance(a, a.copy()) == 0)
+
+    def test_counts_adjacent_doubles(self):
+        a = np.array([1.0])
+        b = np.nextafter(a, np.inf)
+        assert ulp_distance(a, b)[0] == 1.0
+
+    def test_crosses_zero_correctly(self):
+        tiny = np.array([5e-324])  # one ulp above +0.0
+        assert ulp_distance(tiny, np.array([0.0]))[0] == 1.0
+        assert ulp_distance(tiny, -tiny)[0] == 2.0
+
+    def test_sign_flip_is_enormous(self):
+        assert ulp_distance(np.array([1.0]), np.array([-1.0]))[0] > 2**60
+
+    def test_nan_is_infinite(self):
+        assert ulp_distance(np.array([np.nan]), np.array([1.0]))[0] == np.inf
+        assert ulp_distance(np.array([np.nan]), np.array([np.nan]))[0] == np.inf
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ExperimentError, match="shape"):
+            ulp_distance(np.zeros(2), np.zeros(3))
+
+
+class TestUlpPerturb:
+    def test_moves_exactly_n_ulps(self):
+        values = np.array([1.0, -2.0, 0.0, 3.5])
+        out = ulp_perturb(values, ulps=4)
+        assert np.all(ulp_distance(values, out) == 4)
+
+    def test_does_not_mutate_input(self):
+        values = np.array([1.0, 2.0])
+        ulp_perturb(values, ulps=8)
+        assert np.array_equal(values, np.array([1.0, 2.0]))
+
+
+class TestTolerance:
+    def test_atol_governs_near_zero(self):
+        tol = NumericTolerance(atol=1e-9, max_ulps=2)
+        assert tol.conforms(np.array([0.0]), np.array([5e-10]))
+
+    def test_ulps_govern_large_magnitudes(self):
+        tol = NumericTolerance(atol=1e-30, max_ulps=8)
+        big = np.array([1e12])
+        assert tol.conforms(big, ulp_perturb(big, 4))
+
+    def test_rejects_beyond_both(self):
+        tol = NumericTolerance(atol=1e-9, max_ulps=8)
+        assert not tol.conforms(np.array([1.0]), np.array([1.001]))
+
+
+class TestReleaseBattery:
+    def test_reference_is_deterministic(self):
+        a = fm_release_stack("linear", 3, seed=11)
+        b = fm_release_stack("linear", 3, seed=11)
+        assert a.protocol_digest == b.protocol_digest
+        assert np.array_equal(a.omega, b.omega)
+
+    def test_seed_changes_protocol_and_values(self):
+        a = fm_release_stack("linear", 3, seed=11)
+        b = fm_release_stack("linear", 3, seed=12)
+        assert a.protocol_digest != b.protocol_digest
+        assert not np.array_equal(a.omega, b.omega)
+
+    def test_ulp_perturbation_accepted(self):
+        reference = fm_release_stack("linear", 3)
+        drifted = ReleaseOutcome(
+            protocol=reference.protocol,
+            protocol_digest=reference.protocol_digest,
+            omega=ulp_perturb(reference.omega, ulps=4),
+        )
+        verdict = compare_releases(reference, drifted, DEFAULT_TOLERANCE)
+        assert verdict.conforming
+        assert verdict.max_ulp == 4
+
+    @pytest.mark.parametrize("kind", FAULT_KINDS)
+    @pytest.mark.parametrize("task,dim", [("linear", 3), ("logistic", 4)])
+    def test_calibration_faults_rejected(self, kind, task, dim):
+        reference = fm_release_stack(task, dim)
+        faulty = fm_release_stack(task, dim, fault=kind)
+        verdict = compare_releases(reference, faulty, DEFAULT_TOLERANCE)
+        # The fault is invisible to the protocol (the same stream is
+        # drawn) — exactly why the coefficient comparison must have teeth.
+        assert verdict.protocol_match
+        assert not verdict.conforming
+        assert verdict.max_abs_diff > DEFAULT_TOLERANCE.atol
+
+    def test_unknown_fault_rejected(self):
+        with pytest.raises(ExperimentError, match="fault"):
+            fm_release_stack("linear", 3, fault="typo")
+
+    def test_divergent_protocol_never_conforms(self):
+        a = fm_release_stack("linear", 3, seed=1)
+        b = fm_release_stack("linear", 3, seed=2)
+        forged = ReleaseOutcome(
+            protocol=b.protocol, protocol_digest=b.protocol_digest, omega=a.omega
+        )
+        assert not compare_releases(a, forged).conforming
+
+
+class TestVerifyNumeric:
+    def test_reference_battery_passes_without_candidate(self):
+        report = verify_numeric(candidate="torch", sweep_group=None)
+        assert report.passed
+        labels = [check.label for check in report.checks]
+        assert any("self-consistency" in label for label in labels)
+        assert any("perturbation accepted" in label for label in labels)
+        for kind in FAULT_KINDS:
+            assert any(kind in label for label in labels)
+
+    def test_missing_candidate_is_skipped_not_failed(self):
+        report = verify_numeric(candidate="torch", sweep_group=None)
+        if report.candidate_available:
+            pytest.skip("torch installed; the skip path needs it absent")
+        assert report.passed
+        assert any("unavailable" in check.label for check in report.checks)
+
+    def test_numpy_candidate_certifies_exactly(self):
+        # numpy-vs-numpy exercises the full candidate path with zero drift.
+        report = verify_numeric(candidate="numpy", sweep_group=None)
+        assert report.candidate_available
+        assert report.passed
+        assert any("release conforms" in check.label for check in report.checks)
+
+    def test_unknown_sweep_group_rejected(self):
+        with pytest.raises(ExperimentError, match="golden group"):
+            verify_numeric(candidate="numpy", sweep_group="nope")
