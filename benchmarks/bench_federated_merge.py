@@ -1,0 +1,139 @@
+"""Federation overhead: party ingest throughput and merge+fit latency.
+
+The federated path adds three stages a single box never pays — per-party
+envelope encoding (inner ``.acc`` codec + ``.npz`` + checksums), wire
+decoding with full validation, and the coordinator's tree merge.  This
+bench measures what they cost against the centralized baseline on the
+same rows, and asserts the protocol's core promise while timing it: in
+central noise mode every party count and both merge trees release the
+**bitwise identical** digest the single box releases.
+
+Reported per party count:
+
+* ``ingest_rows_per_second`` — rows through ``run_party`` (local
+  accumulation + noise handling + envelope encoding), all parties
+  summed, serial in-process so the number is per-core;
+* ``coordinator_seconds`` — submit (decode + validate) + balanced tree
+  merge + sweep fit, i.e. the full coordinator critical path;
+* ``wire_bytes`` — total envelope bytes crossing the "network".
+
+Results merge into ``BENCH_harness.json`` under ``federated_merge``.
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+import pytest
+from conftest import save_and_print
+
+from repro.federated import (
+    FederatedCoordinator,
+    FederationSpec,
+    centralized_fit,
+    run_parties,
+)
+
+ROWS = int(os.environ.get("FED_BENCH_ROWS", "60000"))
+DIMS = int(os.environ.get("FED_BENCH_DIMS", "10"))
+PARTY_COUNTS = (2, 4, 8)
+EPSILONS = (0.1, 0.2, 0.4, 0.8, 1.6, 3.2)
+SEED = 29
+
+
+def _rows(n=ROWS, d=DIMS, seed=17):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    X /= np.maximum(1.0, np.linalg.norm(X, axis=1, keepdims=True) * 1.01)
+    y = np.clip(X @ rng.normal(size=d), -1.0, 1.0)
+    return X, y
+
+
+def _spec(parties):
+    return FederationSpec(
+        task="linear",
+        dim=DIMS,
+        epsilons=EPSILONS,
+        seed=SEED,
+        parties=parties,
+    )
+
+
+@pytest.fixture(scope="module")
+def measurements(results_dir):
+    X, y = _rows()
+
+    started = time.perf_counter()
+    baseline = centralized_fit(_spec(1), X, y)
+    centralized_seconds = time.perf_counter() - started
+
+    rows = {}
+    for parties in PARTY_COUNTS:
+        spec = _spec(parties)
+        started = time.perf_counter()
+        blobs = run_parties(spec, X, y)
+        party_seconds = time.perf_counter() - started
+        coordinator = FederatedCoordinator(spec)
+        started = time.perf_counter()
+        for blob in blobs:
+            coordinator.submit(blob)
+        result = coordinator.fit(tree="balanced")
+        coordinator_seconds = time.perf_counter() - started
+        assert result.digest == baseline.digest, (parties, result.digest)
+        assert coordinator.fit(tree="sequential").digest == baseline.digest
+        rows[parties] = {
+            "party_seconds": party_seconds,
+            "ingest_rows_per_second": ROWS / party_seconds,
+            "coordinator_seconds": coordinator_seconds,
+            "wire_bytes": sum(len(b) for b in blobs),
+            "end_to_end_seconds": party_seconds + coordinator_seconds,
+            "overhead_vs_centralized": (
+                (party_seconds + coordinator_seconds) / centralized_seconds
+            ),
+        }
+
+    lines = [
+        f"federated merge+fit vs centralized ({ROWS:,} rows, d={DIMS}, "
+        f"{len(EPSILONS)} budgets, central noise mode; digest-identical "
+        f"to single box at every K and both trees)",
+        f"  centralized: {centralized_seconds:.3f}s",
+    ]
+    for parties, row in rows.items():
+        lines.append(
+            f"  K={parties}: parties {row['party_seconds']:.3f}s "
+            f"({row['ingest_rows_per_second']:,.0f} rows/sec), coordinator "
+            f"{row['coordinator_seconds']:.3f}s, wire {row['wire_bytes']:,}B, "
+            f"{row['overhead_vs_centralized']:.2f}x centralized"
+        )
+    save_and_print(results_dir, "federated_merge", "\n".join(lines))
+    payload = {
+        "rows": ROWS,
+        "dims": DIMS,
+        "epsilons": len(EPSILONS),
+        "centralized_seconds": centralized_seconds,
+        "party_counts": rows,
+    }
+    (results_dir / "federated_merge.json").write_text(
+        json.dumps(payload, indent=2) + "\n"
+    )
+    return {"centralized_seconds": centralized_seconds, "rows": rows}
+
+
+def test_digest_identity_held_under_timing(measurements):
+    """The fixture asserted digest identity at every K; re-assert shape."""
+    assert set(measurements["rows"]) == set(PARTY_COUNTS)
+
+
+def test_federation_overhead_is_bounded(measurements):
+    """Envelope codecs + validation must stay a small constant factor,
+    not change the complexity class of a fit."""
+    for parties, row in measurements["rows"].items():
+        assert row["overhead_vs_centralized"] < 25.0, (parties, row)
+
+
+def test_ingest_throughput_floor(measurements):
+    """Guards against accidental per-row (rather than per-block) work in
+    the party path."""
+    for parties, row in measurements["rows"].items():
+        assert row["ingest_rows_per_second"] > 5_000.0, (parties, row)

@@ -87,7 +87,9 @@ def measure_truncation_error(
     try:
         w_truncated = solve_quadratic(form).x
     except Exception:
-        w_truncated = np.linalg.pinv(2.0 * form.M) @ (-form.alpha)
+        from ..runtime.backend import active_backend
+
+        w_truncated = active_backend().pinv(2.0 * form.M) @ (-form.alpha)
     gap = (
         objective.true_loss(w_truncated, X, y) - objective.true_loss(w_exact, X, y)
     ) / n

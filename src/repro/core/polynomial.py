@@ -447,7 +447,10 @@ class QuadraticForm:
 
     def eigenvalues(self) -> np.ndarray:
         """Ascending eigenvalues of the symmetric matrix ``M``."""
-        return np.linalg.eigvalsh(self.M)
+        # Deferred import: core must stay importable without runtime.
+        from ..runtime.backend import active_backend
+
+        return active_backend().eigvalsh(self.M)
 
     def is_positive_definite(self, tol: float = 0.0) -> bool:
         """Whether all eigenvalues of ``M`` exceed ``tol``.
@@ -475,7 +478,9 @@ class QuadraticForm:
                 f"(min eigenvalue {smallest:.3e}); the noisy objective has no "
                 f"finite minimizer — apply Section-6 post-processing"
             )
-        return np.linalg.solve(2.0 * self.M, -self.alpha)
+        from ..runtime.backend import active_backend
+
+        return active_backend().solve(2.0 * self.M, -self.alpha)
 
     # ------------------------------------------------------------------
     def __add__(self, other: "QuadraticForm") -> "QuadraticForm":

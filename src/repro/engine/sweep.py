@@ -283,6 +283,40 @@ class EpsilonSweepEngine:
         points = [self._fit_one(epsilon, raw[i], gen) for i, epsilon in enumerate(values)]
         return EpsilonSweepResult(epsilons=tuple(values), points=tuple(points))
 
+    def sweep_from_draws(
+        self, epsilons: Sequence[float], raw: np.ndarray, rng: RngLike = None
+    ) -> EpsilonSweepResult:
+        """Release a sweep from an externally supplied standardized sample.
+
+        ``raw`` must be the ``(n_eps, 1 + d + d^2)`` standardized Laplace
+        sample :meth:`sweep` would have drawn itself — the federated
+        local-noise-share mode reconstructs exactly that sample bitwise
+        from the parties' additive shares and injects it here, so the
+        coordinator's fit matches the central-noise fit bit for bit
+        without the coordinator ever drawing the noise.  The caller owns
+        the privacy argument for how ``raw`` was produced; the engine
+        still charges the attached budget per epsilon like :meth:`sweep`.
+        ``rng`` is only consulted by strategies that draw extra stream on
+        demand (the Lemma-5 rerun).
+        """
+        values = self._validate_epsilons(epsilons)
+        d = self._form.dim
+        raw = np.asarray(raw, dtype=float)
+        expected = (len(values), 1 + d + d * d)
+        if raw.shape != expected:
+            raise InvalidBudgetError(
+                f"injected noise sample has shape {raw.shape}, "
+                f"expected {expected} for {len(values)} epsilons at dim {d}"
+            )
+        if self._budget is not None:
+            for epsilon in values:
+                self._budget.spend(epsilon, note=f"EpsilonSweepEngine eps={epsilon:g}")
+        if type(self._strategy) is SpectralTrimming:
+            return self._sweep_batched(values, raw)
+        gen = ensure_rng(rng)
+        points = [self._fit_one(epsilon, raw[i], gen) for i, epsilon in enumerate(values)]
+        return EpsilonSweepResult(epsilons=tuple(values), points=tuple(points))
+
     def _sweep_batched(
         self, values: list[float], raw: np.ndarray
     ) -> EpsilonSweepResult:

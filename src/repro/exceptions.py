@@ -32,6 +32,10 @@ __all__ = [
     "TransientIOError",
     "CacheIntegrityError",
     "ExecutorBrokenError",
+    "FederatedError",
+    "WireFormatError",
+    "VersionMismatchError",
+    "SchemaMismatchError",
 ]
 
 
@@ -192,4 +196,59 @@ class ExecutorBrokenError(FaultError):
         super().__init__(
             f"executor gave up after exhausting retries: {reason} "
             f"({len(self.completed)} items completed, {len(self.pending)} pending)"
+        )
+
+
+class FederatedError(ReproError):
+    """Base class for federated-aggregation protocol errors.
+
+    Every subclass is **non-retryable** (``retryable = False``): a bad
+    envelope stays bad no matter how many times the coordinator re-reads
+    it, so retry layers must surface these instead of looping.  The
+    coordinator rejects the envelope *before* touching its merge state,
+    so a raised ``FederatedError`` guarantees the merged view is exactly
+    what it was before the offending envelope arrived.
+    """
+
+    retryable = False
+
+
+class WireFormatError(FederatedError):
+    """A federated envelope failed structural or checksum validation.
+
+    Covers a missing/garbled header, a payload length mismatch, a failed
+    SHA-256 digest, and an inner ``.acc`` codec integrity failure — i.e.
+    every corruption mode short of a well-formed envelope that merely
+    disagrees about versions or schema (those get the subclasses below).
+    """
+
+
+class VersionMismatchError(WireFormatError):
+    """A well-formed envelope speaks a wire-format version we do not."""
+
+    def __init__(self, got: object, supported: tuple[int, ...]) -> None:
+        self.got = got
+        self.supported = tuple(supported)
+        super().__init__(
+            f"unsupported federated wire version {got!r}; "
+            f"this coordinator speaks {list(supported)}"
+        )
+
+
+class SchemaMismatchError(WireFormatError):
+    """An envelope's schema fingerprint disagrees with the coordinator's.
+
+    The fingerprint covers task, dimensionality, block size, stream
+    version, backend, noise mode, and party count — a mismatch means the
+    party and coordinator would compute *different* releases, so the
+    merge must refuse rather than blend incompatible statistics.
+    """
+
+    def __init__(self, expected: str, got: str, context: str = "") -> None:
+        self.expected = expected
+        self.got = got
+        suffix = f" ({context})" if context else ""
+        super().__init__(
+            f"schema fingerprint mismatch: coordinator expects "
+            f"{expected[:16]}..., envelope carries {got[:16]}...{suffix}"
         )

@@ -16,6 +16,18 @@ Usage (installed package)::
     python -m repro verify --tier 2 --epsilon 1.0
     python -m repro verify --tier 3 --regen-golden
     python -m repro serve --data-dir /var/lib/repro --port 8321
+    python -m repro federated --parties 3 --noise-mode central --block-size 256
+    python -m repro federated --centralized --block-size 256
+
+``federated`` simulates a K-party federation (:mod:`repro.federated`):
+each party ingests its block-aligned row slice locally (as a real OS
+process under the default ``--executor process``), serializes a
+versioned, checksummed wire envelope, and the coordinator validates,
+tree-merges, and fits.  Both invocations above print a ``digest=`` line
+over the released coefficients; in ``central`` noise mode the two
+digests are bitwise identical — the federation's no-local-noise contract.
+Corrupt/mismatched envelopes are rejected with typed errors (exit 3)
+before any coordinator state changes.
 
 ``serve`` boots the long-lived multi-tenant DP serving layer
 (:mod:`repro.serve`): tenants stream rows and request budgeted fits over
@@ -69,6 +81,7 @@ executor/tiling/stream-version combination.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import math
 import sys
 from typing import Sequence
@@ -78,7 +91,7 @@ import numpy as np
 from ..analysis.convergence import convergence_study
 from ..data import load_brazil, load_us
 from ..engine import AccumulatorCache, EpsilonSweepEngine, ShardedAccumulator
-from ..exceptions import ExperimentError, ReproError
+from ..exceptions import ExperimentError, FederatedError, ReproError
 from ..obs import load_trace, make_recorder, summarize_trace, use_recorder
 from ..privacy.rng import derive_substream
 from ..session import ExecutionPolicy, Session, figure_spec
@@ -314,6 +327,65 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_runtime_arguments(serve)
 
+    fed = sub.add_parser(
+        "federated",
+        help="K-party federated aggregation: local ingestion, wire "
+        "envelopes, coordinator merge + fit",
+    )
+    fed.add_argument("--task", choices=("linear", "logistic"), default="linear")
+    fed.add_argument(
+        "--epsilons", default="0.1,0.2,0.4,0.8,1.6,3.2",
+        help="comma-separated privacy budgets (default: the Table-2 range)",
+    )
+    fed.add_argument("--country", choices=("us", "brazil"), default="us")
+    fed.add_argument("--dims", type=int, default=DEFAULT_DIMENSIONALITY)
+    fed.add_argument("--scale", choices=sorted(_PRESETS), default="smoke")
+    fed.add_argument("--seed", type=int, default=0)
+    fed.add_argument(
+        "--parties", type=int, default=3,
+        help="number of federation parties (default 3)",
+    )
+    fed.add_argument(
+        "--noise-mode", choices=("central", "share", "party"), default="central",
+        help="central: coordinator draws the calibrated noise (bitwise "
+        "identical to a single-box fit); share: parties ship mod-2^64 "
+        "additive shares that reconstruct the central draw bit-exactly; "
+        "party: only locally perturbed coefficients leave a party",
+    )
+    fed.add_argument(
+        "--block-size", type=int, default=None, metavar="ROWS",
+        help="accumulator block size; party splits are aligned to it "
+        "(default: the accumulator default; pick it small enough that "
+        "every party gets rows at smoke scales)",
+    )
+    fed.add_argument(
+        "--tree", choices=("sequential", "balanced"), default="balanced",
+        help="deterministic merge-tree shape (both are bit-identical)",
+    )
+    fed.add_argument(
+        "--out-dir", default=None, metavar="DIR",
+        help="write each party's envelope to DIR/party-<k>.fenv and "
+        "coordinate from the files (default: in-memory hand-off)",
+    )
+    fed.add_argument(
+        "--submit", nargs="+", default=None, metavar="ENVELOPE",
+        help="coordinator-only mode: skip the party simulation and "
+        "merge + fit these envelope files (they must match the spec "
+        "flags' fingerprint)",
+    )
+    fed.add_argument(
+        "--budget-dir", default=None, metavar="DIR",
+        help="per-party durable privacy-budget journals "
+        "(DIR/party-<k>.journal), charged before any envelope exists",
+    )
+    fed.add_argument(
+        "--centralized", action="store_true",
+        help="run the single-box baseline over the same rows and noise "
+        "substream instead (prints the digest the federated central "
+        "mode must match bitwise)",
+    )
+    add_runtime_arguments(fed)
+
     trace = sub.add_parser(
         "trace",
         help="inspect JSONL telemetry traces written by --trace",
@@ -517,6 +589,136 @@ def _run_serve(args) -> int:
     return 0
 
 
+def _run_federated(args) -> int:
+    """The ``federated`` subcommand: K parties -> envelopes -> one fit.
+
+    Prints one ``digest=<sha256>`` line over the released coefficients;
+    in ``central`` mode (and for ``--centralized``) that digest is the
+    bit-identity witness CI compares across the two paths.
+    """
+    from ..engine.accumulator import DEFAULT_BLOCK_SIZE
+    from ..federated import (
+        FederatedCoordinator,
+        FederationSpec,
+        centralized_fit,
+        run_parties,
+    )
+
+    try:
+        epsilons = tuple(float(v) for v in args.epsilons.split(",") if v.strip())
+    except ValueError:
+        print(f"error: could not parse --epsilons {args.epsilons!r}", file=sys.stderr)
+        return 2
+    if not epsilons or any(not math.isfinite(e) or e <= 0.0 for e in epsilons):
+        print(
+            f"error: --epsilons needs at least one positive budget, "
+            f"got {args.epsilons!r}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.parties < 1:
+        print(f"error: --parties must be >= 1, got {args.parties}", file=sys.stderr)
+        return 2
+    telemetry = _resolve_telemetry(args)
+    # Parties should be real processes unless the user says otherwise —
+    # that's the *base* default here, still overridable by flag/env/file.
+    policy = ExecutionPolicy.resolve(
+        explicit={
+            "runtime": args.runtime,
+            "executor": args.executor,
+            "max_workers": args.max_workers,
+            "tile_size": args.tile_size,
+            "stream_version": args.stream_version,
+            "telemetry": telemetry,
+            "faults": args.faults,
+            "max_retries": args.max_retries,
+            "tile_timeout": args.tile_timeout,
+            "failure_mode": args.failure_mode,
+            "backend": args.backend,
+        },
+        base=ExecutionPolicy(scale="smoke", executor="process"),
+    )
+    spec = FederationSpec(
+        task=args.task,
+        dim=args.dims,
+        epsilons=epsilons,
+        seed=args.seed,
+        parties=args.parties,
+        noise_mode=args.noise_mode,
+        block_size=args.block_size
+        if args.block_size is not None
+        else DEFAULT_BLOCK_SIZE,
+        stream_version=policy.stream_version,
+        backend=policy.backend,
+        budget_dir=args.budget_dir,
+    )
+
+    with Session(policy) as session:
+        with use_recorder(session.recorder):
+            if args.submit is not None:
+                from pathlib import Path
+
+                from ..federated import decode_envelope
+
+                # --dims is the *raw* dimensionality knob; envelopes carry
+                # the prepared dim.  Peek it off the first envelope (fully
+                # validated, fingerprint-self-consistent) — every envelope
+                # is then re-validated against the resulting spec, so a
+                # lying header still cannot smuggle a mismatched schema in.
+                peek = decode_envelope(Path(args.submit[0]).read_bytes())
+                spec = dataclasses.replace(spec, dim=peek.dim)
+                coordinator = FederatedCoordinator(spec)
+                for path in args.submit:
+                    coordinator.submit_path(path)
+                result = coordinator.fit(tree=args.tree)
+                source = f"{len(args.submit)} submitted envelope(s)"
+            else:
+                preset = _PRESETS[args.scale]
+                dataset = _load(args.country, preset)
+                prepared = dataset.regression_task(args.task, dims=args.dims)
+                spec = dataclasses.replace(spec, dim=prepared.dim)
+                if args.centralized:
+                    result = centralized_fit(spec, prepared.X, prepared.y)
+                    source = f"single box over {result.n_rows} rows"
+                else:
+                    outputs = run_parties(
+                        spec,
+                        prepared.X,
+                        prepared.y,
+                        executor=session.executor(),
+                        out_dir=args.out_dir,
+                    )
+                    coordinator = FederatedCoordinator(spec)
+                    for output in outputs:
+                        if isinstance(output, (bytes, bytearray)):
+                            coordinator.submit(bytes(output))
+                        else:
+                            coordinator.submit_path(output)
+                    result = coordinator.fit(tree=args.tree)
+                    source = (
+                        f"{spec.parties} parties "
+                        f"({'files' if args.out_dir else 'in-memory'}, "
+                        f"executor={policy.executor})"
+                    )
+        if args.trace:
+            session.recorder.write_jsonl(
+                args.trace, meta={"entry_point": "federated"}
+            )
+
+    norms = ", ".join(
+        f"{e:g}:{float(np.linalg.norm(w)):.4f}"
+        for e, w in zip(result.epsilons, result.coefficients)
+    )
+    print(
+        f"federated task={result.task} d={result.dim} mode={result.noise_mode} "
+        f"parties={result.parties} rows={result.n_rows} tree={args.tree}"
+    )
+    print(f"source: {source}")
+    print(f"|omega| per epsilon: {norms}")
+    print(f"digest={result.digest}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     """Entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -524,6 +726,18 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.command == "serve":
         try:
             return _run_serve(args)
+        except ReproError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+
+    if args.command == "federated":
+        try:
+            return _run_federated(args)
+        except FederatedError as error:
+            # Typed, non-retryable protocol rejection: its own exit code
+            # so CI's corruption run can assert the failure *kind*.
+            print(f"federated: rejected: {error}", file=sys.stderr)
+            return 3
         except ReproError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2

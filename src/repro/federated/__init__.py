@@ -1,0 +1,69 @@
+"""``repro.federated`` — multi-party federated aggregation for the FM.
+
+K parties each ingest their rows locally into their own
+:class:`~repro.engine.accumulator.MomentAccumulator`, optionally produce
+a local noise contribution, and serialize everything into a versioned,
+checksummed wire envelope; a coordinator validates every envelope before
+touching state, tree-merges deterministically, and fits through the
+existing engine/runtime stack.  In the no-local-noise (``central``) mode
+the released sweep is **bitwise identical** to single-box ingestion of
+the concatenated rows; in ``share`` mode the parties' mod-2^64 additive
+noise shares reconstruct the central Laplace calibration bit-exactly;
+in ``party`` mode only locally perturbed coefficients ever leave a
+party.  See the module docstrings of :mod:`repro.federated.wire`,
+:mod:`repro.federated.noise`, :mod:`repro.federated.party`, and
+:mod:`repro.federated.coordinator` for the full contracts, and the
+README's "Federated aggregation" section for the protocol walkthrough.
+"""
+
+from .coordinator import (
+    MERGE_TREES,
+    FederatedCoordinator,
+    FederatedFitResult,
+    centralized_fit,
+    released_digest,
+    tree_merge,
+)
+from .noise import (
+    central_raw_sample,
+    combine_shares,
+    noise_share,
+    party_noise_rng,
+    perturb_form_stack,
+)
+from .party import FederationSpec, PartyWork, run_parties, run_party, split_rows
+from .wire import (
+    NOISE_MODES,
+    SUPPORTED_WIRE_VERSIONS,
+    WIRE_VERSION,
+    PartyEnvelope,
+    decode_envelope,
+    encode_envelope,
+    schema_fingerprint,
+)
+
+__all__ = [
+    "MERGE_TREES",
+    "NOISE_MODES",
+    "SUPPORTED_WIRE_VERSIONS",
+    "WIRE_VERSION",
+    "FederatedCoordinator",
+    "FederatedFitResult",
+    "FederationSpec",
+    "PartyEnvelope",
+    "PartyWork",
+    "central_raw_sample",
+    "centralized_fit",
+    "combine_shares",
+    "decode_envelope",
+    "encode_envelope",
+    "noise_share",
+    "party_noise_rng",
+    "perturb_form_stack",
+    "released_digest",
+    "run_parties",
+    "run_party",
+    "schema_fingerprint",
+    "split_rows",
+    "tree_merge",
+]

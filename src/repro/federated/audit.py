@@ -1,0 +1,90 @@
+"""Coordinator-view conformance releases for the tier-2 auditor.
+
+The federation must be auditable the same way every other mechanism is:
+as a black box mapping ``(packed database, generator) -> one scalar``.
+:func:`coordinator_release` builds exactly that — per trial it runs the
+whole protocol in-process (split rows across K parties, per-party
+accumulators, deterministic tree merge, the mode's noise path) and
+releases the coordinator's noisy linear coefficient ``alpha[0]``, the
+same sharpest observable the single-box FM spec audits.  Noise comes
+from the *passed* generator (fresh per trial — a statistical audit needs
+independent releases; the keyed-substream reproducibility of the
+protocol proper is covered by the bitwise tests instead).
+
+``central`` mode draws one standardized row and scales it like the
+sweep, so its released coordinate is distributionally identical to
+single-box FM — the audit must certify the *same* epsilon lower bounds.
+``party`` mode sums K locally perturbed coefficients; the replaced tuple
+lives in exactly one party, whose local release is epsilon-DP, and the
+other parties' independent noise is post-processing — so the same
+pair-calibrated ceiling applies, with extra slack from the K-fold noise.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..experiments.harness import objective_for
+from .coordinator import tree_merge
+from .noise import perturb_form_stack
+from .party import split_rows
+from ..engine.accumulator import MomentAccumulator
+
+__all__ = ["coordinator_release"]
+
+
+def coordinator_release(
+    task: str,
+    epsilon: float,
+    parties: int = 3,
+    noise_mode: str = "central",
+    tree: str = "balanced",
+):
+    """A tier-2 ``Release`` over the coordinator's released view.
+
+    Returns a callable ``(db, gen) -> float`` running the K-party
+    protocol per invocation and releasing the coordinator's noisy
+    ``alpha[0]``.
+    """
+    if noise_mode not in ("central", "party"):
+        # share mode reconstructs the central sample bit-exactly, so its
+        # released distribution IS central mode's; auditing it separately
+        # would re-run the same trial twice.
+        raise ValueError(
+            f"auditable noise modes are 'central' and 'party', got {noise_mode!r}"
+        )
+    epsilon = float(epsilon)
+    parties = int(parties)
+
+    def release(db: np.ndarray, gen: np.random.Generator) -> float:
+        X, y = db[:, :-1], db[:, -1]
+        dim = X.shape[1]
+        objective = objective_for(task, dim)
+        sensitivity = objective.sensitivity()
+        # Row-granular split: audit pairs are tiny, and the statistical
+        # audit needs rows actually distributed across parties (bitwise
+        # block alignment is the bit-identity tests' concern, not ours).
+        slices = split_rows(X, y, parties, block_size=1)
+        accumulators = [
+            MomentAccumulator(dim).update(Xk, yk) for Xk, yk in slices
+        ]
+        if noise_mode == "central":
+            merged = tree_merge(accumulators, tree=tree)
+            form = merged.quadratic_form(objective)
+            # One standardized sweep row, consumed with the engine's
+            # layout (scalar, then the d linear draws the release reads).
+            raw = gen.laplace(0.0, 1.0, size=1 + dim + dim * dim)
+            return float(form.alpha[0] + (sensitivity / epsilon) * raw[1])
+        # party mode: K independent local perturbations, summed.
+        total = 0.0
+        for accumulator in accumulators:
+            _, alpha_stack, _ = perturb_form_stack(
+                accumulator.quadratic_form(objective),
+                [epsilon],
+                sensitivity,
+                gen,
+            )
+            total += float(alpha_stack[0, 0])
+        return total
+
+    return release

@@ -209,6 +209,12 @@ class PrivacyBudget:
                     if record.get("recovered", False):
                         note += _RECOVERED_SUFFIX
                     entries.append((int(record["id"]), epsilon, note))
+            elif op == "note":
+                # Durable zero-cost annotation (see annotate()): replays as
+                # an epsilon=0 ledger entry so restored ledgers keep the
+                # full decision history (e.g. parallel-covered partition
+                # fits) without changing the spent total.
+                entries.append((int(record["id"]), 0.0, str(record.get("note", ""))))
             else:
                 raise InvalidBudgetError(
                     f"budget journal {path} has unknown record {op!r} "
@@ -330,6 +336,25 @@ class PrivacyBudget:
         if recorder.recording:
             recorder.counter("budget.spend_events")
             recorder.gauge("budget.epsilon_spent", self.spent)
+
+    def annotate(self, note: str) -> None:
+        """Record a durable zero-cost ledger annotation.
+
+        Parallel composition means some releases legitimately cost
+        nothing *extra* (a partition fit already covered by the running
+        maximum), yet the decision to charge nothing must survive a
+        crash just like a spend does — otherwise a restored ledger
+        cannot re-derive the per-partition maxima it charged against.
+        A ``note`` record is a single durable journal line (no
+        intent/commit pair: there is no ledger mutation to crash
+        between) and an ``epsilon=0`` ledger entry, neutral to
+        :attr:`spent`.
+        """
+        with self._lock:
+            note_id = self._next_intent_id
+            self._next_intent_id += 1
+            self._journal_write({"op": "note", "id": note_id, "note": note})
+            self._ledger.append(BudgetLedgerEntry(epsilon=0.0, note=note))
 
     def split(self, fractions: list[float]) -> list["PrivacyBudget"]:
         """Carve the *remaining* budget into child budgets.

@@ -34,6 +34,7 @@ under chaos equals the clean offline recomputation from the same rows.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import threading
 import time
@@ -75,6 +76,21 @@ _SERVE_STREAM_TAG = 0x53525645
 _MIN_TILE_TIMEOUT = 0.05
 
 
+def _partition_site(partition: str | None) -> int | None:
+    """A stable integer substream key for a partition name.
+
+    Partitioned fits must not share noise draws with each other (or with
+    the unpartitioned fit) under the same request seed: the partitions
+    hold *disjoint* data, so bitwise-shared noise would cancel under
+    subtraction of two releases.  Folding a hash of the name into the
+    substream path keeps every partition's stream independent while
+    leaving unpartitioned fits bitwise identical to before.
+    """
+    if partition is None:
+        return None
+    return int(hashlib.sha256(partition.encode()).hexdigest()[:8], 16)
+
+
 class _FitWork:
     """One epsilon's Functional-Mechanism release; items are ``(index, eps)``.
 
@@ -84,19 +100,31 @@ class _FitWork:
     substream — executor-independent by construction.
     """
 
-    def __init__(self, task: str, dims: int, form, seed: int, stream_version: int) -> None:
+    def __init__(
+        self,
+        task: str,
+        dims: int,
+        form,
+        seed: int,
+        stream_version: int,
+        partition_site: int | None = None,
+    ) -> None:
         self.task = task
         self.dims = dims
         self.form = form
         self.seed = seed
         self.stream_version = stream_version
+        self.partition_site = partition_site
 
     def __call__(self, item: tuple[int, float]) -> np.ndarray:
         index, epsilon = item
         objective = objective_for(self.task, self.dims)
         engine = EpsilonSweepEngine(objective, self.form)
+        path = [_SERVE_STREAM_TAG, index]
+        if self.partition_site is not None:
+            path = [_SERVE_STREAM_TAG, self.partition_site, index]
         rng = derive_substream(
-            self.seed, [_SERVE_STREAM_TAG, index], stream_version=self.stream_version
+            self.seed, path, stream_version=self.stream_version
         )
         return engine.sweep([epsilon], rng=rng).coefficients[0]
 
@@ -183,7 +211,7 @@ class ServeApp:
                 return tenant.status()
 
     def ingest(self, body: dict) -> dict:
-        name, task, dims, X, y, durable = parse_ingest_request(body)
+        name, task, dims, partition, X, y, durable = parse_ingest_request(body)
         self._check_ready()
         # Leases pin the tenant resident for the request's whole extent so
         # the idle/LRU evictor can never close its journal mid-flight.
@@ -192,13 +220,13 @@ class ServeApp:
         ) as recorder:
             with tenant.locked():
                 try:
-                    n_rows = tenant.ingest(task, dims, X, y)
+                    n_rows = tenant.ingest(task, dims, X, y, partition=partition)
                 except DataError as exc:
                     raise BadRequestError(str(exc)) from None
             if durable:
                 tenant.snapshot()
             recorder.counter("serve.rows_ingested", len(X))
-            return {
+            response = {
                 "tenant": name,
                 "task": task,
                 "dims": dims,
@@ -206,9 +234,12 @@ class ServeApp:
                 "n_rows": int(n_rows),
                 "durable": durable,
             }
+            if partition is not None:
+                response["partition"] = partition
+            return response
 
     def fit(self, body: dict, deadline: Deadline | None = None) -> dict:
-        name, task, dims, epsilons, seed = parse_fit_request(body)
+        name, task, dims, partition, epsilons, seed = parse_fit_request(body)
         self._check_ready()
         with self.registry.lease(name) as tenant, self._scope(
             "serve.fit", tenant=name, points=len(epsilons)
@@ -218,10 +249,14 @@ class ServeApp:
                     "deadline expired before fit started", tenant=name
                 )
             with tenant.locked():
-                acc = tenant._accumulators.get(TenantState.acc_key(task, dims))
+                key = TenantState.acc_key(task, dims, partition)
+                acc = tenant._accumulators.get(key)
                 if acc is None or acc.n_rows == 0:
+                    where = f"{task} d={dims}" + (
+                        f" partition={partition!r}" if partition else ""
+                    )
                     raise BadRequestError(
-                        f"tenant {name!r} has no rows for {task} d={dims}; "
+                        f"tenant {name!r} has no rows for {where}; "
                         f"ingest before fitting"
                     )
                 statistics = acc.snapshot()
@@ -234,11 +269,17 @@ class ServeApp:
                     "deadline expired before budget spend", tenant=name
                 )
             requested = math.fsum(epsilons)
+            note = f"serve fit {task}-d{dims} seed={seed} k={len(epsilons)}"
             try:
-                tenant.budget.spend(
-                    requested,
-                    note=f"serve fit {task}-d{dims} seed={seed} k={len(epsilons)}",
-                )
+                if partition is None:
+                    # Sequential composition: the full cost hits the ledger.
+                    tenant.budget.spend(requested, note=note)
+                    charged = requested
+                else:
+                    # Parallel composition over disjoint partitions: only
+                    # the increase of the running maximum hits the ledger
+                    # (possibly nothing — recorded durably either way).
+                    charged = tenant.charge_partitioned(partition, requested, note)
             except BudgetExhaustedError as exc:
                 recorder.counter("serve.budget_refusals")
                 raise BudgetRefusedError(
@@ -247,22 +288,29 @@ class ServeApp:
                     requested=exc.requested,
                     remaining=exc.remaining,
                 ) from None
-            omegas = self._execute_fit(task, dims, statistics, epsilons, seed, deadline)
+            omegas = self._execute_fit(
+                task, dims, statistics, epsilons, seed, deadline,
+                partition=partition,
+            )
             digest = fit_digest(task, dims, epsilons, seed, n_rows, omegas)
             recorder.counter("serve.fits")
             recorder.counter("serve.fit_models", len(epsilons))
-            return {
+            response = {
                 "tenant": name,
                 "task": task,
                 "dims": dims,
                 "epsilons": list(epsilons),
                 "seed": seed,
                 "n_rows": int(n_rows),
-                "spent_epsilon": requested,
+                "spent_epsilon": charged,
                 "remaining_epsilon": tenant.budget.remaining,
                 "omegas": [list(map(float, row)) for row in omegas],
                 "digest": digest,
             }
+            if partition is not None:
+                response["partition"] = partition
+                response["partition_epsilon"] = requested
+            return response
 
     def _fit_executor(self, deadline: Deadline | None):
         """A per-request executor honoring policy + the remaining deadline.
@@ -297,6 +345,7 @@ class ServeApp:
         epsilons: tuple[float, ...],
         seed: int,
         deadline: Deadline | None,
+        partition: str | None = None,
     ) -> np.ndarray:
         """Release one model per epsilon; completion is unconditional.
 
@@ -309,7 +358,8 @@ class ServeApp:
         objective = objective_for(task, dims)
         form = statistics.quadratic_form(objective)
         work = _FitWork(
-            task, dims, form, seed, self.session.policy.stream_version
+            task, dims, form, seed, self.session.policy.stream_version,
+            partition_site=_partition_site(partition),
         )
         items = [(i, eps) for i, eps in enumerate(epsilons)]
         executor = self._fit_executor(deadline)

@@ -241,6 +241,31 @@ def _dims(body: dict) -> int:
     return dims
 
 
+def _partition(body: dict) -> str | None:
+    """Optional ``partition`` field: a named disjoint user subset.
+
+    Partitions declare *disjointness*: rows ingested under different
+    partitions of one tenant belong to different users, so fits against
+    different partitions compose in **parallel** (the ledger charges the
+    running maximum, not the sum).  The service cannot verify the
+    disjointness claim — it is part of the tenant's trust contract, like
+    the row-norm domain bounds.  ``None`` (field absent) keeps the
+    sequential-composition behavior.
+    """
+    value = body.get("partition")
+    if value is None:
+        return None
+    if not isinstance(value, str):
+        raise BadRequestError("field 'partition' must be a string", field="partition")
+    if not value or len(value) > 64 or not all(
+        c.isalnum() or c in "-_." for c in value
+    ):
+        raise BadRequestError(
+            "partition names are 1-64 chars of [alnum-_.]", field="partition"
+        )
+    return value
+
+
 def parse_tenant_request(body: dict) -> tuple[str, float]:
     """Validate a tenant-creation body: ``{tenant, total_epsilon}``."""
     name = _tenant_name(body)
@@ -258,16 +283,21 @@ def parse_tenant_request(body: dict) -> tuple[str, float]:
     return name, total
 
 
-def parse_ingest_request(body: dict) -> tuple[str, str, int, np.ndarray, np.ndarray, bool]:
-    """Validate an ingest body: ``{tenant, task, dims, x, y[, durable]}``.
+def parse_ingest_request(
+    body: dict,
+) -> tuple[str, str, int, str | None, np.ndarray, np.ndarray, bool]:
+    """Validate an ingest body: ``{tenant, task, dims[, partition], x, y[, durable]}``.
 
     ``x`` is a list of ``dims``-length rows, ``y`` the matching targets.
     Domain checks beyond shape (``||x||_2 <= 1``, ``|y| <= 1``) are the
     accumulator's own validation — one implementation, one error message.
+    ``partition`` (optional) routes the rows into a named disjoint
+    partition of the tenant's data (see :func:`_partition`).
     """
     name = _tenant_name(body)
     task = _task(body)
     dims = _dims(body)
+    partition = _partition(body)
     rows = _require(body, "x", list, "a list of rows")
     targets = _require(body, "y", list, "a list of numbers")
     if not rows:
@@ -294,19 +324,24 @@ def parse_ingest_request(body: dict) -> tuple[str, str, int, np.ndarray, np.ndar
     durable = body.get("durable", False)
     if not isinstance(durable, bool):
         raise BadRequestError("field 'durable' must be a boolean", field="durable")
-    return name, task, dims, X, y, durable
+    return name, task, dims, partition, X, y, durable
 
 
-def parse_fit_request(body: dict) -> tuple[str, str, int, tuple[float, ...], int]:
-    """Validate a fit body: ``{tenant, task, dims, epsilons, seed}``.
+def parse_fit_request(
+    body: dict,
+) -> tuple[str, str, int, str | None, tuple[float, ...], int]:
+    """Validate a fit body: ``{tenant, task, dims[, partition], epsilons, seed}``.
 
     ``epsilons`` may be a single number or a list; ``seed`` keys the
     release's noise substreams and is required, so a fit is reproducible
-    (and therefore digest-checkable) by construction.
+    (and therefore digest-checkable) by construction.  A ``partition``
+    fit releases over that partition's accumulator only and is charged
+    under parallel composition (see :func:`_partition`).
     """
     name = _tenant_name(body)
     task = _task(body)
     dims = _dims(body)
+    partition = _partition(body)
     raw = body.get("epsilons", body.get("epsilon"))
     if isinstance(raw, (int, float)) and not isinstance(raw, bool):
         raw = [raw]
@@ -333,7 +368,7 @@ def parse_fit_request(body: dict) -> tuple[str, str, int, tuple[float, ...], int
             )
         epsilons.append(float(value))
     seed = _require(body, "seed", int, "an integer")
-    return name, task, dims, tuple(epsilons), seed
+    return name, task, dims, partition, tuple(epsilons), seed
 
 
 # ----------------------------------------------------------------------

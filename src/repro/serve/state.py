@@ -36,7 +36,9 @@ from __future__ import annotations
 
 import hashlib
 import json
+import math
 import os
+import re
 import tempfile
 import threading
 import time
@@ -57,7 +59,7 @@ from .protocol import (
     UnknownTenantError,
 )
 
-__all__ = ["TenantRegistry", "TenantState"]
+__all__ = ["TenantRegistry", "TenantState", "partition_note_tag"]
 
 #: ``meta.json`` format version.
 _META_VERSION = 1
@@ -65,6 +67,39 @@ _META_VERSION = 1
 #: Bounded retries for transient IO on snapshot writes/reads (matches the
 #: accumulator cache's policy).
 _IO_ATTEMPTS = 3
+
+
+#: Machine-readable tag appended to every partitioned fit's ledger note;
+#: :func:`_partition_totals` re-derives the per-partition running totals
+#: from these after a restore, so the parallel-composition accounting is
+#: exactly as durable as the ledger itself.
+_PARTITION_NOTE_RE = re.compile(
+    r"\[partition=(?P<name>[A-Za-z0-9._-]+) requested=(?P<eps>[0-9.eE+-]+)\]"
+)
+
+
+def partition_note_tag(partition: str, requested: float) -> str:
+    """The durable note tag recording one partitioned fit's full cost."""
+    return f"[partition={partition} requested={float(requested):.17g}]"
+
+
+def _partition_totals(ledger) -> dict[str, float]:
+    """Per-partition cumulative requested epsilon, re-derived from notes.
+
+    Every partitioned fit — whether it charged a positive delta or was
+    annotated as parallel-covered — leaves one tagged ledger entry, so
+    summing the tags reproduces the in-memory totals bitwise-equivalently
+    (``fsum`` per partition, in ledger order).
+    """
+    per_partition: dict[str, list[float]] = {}
+    for entry in ledger:
+        match = _PARTITION_NOTE_RE.search(entry.note)
+        if match is None:
+            continue
+        per_partition.setdefault(match.group("name"), []).append(
+            float(match.group("eps"))
+        )
+    return {name: math.fsum(values) for name, values in per_partition.items()}
 
 
 def _site_index(tenant: str, key: str = "") -> int:
@@ -117,6 +152,13 @@ class TenantState:
         self.root = root
         self.budget = budget
         self._lock = threading.Lock()
+        # Parallel-composition accounting: per-partition cumulative
+        # requested epsilon, guarded by its own small lock (partition
+        # charges are quick and must not count as writer contention).
+        # Rebuilt from the restored ledger's tagged notes, so a restart
+        # resumes charging against the same running maxima.
+        self._budget_lock = threading.Lock()
+        self._partition_spent: dict[str, float] = _partition_totals(budget.ledger)
         self._accumulators: dict[str, MomentAccumulator] = {}
         # Keys whose accumulator changed since their last durable snapshot.
         self._dirty: set[str] = set()
@@ -151,28 +193,83 @@ class TenantState:
     # Accumulator access (call under ``locked()``)
     # ------------------------------------------------------------------
     @staticmethod
-    def acc_key(task: str, dims: int) -> str:
-        return f"{task}-d{dims}"
+    def acc_key(task: str, dims: int, partition: str | None = None) -> str:
+        """Accumulator map/file key; partitioned keys get a ``+<name>``
+        suffix (``+`` is outside the partition-name alphabet, so the
+        mapping is unambiguous and round-trips through ``.acc`` stems)."""
+        base = f"{task}-d{dims}"
+        return base if partition is None else f"{base}+{partition}"
 
-    def accumulator(self, task: str, dims: int) -> MomentAccumulator:
-        """The (task, dims) accumulator, created on first use."""
-        key = self.acc_key(task, dims)
+    def accumulator(
+        self, task: str, dims: int, partition: str | None = None
+    ) -> MomentAccumulator:
+        """The (task, dims[, partition]) accumulator, created on first use."""
+        key = self.acc_key(task, dims, partition)
         acc = self._accumulators.get(key)
         if acc is None:
             acc = MomentAccumulator(dim=dims)
             self._accumulators[key] = acc
         return acc
 
-    def ingest(self, task: str, dims: int, X: np.ndarray, y: np.ndarray) -> int:
-        """Stream rows into the (task, dims) accumulator; returns its total rows.
+    def ingest(
+        self,
+        task: str,
+        dims: int,
+        X: np.ndarray,
+        y: np.ndarray,
+        partition: str | None = None,
+    ) -> int:
+        """Stream rows into the (task, dims[, partition]) accumulator;
+        returns its total rows.
 
         Caller holds the lock.  Accumulator domain validation (row norms,
         target range) raises ``ValueError`` which the app maps to a 400.
         """
-        acc = self.accumulator(task, dims)
+        acc = self.accumulator(task, dims, partition)
         acc.update(X, y)
-        self._dirty.add(self.acc_key(task, dims))
+        self._dirty.add(self.acc_key(task, dims, partition))
         return acc.n_rows
+
+    # ------------------------------------------------------------------
+    # Parallel-composition budget accounting
+    # ------------------------------------------------------------------
+    def partition_spent(self) -> dict[str, float]:
+        """A copy of the per-partition cumulative requested epsilons."""
+        with self._budget_lock:
+            return dict(self._partition_spent)
+
+    def charge_partitioned(self, partition: str, requested: float, note: str) -> float:
+        """Charge a fit over one disjoint partition; returns the delta charged.
+
+        Partitions hold disjoint users, so the tenant's true privacy
+        loss across partitioned fits is the **maximum** of the
+        per-partition totals, not their sum (parallel composition).  The
+        ledger stays a plain sequential accountant: each partitioned fit
+        charges only the amount by which its partition's new total
+        exceeds the previous running maximum —
+
+            delta = (spent[p] + requested) - max_q spent[q]
+
+        — and a non-positive delta becomes a durable zero-cost
+        :meth:`~repro.privacy.budget.PrivacyBudget.annotate` instead.
+        Either way the entry carries :func:`partition_note_tag`, so a
+        restore re-derives ``spent[·]`` from the ledger and resumes the
+        same maxima.  Raises
+        :class:`~repro.exceptions.BudgetExhaustedError` (ledger
+        untouched, totals unchanged) when the delta does not fit.
+        """
+        requested = float(requested)
+        with self._budget_lock:
+            ceiling = max(self._partition_spent.values(), default=0.0)
+            new_total = self._partition_spent.get(partition, 0.0) + requested
+            delta = new_total - ceiling
+            tag = partition_note_tag(partition, requested)
+            if delta > 0.0:
+                self.budget.spend(delta, note=f"{note} {tag}")
+            else:
+                self.budget.annotate(f"{note} {tag} parallel-covered")
+            self._partition_spent[partition] = new_total
+            return max(delta, 0.0)
 
     def status(self) -> dict:
         """A JSON-ready view of this tenant (call under ``locked()``)."""
@@ -183,6 +280,7 @@ class TenantState:
                 "spent": self.budget.spent,
                 "remaining": self.budget.remaining,
                 "entries": len(self.budget.ledger),
+                "partitions": self.partition_spent(),
             },
             "accumulators": {
                 key: {"n_rows": acc.n_rows, "dims": acc.dim}

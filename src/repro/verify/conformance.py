@@ -233,6 +233,15 @@ def _fm_pair_calibration(pair: NeighborPair, task: Task, epsilon: float) -> floa
     return shift * float(epsilon) / objective.sensitivity()
 
 
+def _federated_release(task: Task, epsilon: float, noise_mode: str) -> Release:
+    """Coordinator-view release of the K-party federation (lazy import:
+    :mod:`repro.federated` pulls in the engine/runtime stack, which this
+    registry module must not load eagerly)."""
+    from ..federated.audit import coordinator_release
+
+    return coordinator_release(task, epsilon, parties=3, noise_mode=noise_mode)
+
+
 def _register_default_specs() -> None:
     register_mechanism(
         MechanismSpec(
@@ -240,6 +249,34 @@ def _register_default_specs() -> None:
             tasks=("linear", "logistic"),
             build_release=_fm_coefficient_release,
             default_trials=20_000,
+            calibrated_epsilon=_fm_pair_calibration,
+        )
+    )
+    # The federated coordinator's released view.  Central mode is
+    # distributionally identical to single-box FM (one standardized draw,
+    # one merged form), so it must certify the *same* pair-calibrated
+    # bounds; local (party) mode sums K local perturbations — the same
+    # ceiling applies (the replaced tuple lives in one party; the other
+    # parties' noise is post-processing) with K-fold-noise slack under it.
+    register_mechanism(
+        MechanismSpec(
+            name="FM-fed",
+            tasks=("linear", "logistic"),
+            build_release=lambda task, epsilon: _federated_release(
+                task, epsilon, "central"
+            ),
+            default_trials=12_000,
+            calibrated_epsilon=_fm_pair_calibration,
+        )
+    )
+    register_mechanism(
+        MechanismSpec(
+            name="FM-fed-local",
+            tasks=("linear", "logistic"),
+            build_release=lambda task, epsilon: _federated_release(
+                task, epsilon, "party"
+            ),
+            default_trials=12_000,
             calibrated_epsilon=_fm_pair_calibration,
         )
     )

@@ -1,0 +1,150 @@
+"""The generic per-cell paths dispatch through the ambient array backend.
+
+PR-9 put the *stacked* kernels behind :class:`ArrayBackend`; this suite
+covers the remaining generic per-cell linear algebra — quadratic-form
+eigenvalues/minimize, spectral repair, the OLS Gram solve, Newton
+directions, and the pseudo-inverse fallbacks — which now route through
+``active_backend()`` too.  The numpy backend is bit-identical by
+construction (its methods *are* the old calls); a counting subclass
+proves the dispatch actually happens; the torch backend (when installed)
+must agree numerically.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines.objective_perturbation import ObjectivePerturbation
+from repro.core.polynomial import QuadraticForm
+from repro.core.postprocess import SpectralTrimming
+from repro.regression.linear import LinearRegression
+from repro.regression.solvers import NewtonSolver
+from repro.runtime.backend import (
+    NumpyBackend,
+    backend_available,
+    use_backend,
+)
+
+
+class CountingBackend(NumpyBackend):
+    """Bit-identical to numpy, but counts every dispatched call."""
+
+    name = "counting"
+
+    def __init__(self):
+        self.calls = {"solve": 0, "eigh": 0, "eigvalsh": 0, "pinv": 0}
+
+    def solve(self, A, b):
+        self.calls["solve"] += 1
+        return super().solve(A, b)
+
+    def eigh(self, A):
+        self.calls["eigh"] += 1
+        return super().eigh(A)
+
+    def eigvalsh(self, A):
+        self.calls["eigvalsh"] += 1
+        return super().eigvalsh(A)
+
+    def pinv(self, A):
+        self.calls["pinv"] += 1
+        return super().pinv(A)
+
+
+def _form(d=4, seed=3, spd=True):
+    rng = np.random.default_rng(seed)
+    A = rng.normal(size=(d, d))
+    M = A @ A.T / d + (np.eye(d) if spd else -2.0 * np.eye(d))
+    return QuadraticForm(M=M, alpha=rng.normal(size=d), beta=0.5)
+
+
+def _xy(n=80, d=4, seed=11):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d)) / (3.0 * np.sqrt(d))
+    y = np.clip(X @ rng.normal(size=d) + 0.05 * rng.normal(size=n), -1, 1)
+    return X, y
+
+
+class TestDispatchIsCounted:
+    def test_quadratic_form_paths(self):
+        counting = CountingBackend()
+        form = _form()
+        with use_backend(counting):
+            form.eigenvalues()
+            form.minimize()
+        assert counting.calls["eigvalsh"] >= 2  # minimize re-checks PD
+        assert counting.calls["solve"] == 1
+
+    def test_spectral_repair_eigh(self):
+        counting = CountingBackend()
+        with use_backend(counting):
+            SpectralTrimming().solve(_form(spd=False), noise_std=0.5)
+        assert counting.calls["eigh"] == 1
+
+    def test_ols_gram_solve(self):
+        counting = CountingBackend()
+        X, y = _xy()
+        with use_backend(counting):
+            LinearRegression().fit(X, y)
+        assert counting.calls["solve"] >= 1
+
+    def test_newton_direction(self):
+        counting = CountingBackend()
+        solver = NewtonSolver(max_iterations=25, raise_on_failure=False)
+        with use_backend(counting):
+            solver.minimize(
+                lambda w: float(w @ w) + float(w[0]),
+                lambda w: 2.0 * w + np.eye(len(w))[0],
+                lambda w: 2.0 * np.eye(len(w)),
+                np.zeros(3),
+            )
+        assert counting.calls["solve"] >= 1
+
+    def test_objective_perturbation_solve(self):
+        counting = CountingBackend()
+        X, y = _xy()
+        with use_backend(counting):
+            ObjectivePerturbation("linear", epsilon=1.0, rng=5).fit(X, y)
+        assert counting.calls["solve"] >= 1
+
+
+class TestNumpyBitIdentity:
+    """The counting backend *is* numpy: ambient dispatch changes nothing."""
+
+    def test_quadratic_form_results_identical(self):
+        form = _form()
+        base_eigs = form.eigenvalues()
+        base_min = form.minimize()
+        with use_backend(CountingBackend()):
+            assert np.array_equal(form.eigenvalues(), base_eigs)
+            assert np.array_equal(form.minimize(), base_min)
+
+    def test_ols_identical(self):
+        X, y = _xy()
+        base = LinearRegression().fit(X, y).coef_
+        with use_backend(CountingBackend()):
+            routed = LinearRegression().fit(X, y).coef_
+        assert np.array_equal(base, routed)
+
+    def test_spectral_repair_identical(self):
+        form = _form(spd=False)
+        base = SpectralTrimming().solve(form, noise_std=0.5)
+        with use_backend(CountingBackend()):
+            routed = SpectralTrimming().solve(form, noise_std=0.5)
+        assert np.array_equal(base.omega, routed.omega)
+        assert base.repaired == routed.repaired
+
+
+@pytest.mark.skipif(
+    not backend_available("torch"), reason="torch backend not installed"
+)
+class TestTorchNumericEquivalence:
+    def test_percell_paths_numerically_conforming(self):
+        form = _form()
+        X, y = _xy()
+        base_min = form.minimize()
+        base_ols = LinearRegression().fit(X, y).coef_
+        with use_backend("torch"):
+            torch_min = form.minimize()
+            torch_ols = LinearRegression().fit(X, y).coef_
+        np.testing.assert_allclose(torch_min, base_min, rtol=0, atol=1e-9)
+        np.testing.assert_allclose(torch_ols, base_ols, rtol=0, atol=1e-9)

@@ -1,0 +1,227 @@
+"""Partitioned tenants: parallel-composition budget accounting.
+
+Partitions declare disjoint user subsets, so per-partition fit costs
+compose as a running **maximum** against the tenant's sequential ledger
+— each partitioned fit charges only the amount by which its partition's
+new total exceeds the previous maximum, and fits fully covered by the
+maximum are recorded as durable zero-cost annotations.  The accounting
+must survive a restart bitwise (the totals are re-derived from tagged
+ledger notes), and partitioned releases must not share noise streams
+with each other or with the unpartitioned fit under one seed.
+"""
+
+import math
+
+import pytest
+
+from repro.exceptions import BudgetExhaustedError
+from repro.serve.app import ServeApp
+from repro.serve.loadgen import synthetic_batch
+from repro.serve.protocol import BadRequestError, BudgetRefusedError
+from repro.serve.state import TenantState, partition_note_tag
+from repro.session import ExecutionPolicy, Session
+
+
+def _app(tmp_path, **policy_overrides):
+    base = dict(
+        scale="smoke", telemetry="summary", executor="serial",
+        failure_mode="fallback",
+    )
+    base.update(policy_overrides)
+    return ServeApp(tmp_path / "data", Session(ExecutionPolicy(**base)))
+
+
+def _ingest(app, partition=None, batch=0, rows=40, dims=3, tenant="acme"):
+    X, y = synthetic_batch(11, 0, batch, rows, dims)
+    body = {
+        "tenant": tenant, "task": "linear", "dims": dims,
+        "x": X.tolist(), "y": y.tolist(),
+    }
+    if partition is not None:
+        body["partition"] = partition
+    return app.ingest(body)
+
+
+def _fit(app, partition=None, epsilons=(0.5,), seed=42, dims=3, tenant="acme"):
+    body = {
+        "tenant": tenant, "task": "linear", "dims": dims,
+        "epsilons": list(epsilons), "seed": seed,
+    }
+    if partition is not None:
+        body["partition"] = partition
+    return app.fit(body)
+
+
+class TestAccKey:
+    def test_partition_suffix_is_unambiguous(self):
+        assert TenantState.acc_key("linear", 3) == "linear-d3"
+        assert TenantState.acc_key("linear", 3, "p0") == "linear-d3+p0"
+        # '+' is outside the partition alphabet, so the two key spaces
+        # cannot collide.
+        assert TenantState.acc_key("linear", 3, "p0") != TenantState.acc_key(
+            "linear", 3
+        )
+
+
+class TestPartitionedAccumulators:
+    def test_rows_route_to_their_partition(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0", rows=40)
+            _ingest(app, partition="p1", rows=30, batch=1)
+            status = app.status("acme")
+            accs = status["accumulators"]
+            assert accs["linear-d3+p0"]["n_rows"] == 40
+            assert accs["linear-d3+p1"]["n_rows"] == 30
+            assert "linear-d3" not in accs
+
+    def test_partition_fit_needs_partition_rows(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0")
+            with pytest.raises(BadRequestError):
+                _fit(app, partition="p1")
+            with pytest.raises(BadRequestError):
+                _fit(app)  # unpartitioned accumulator has no rows either
+
+
+class TestParallelComposition:
+    def test_max_not_sum(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            for k, partition in enumerate(("p0", "p1", "p2")):
+                _ingest(app, partition=partition, batch=k)
+            # First fit raises the maximum from 0 -> 0.5: full charge.
+            r0 = _fit(app, partition="p0", epsilons=(0.5,))
+            assert r0["spent_epsilon"] == pytest.approx(0.5)
+            assert r0["partition_epsilon"] == pytest.approx(0.5)
+            # p1 at the same cost is fully covered by the maximum.
+            r1 = _fit(app, partition="p1", epsilons=(0.5,))
+            assert r1["spent_epsilon"] == 0.0
+            # p2 exceeding the maximum charges only the excess.
+            r2 = _fit(app, partition="p2", epsilons=(0.8,))
+            assert r2["spent_epsilon"] == pytest.approx(0.3)
+            status = app.status("acme")
+            assert status["budget"]["spent"] == pytest.approx(0.8)
+            assert status["budget"]["partitions"] == pytest.approx(
+                {"p0": 0.5, "p1": 0.5, "p2": 0.8}
+            )
+
+    def test_repeat_fits_on_one_partition_compose_sequentially(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0")
+            _fit(app, partition="p0", epsilons=(0.5,))
+            # Same partition again: its own total grows 0.5 -> 1.0, all
+            # of which exceeds the old maximum.
+            r = _fit(app, partition="p0", epsilons=(0.5,))
+            assert r["spent_epsilon"] == pytest.approx(0.5)
+            assert app.status("acme")["budget"]["spent"] == pytest.approx(1.0)
+
+    def test_mixed_with_unpartitioned_fits(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app)
+            _ingest(app, partition="p0", batch=1)
+            plain = _fit(app, epsilons=(1.0,))
+            assert plain["spent_epsilon"] == pytest.approx(1.0)
+            part = _fit(app, partition="p0", epsilons=(0.5,))
+            assert part["spent_epsilon"] == pytest.approx(0.5)
+            # ledger = unpartitioned sum + partition maximum.
+            assert app.status("acme")["budget"]["spent"] == pytest.approx(1.5)
+
+    def test_refusal_leaves_totals_unchanged(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 1.0})
+            _ingest(app, partition="p0")
+            _fit(app, partition="p0", epsilons=(0.9,))
+            with pytest.raises(BudgetRefusedError):
+                _fit(app, partition="p0", epsilons=(0.9,))
+            status = app.status("acme")
+            assert status["budget"]["partitions"] == pytest.approx({"p0": 0.9})
+            assert status["budget"]["spent"] == pytest.approx(0.9)
+
+    def test_zero_delta_is_durably_annotated(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0")
+            _ingest(app, partition="p1", batch=1)
+            _fit(app, partition="p0", epsilons=(0.5,))
+            _fit(app, partition="p1", epsilons=(0.5,))
+            with app.registry.lease("acme") as tenant:
+                notes = [e.note for e in tenant.budget.ledger]
+                zero = [e for e in tenant.budget.ledger if e.epsilon == 0.0]
+            assert any("parallel-covered" in note for note in notes)
+            assert len(zero) == 1
+            assert partition_note_tag("p1", 0.5) in zero[0].note
+
+
+class TestRestartRebuild:
+    def test_partition_totals_survive_restart(self, tmp_path):
+        data = tmp_path / "data"
+        with ServeApp(
+            data, Session(ExecutionPolicy(executor="serial", scale="smoke"))
+        ) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0")
+            _ingest(app, partition="p1", batch=1)
+            _fit(app, partition="p0", epsilons=(0.5,))
+            _fit(app, partition="p1", epsilons=(0.7,))
+            before = app.status("acme")["budget"]
+        with ServeApp(
+            data, Session(ExecutionPolicy(executor="serial", scale="smoke"))
+        ) as app:
+            after = app.status("acme")["budget"]
+            assert after["partitions"] == pytest.approx(before["partitions"])
+            assert after["spent"] == pytest.approx(before["spent"])
+            # The restored maxima keep charging deltas, not full costs.
+            r = _fit(app, partition="p0", epsilons=(0.5,))
+            assert r["spent_epsilon"] == pytest.approx(0.3)  # 1.0 - max(0.7)
+
+    def test_charge_partitioned_direct_restore_equivalence(self, tmp_path):
+        """The TenantState-level rule, without the HTTP-ish plumbing."""
+        from repro.privacy.budget import PrivacyBudget
+
+        journal = tmp_path / "b.journal"
+        budget = PrivacyBudget(10.0, journal_path=journal)
+        tenant = TenantState("t", tmp_path, budget)
+        assert tenant.charge_partitioned("a", 0.4, "fit") == pytest.approx(0.4)
+        assert tenant.charge_partitioned("b", 0.3, "fit") == 0.0
+        assert tenant.charge_partitioned("b", 0.3, "fit") == pytest.approx(0.2)
+        assert budget.spent == pytest.approx(0.6)
+        budget.close()
+
+        restored = PrivacyBudget.restore(journal)
+        rebuilt = TenantState("t", tmp_path, restored)
+        assert rebuilt.partition_spent() == pytest.approx({"a": 0.4, "b": 0.6})
+        assert restored.spent == pytest.approx(0.6)
+        restored.close()
+
+
+class TestPartitionNoiseIndependence:
+    def test_partitions_do_not_share_noise_under_one_seed(self, tmp_path):
+        """Same rows, same seed, different partitions => different noise.
+
+        With shared draws, subtracting two releases over identical rows
+        would cancel the noise exactly; keyed partition substreams make
+        the difference nonzero.
+        """
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0", batch=0)
+            _ingest(app, partition="p1", batch=0)  # identical rows
+            _ingest(app, batch=0)  # and the unpartitioned accumulator
+            r0 = _fit(app, partition="p0", seed=42)
+            r1 = _fit(app, partition="p1", seed=42)
+            plain = _fit(app, seed=42)
+            assert r0["omegas"] != r1["omegas"]
+            assert r0["omegas"] != plain["omegas"]
+
+    def test_partition_fit_is_reproducible(self, tmp_path):
+        with _app(tmp_path) as app:
+            app.create_tenant({"tenant": "acme", "total_epsilon": 10.0})
+            _ingest(app, partition="p0")
+            a = _fit(app, partition="p0", seed=7)
+        with _app(tmp_path, executor="thread") as app:
+            b = _fit(app, partition="p0", seed=7)
+            assert a["digest"] == b["digest"]

@@ -95,9 +95,23 @@ class TestIngestRequest:
         return body
 
     def test_valid(self):
-        name, task, dims, X, y, durable = parse_ingest_request(self._body())
+        name, task, dims, partition, X, y, durable = parse_ingest_request(
+            self._body()
+        )
         assert (name, task, dims, durable) == ("t", "linear", 2, False)
+        assert partition is None
         assert X.shape == (2, 2) and y.shape == (2,)
+
+    def test_partition_passes_through(self):
+        *_, partition, X, y, durable = parse_ingest_request(
+            self._body(partition="p0")
+        )
+        assert partition == "p0"
+
+    @pytest.mark.parametrize("bad", ["", "a b", "x" * 65, 3, True, ["p"]])
+    def test_bad_partitions_rejected(self, bad):
+        with pytest.raises(BadRequestError):
+            parse_ingest_request(self._body(partition=bad))
 
     def test_row_width_must_match_dims(self):
         with pytest.raises(BadRequestError):
@@ -126,6 +140,12 @@ class TestFitRequest:
             {"tenant": "t", "task": "linear", "dims": 2, "epsilon": 0.5, "seed": 1}
         )
         assert epsilons == (0.5,) and seed == 1
+
+    def test_partition_defaults_to_none(self):
+        _, _, _, partition, _, _ = parse_fit_request(
+            {"tenant": "t", "task": "linear", "dims": 2, "epsilon": 0.5, "seed": 1}
+        )
+        assert partition is None
 
     def test_seed_is_mandatory(self):
         # Reproducibility (and therefore digest checking) by construction.
